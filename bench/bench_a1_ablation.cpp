@@ -1,0 +1,131 @@
+// A1 — ablations of the design choices DESIGN.md calls out:
+//   * marker spacing vs the constructive-LLL re-sampling cost (the Δ^O(α)
+//     dependence made visible: tighter spacing = more stray collisions =
+//     more re-sampling; too tight = infeasible);
+//   * short-trail threshold: how much advice the canonical ID rule saves;
+//   * stage-2.5 local-fix passes vs the number of stage-3 repair regions in
+//     the Δ-coloring pipeline;
+//   * cluster spacing vs schema size and decode rounds in §6 stage 1.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/delta_coloring.hpp"
+#include "core/orientation.hpp"
+#include "graph/checkers.hpp"
+#include "graph/generators.hpp"
+
+namespace lad {
+namespace {
+
+void BM_AblationSpacingVsResampling(benchmark::State& state) {
+  const int spacing = static_cast<int>(state.range(0));
+  const Graph g = make_random_regular(2400, 6, 7);
+  OrientationParams params;
+  params.marker_spacing = spacing;
+
+  OrientationEncoding enc;
+  for (auto _ : state) {
+    enc = encode_orientation_advice(g, params);
+  }
+  bench::report_advice(state, enc.bits);
+  state.counters["requested_spacing"] = spacing;
+  state.counters["effective_spacing"] = degree_scaled_spacing(spacing, g.max_degree());
+  state.counters["resample_rounds"] = enc.resample_rounds;
+  state.SetLabel("random 6-regular: re-sampling cost vs marker spacing");
+}
+
+void BM_AblationShortTrailThreshold(benchmark::State& state) {
+  const int threshold = static_cast<int>(state.range(0));
+  const Graph g = disjoint_union(
+      {make_cycle(2000), make_cycle(60), make_cycle(90), make_cycle(120), make_grid(30, 30)},
+      IdMode::kRandomDense, 8);
+  OrientationParams params;
+  params.short_trail_threshold = threshold;
+
+  OrientationEncoding enc;
+  OrientationDecodeResult dec;
+  for (auto _ : state) {
+    enc = encode_orientation_advice(g, params);
+    dec = decode_orientation(g, enc.bits, params);
+  }
+  bench::report_advice(state, enc.bits);
+  state.counters["threshold"] = threshold;
+  state.counters["marked_trails"] = enc.num_marked_trails;
+  state.counters["rounds"] = dec.rounds;
+  state.counters["balanced"] = is_balanced_orientation(g, dec.orientation, 1) ? 1 : 0;
+  state.SetLabel("mixed family: canonical rule vs markers");
+}
+
+void BM_AblationLocalFixPasses(benchmark::State& state) {
+  const int passes = static_cast<int>(state.range(0));
+  const int m = 3000;
+  const Graph g = make_circular_ladder(m, IdMode::kRandomDense, 10);
+  std::vector<int> witness(static_cast<std::size_t>(g.n()));
+  for (int i = 0; i < m; ++i) {
+    witness[i] = 1 + i % 2;
+    witness[m + i] = 2 - i % 2;
+  }
+  DeltaColoringParams params;
+  params.cluster_spacing = 400;
+  params.repair_radius = 3;
+  params.max_repair_radius = 8;
+  params.local_fix_passes = passes;
+
+  DeltaColoringEncoding enc;
+  for (auto _ : state) {
+    enc = encode_delta_coloring_advice(g, witness, params);
+  }
+  state.counters["local_fix_passes"] = passes;
+  state.counters["stage3_repairs"] = enc.num_repairs;
+  state.SetLabel("Δ-coloring: advice-free fixes shrink the repair set");
+}
+
+void BM_AblationClusterSpacing(benchmark::State& state) {
+  const int spacing = static_cast<int>(state.range(0));
+  const auto pc = make_planted_colorable(3000, 5, 3.4, 5, 11);
+  DeltaColoringParams params;
+  params.cluster_spacing = spacing;
+
+  DeltaColoringEncoding enc;
+  DeltaColoringDecodeResult dec;
+  for (auto _ : state) {
+    enc = encode_delta_coloring_advice(pc.graph, pc.coloring, params);
+    dec = decode_delta_coloring(pc.graph, enc.advice, params);
+  }
+  state.counters["cluster_spacing"] = spacing;
+  state.counters["clusters"] = enc.num_clusters;
+  state.counters["rounds"] = dec.rounds;
+  state.counters["valid"] = is_proper_coloring(pc.graph, dec.coloring, 5) ? 1 : 0;
+  state.SetLabel("Δ-coloring stage 1: fewer clusters = fewer anchors, more rounds");
+}
+
+}  // namespace
+}  // namespace lad
+
+BENCHMARK(lad::BM_AblationSpacingVsResampling)
+    ->Arg(40)
+    ->Arg(300)
+    ->Arg(600)
+    ->Arg(1200)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(lad::BM_AblationShortTrailThreshold)
+    ->Arg(40)
+    ->Arg(100)
+    ->Arg(400)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(lad::BM_AblationLocalFixPasses)
+    ->DenseRange(0, 6, 2)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(lad::BM_AblationClusterSpacing)
+    ->Arg(6)
+    ->Arg(12)
+    ->Arg(24)
+    ->Arg(48)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,80 @@
+// B1 — advice-free context lines: Cole–Vishkin 3-coloring (Θ(log* n), the
+// optimal advice-free bound by Linial's lower bound), Linial's O(Δ^2)
+// coloring from IDs, and the Θ(n) advice-free balanced orientation. These
+// are the curves the 1-bit-advice algorithms are compared against.
+#include <benchmark/benchmark.h>
+
+#include "baselines/cole_vishkin.hpp"
+#include "baselines/global_orientation.hpp"
+#include "baselines/linial.hpp"
+#include "graph/checkers.hpp"
+#include "graph/generators.hpp"
+
+namespace lad {
+namespace {
+
+void BM_ColeVishkin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = make_cycle(n, IdMode::kRandomSparse, 31);
+  const auto succ = cycle_successors(g);
+
+  ColeVishkinResult res;
+  for (auto _ : state) {
+    res = cole_vishkin_cycle(g, succ);
+  }
+  state.counters["rounds"] = res.rounds;
+  state.counters["valid"] = is_proper_coloring(g, res.colors, 3) ? 1 : 0;
+  state.SetLabel("3-coloring a cycle without advice: Θ(log* n)");
+}
+
+void BM_LinialFromIds(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = make_random_regular(n, 4, 33);
+
+  LinialResult res;
+  for (auto _ : state) {
+    res = linial_coloring_from_ids(g);
+  }
+  state.counters["rounds"] = res.rounds;
+  state.counters["colors"] = res.num_colors;
+  state.counters["delta_sq"] = g.max_degree() * g.max_degree();
+  state.SetLabel("Linial O(Δ^2)-coloring from IDs");
+}
+
+void BM_GlobalOrientation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = make_cycle(n, IdMode::kRandomDense, 35);
+
+  GlobalOrientationResult res;
+  for (auto _ : state) {
+    res = orient_without_advice(g);
+  }
+  state.counters["rounds"] = res.rounds;  // = n: the advice-free cost
+  state.counters["balanced"] = is_balanced_orientation(g, res.orientation, 1) ? 1 : 0;
+  state.SetLabel("balanced orientation without advice: Θ(n)");
+}
+
+}  // namespace
+}  // namespace lad
+
+BENCHMARK(lad::BM_ColeVishkin)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(lad::BM_LinialFromIds)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(lad::BM_GlobalOrientation)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,18 @@
+// Shared helpers for the experiment harness. Each bench binary regenerates
+// one row family of EXPERIMENTS.md; the paper's quantities are reported as
+// benchmark counters (bits per node, ones ratio, LOCAL rounds, ...).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "advice/advice.hpp"
+
+namespace lad::bench {
+
+inline void report_advice(benchmark::State& state, const std::vector<char>& bits) {
+  const auto stats = advice_stats(advice_from_bits(bits));
+  state.counters["bits_per_node"] = 1.0;
+  state.counters["ones_ratio"] = stats.ones_ratio;
+}
+
+}  // namespace lad::bench

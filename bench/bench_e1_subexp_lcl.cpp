@@ -1,0 +1,58 @@
+// E1 — Theorem 4.1: any LCL on subexponential-growth graphs is solvable
+// with 1 bit of advice per node in O(1) rounds, and the advice can be made
+// arbitrarily sparse. Families: paths and cycles (linear growth). Reported
+// per row: ones ratio of the 1-bit advice, LOCAL decode rounds (constant in
+// n), number of clusters, and validity of the decoded solution.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/subexp_lcl.hpp"
+#include "graph/generators.hpp"
+#include "lcl/problems.hpp"
+
+namespace lad {
+namespace {
+
+std::unique_ptr<LclProblem> problem_by_index(int p) {
+  switch (p) {
+    case 0:
+      return std::make_unique<VertexColoringLcl>(3);
+    case 1:
+      return std::make_unique<MisLcl>();
+    default:
+      return std::make_unique<MaximalMatchingLcl>();
+  }
+}
+
+void BM_SubexpLcl(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool cycle = state.range(1) != 0;
+  const auto problem = problem_by_index(static_cast<int>(state.range(2)));
+  const Graph g = cycle ? make_cycle(n, IdMode::kRandomDense, 42)
+                        : make_path(n, IdMode::kRandomDense, 42);
+  SubexpLclParams params;
+  params.x = 100;
+
+  SubexpLclEncoding enc;
+  SubexpLclDecodeResult dec;
+  for (auto _ : state) {
+    enc = encode_subexp_lcl_advice(g, *problem, params);
+    dec = decode_subexp_lcl(g, *problem, enc.bits, params);
+  }
+  const bool valid = is_valid_labeling(g, *problem, dec.labeling);
+  bench::report_advice(state, enc.bits);
+  state.counters["rounds"] = dec.rounds;
+  state.counters["clusters"] = enc.num_clusters;
+  state.counters["valid"] = valid ? 1 : 0;
+  state.SetLabel(problem->name() + (cycle ? " cycle" : " path"));
+}
+
+}  // namespace
+}  // namespace lad
+
+BENCHMARK(lad::BM_SubexpLcl)
+    ->ArgsProduct({{2000, 4000, 8000}, {0, 1}, {0, 1, 2}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);

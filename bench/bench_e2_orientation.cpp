@@ -1,0 +1,70 @@
+// E2 — §5: almost-balanced orientation with 1 bit of advice per node in
+// T(Δ) rounds, versus the advice-free baseline that needs Θ(n) (the whole
+// cycle must be traversed). The "shape" to observe: rounds_advice is flat
+// in n, rounds_baseline grows linearly; advice wins by an unbounded factor.
+#include <benchmark/benchmark.h>
+
+#include "baselines/global_orientation.hpp"
+#include "bench_common.hpp"
+#include "core/orientation.hpp"
+#include "graph/generators.hpp"
+
+namespace lad {
+namespace {
+
+Graph family(int which, int n) {
+  switch (which) {
+    case 0:
+      return make_cycle(n, IdMode::kRandomDense, 7);
+    case 1:
+      return make_random_regular(n, 4, 7);
+    case 2: {
+      int side = 1;
+      while (side * side < n) ++side;
+      return make_grid(side, side, IdMode::kRandomDense, 7);
+    }
+    default:
+      return make_bounded_degree_tree(n, 4, 7);
+  }
+}
+
+const char* family_name(int which) {
+  switch (which) {
+    case 0:
+      return "cycle";
+    case 1:
+      return "random-4-regular";
+    case 2:
+      return "grid";
+    default:
+      return "tree(Δ<=4)";
+  }
+}
+
+void BM_OrientationAdvice(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int which = static_cast<int>(state.range(1));
+  const Graph g = family(which, n);
+
+  OrientationEncoding enc;
+  OrientationDecodeResult dec;
+  for (auto _ : state) {
+    enc = encode_orientation_advice(g);
+    dec = decode_orientation(g, enc.bits);
+  }
+  const auto baseline = orient_without_advice(g);
+  bench::report_advice(state, enc.bits);
+  state.counters["rounds_advice"] = dec.rounds;
+  state.counters["rounds_baseline"] = baseline.rounds;
+  state.counters["balanced"] = is_balanced_orientation(g, dec.orientation, 1) ? 1 : 0;
+  state.counters["marked_trails"] = enc.num_marked_trails;
+  state.SetLabel(family_name(which));
+}
+
+}  // namespace
+}  // namespace lad
+
+BENCHMARK(lad::BM_OrientationAdvice)
+    ->ArgsProduct({{2000, 8000, 32000}, {0, 1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,79 @@
+// E4 — Theorem 6.1 / Corollary 6.2: Δ-coloring Δ-colorable graphs with
+// advice in T(Δ) rounds. Rows report the decode rounds (flat in n), the
+// size of the variable-length schema (sparse cluster anchors), and — on the
+// roomy circular-ladder family — the uniform 1-bit conversion.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/delta_coloring.hpp"
+#include "graph/checkers.hpp"
+#include "graph/generators.hpp"
+
+namespace lad {
+namespace {
+
+void BM_DeltaColoringPlanted(benchmark::State& state) {
+  const int delta = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const auto pc = make_planted_colorable(n, delta, delta * 0.7, delta, 1234 + delta);
+
+  DeltaColoringEncoding enc;
+  DeltaColoringDecodeResult dec;
+  for (auto _ : state) {
+    enc = encode_delta_coloring_advice(pc.graph, pc.coloring);
+    dec = decode_delta_coloring(pc.graph, enc.advice);
+  }
+  long long bits = 0;
+  for (const auto& [node, packed] : pack_var_advice(enc.advice)) {
+    (void)node;
+    bits += packed.size();
+  }
+  state.counters["rounds"] = dec.rounds;
+  state.counters["storage_nodes"] = static_cast<double>(enc.advice.size());
+  state.counters["total_advice_bits"] = static_cast<double>(bits);
+  state.counters["bits_per_node_avg"] = static_cast<double>(bits) / pc.graph.n();
+  state.counters["clusters"] = enc.num_clusters;
+  state.counters["repairs"] = enc.num_repairs;
+  state.counters["valid"] = is_proper_coloring(pc.graph, dec.coloring, delta) ? 1 : 0;
+}
+
+void BM_DeltaColoringUniformOneBit(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const Graph g = make_circular_ladder(m, IdMode::kRandomDense, 10);
+  std::vector<int> witness(static_cast<std::size_t>(g.n()));
+  for (int i = 0; i < m; ++i) {
+    witness[i] = 1 + i % 2;
+    witness[m + i] = 2 - i % 2;
+  }
+  DeltaColoringParams params;
+  params.uniform_one_bit = true;
+  params.cluster_spacing = 400;
+  params.repair_radius = 3;
+  params.max_repair_radius = 8;
+
+  DeltaColoringEncoding enc;
+  DeltaColoringDecodeResult dec;
+  for (auto _ : state) {
+    enc = encode_delta_coloring_advice(g, witness, params);
+    dec = decode_delta_coloring_one_bit(g, enc.uniform_bits, enc.uniform_max_payload_bits,
+                                        params);
+  }
+  bench::report_advice(state, enc.uniform_bits);
+  state.counters["rounds"] = dec.rounds;
+  state.counters["valid"] = is_proper_coloring(g, dec.coloring, 3) ? 1 : 0;
+  state.SetLabel("circular ladder, Δ=3, uniform 1-bit");
+}
+
+}  // namespace
+}  // namespace lad
+
+BENCHMARK(lad::BM_DeltaColoringPlanted)
+    ->ArgsProduct({{4, 6, 8}, {500, 1000, 2000}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(lad::BM_DeltaColoringUniformOneBit)
+    ->Arg(4000)
+    ->Arg(8000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,72 @@
+// E8 — Definition 3 / §1.8: the advice can be made arbitrarily sparse, at
+// the price of more decoding rounds. Two schemas are swept: the orientation
+// schema (marker spacing) and the §4 LCL schema (scale x). Rows report the
+// ε = ones ratio against the measured T(ε).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/orientation.hpp"
+#include "core/subexp_lcl.hpp"
+#include "graph/generators.hpp"
+#include "lcl/problems.hpp"
+
+namespace lad {
+namespace {
+
+void BM_SparsityOrientation(benchmark::State& state) {
+  const int spacing = static_cast<int>(state.range(0));
+  const Graph g = make_cycle(40000, IdMode::kRandomDense, 11);
+  OrientationParams params;
+  params.marker_spacing = spacing;
+
+  OrientationEncoding enc;
+  OrientationDecodeResult dec;
+  for (auto _ : state) {
+    enc = encode_orientation_advice(g, params);
+    dec = decode_orientation(g, enc.bits, params);
+  }
+  bench::report_advice(state, enc.bits);
+  state.counters["rounds"] = dec.rounds;
+  state.counters["spacing"] = spacing;
+  state.counters["balanced"] = is_balanced_orientation(g, dec.orientation, 1) ? 1 : 0;
+  state.SetLabel("orientation schema, spacing sweep");
+}
+
+void BM_SparsityLcl(benchmark::State& state) {
+  const int x = static_cast<int>(state.range(0));
+  const Graph g = make_cycle(15000, IdMode::kRandomDense, 12);
+  VertexColoringLcl p(3);
+  SubexpLclParams params;
+  params.x = x;
+
+  SubexpLclEncoding enc;
+  SubexpLclDecodeResult dec;
+  for (auto _ : state) {
+    enc = encode_subexp_lcl_advice(g, p, params);
+    dec = decode_subexp_lcl(g, p, enc.bits, params);
+  }
+  bench::report_advice(state, enc.bits);
+  state.counters["rounds"] = dec.rounds;
+  state.counters["x"] = x;
+  state.counters["valid"] = is_valid_labeling(g, p, dec.labeling) ? 1 : 0;
+  state.SetLabel("§4 LCL schema, x sweep");
+}
+
+}  // namespace
+}  // namespace lad
+
+BENCHMARK(lad::BM_SparsityOrientation)
+    ->Arg(40)
+    ->Arg(120)
+    ->Arg(360)
+    ->Arg(1080)
+    ->Arg(3240)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(lad::BM_SparsityLcl)
+    ->Arg(100)
+    ->Arg(140)
+    ->Arg(180)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,107 @@
+// E9 — §1.2 corollary: the §4 advice is a 1-bit-per-node locally checkable
+// proof. Rows: completeness (honest proofs accepted, verifier rounds flat
+// in n), soundness on unsolvable instances (all sampled proofs rejected),
+// and behavior under random corruption.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/proofs.hpp"
+#include "graph/generators.hpp"
+#include "graph/rng.hpp"
+#include "lcl/problems.hpp"
+
+namespace lad {
+namespace {
+
+SubexpLclParams params() {
+  SubexpLclParams p;
+  p.x = 100;
+  return p;
+}
+
+void BM_ProofCompleteness(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = make_cycle(n, IdMode::kRandomDense, 21);
+  VertexColoringLcl p(3);
+
+  ProofVerificationResult res;
+  std::vector<char> proof;
+  for (auto _ : state) {
+    proof = make_lcl_proof(g, p, params());
+    res = verify_lcl_proof(g, p, proof, params());
+  }
+  bench::report_advice(state, proof);
+  state.counters["accepted"] = res.accepted ? 1 : 0;
+  state.counters["verifier_rounds"] = res.rounds;
+  state.SetLabel("honest proof, 3-coloring on cycle");
+}
+
+void BM_ProofSoundness(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0)) | 1;  // odd: no 2-coloring
+  const Graph g = make_cycle(n, IdMode::kRandomDense, 22);
+  VertexColoringLcl p(2);
+
+  int rejected = 0;
+  const int trials = 20;
+  for (auto _ : state) {
+    Rng rng(5);
+    rejected = 0;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<char> proof(static_cast<std::size_t>(g.n()));
+      for (auto& b : proof) b = rng.flip(0.3) ? 1 : 0;
+      if (!verify_lcl_proof(g, p, proof, params()).accepted) ++rejected;
+    }
+  }
+  state.counters["rejected"] = rejected;
+  state.counters["trials"] = trials;
+  state.SetLabel("random proofs of a false statement (2-colorable?)");
+}
+
+void BM_ProofCorruption(benchmark::State& state) {
+  const int flips = static_cast<int>(state.range(0));
+  const Graph g = make_cycle(3000, IdMode::kRandomDense, 23);
+  MisLcl p;
+  const auto honest = make_lcl_proof(g, p, params());
+
+  int rejected = 0;
+  int accepted_valid = 0;
+  const int trials = 10;
+  for (auto _ : state) {
+    Rng rng(7);
+    rejected = accepted_valid = 0;
+    for (int t = 0; t < trials; ++t) {
+      auto proof = honest;
+      for (int k = 0; k < flips; ++k) {
+        proof[static_cast<std::size_t>(rng.uniform(0, g.n() - 1))] ^= 1;
+      }
+      const auto res = verify_lcl_proof(g, p, proof, params());
+      if (!res.accepted) {
+        ++rejected;
+      } else {
+        ++accepted_valid;  // acceptance implies a valid decoded solution
+      }
+    }
+  }
+  state.counters["bit_flips"] = flips;
+  state.counters["rejected"] = rejected;
+  state.counters["accepted_still_valid"] = accepted_valid;
+  state.SetLabel("corrupted honest proofs (MIS)");
+}
+
+}  // namespace
+}  // namespace lad
+
+BENCHMARK(lad::BM_ProofCompleteness)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(lad::BM_ProofSoundness)->Arg(301)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK(lad::BM_ProofCorruption)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);

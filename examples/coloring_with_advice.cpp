@@ -1,0 +1,62 @@
+// Scenario: frequency assignment with precomputed hints (§6 and §7).
+//
+// A planner computes an optimal channel assignment offline (an NP-hard
+// 3-coloring / a tight Δ-coloring) and wants radio nodes to reconstruct it
+// after a cold reboot with minimal persistent per-node state and only local
+// communication. Storing the full assignment costs 2 bits per node for 3
+// channels; the paper's schemas need exactly 1 bit — and for Δ-coloring a
+// sparse set of variable-length hints.
+#include <cstdio>
+
+#include "advice/advice.hpp"
+#include "core/delta_coloring.hpp"
+#include "core/three_coloring.hpp"
+#include "graph/checkers.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace lad;
+
+  // Part 1 — 3 channels on a 3-colorable interference graph.
+  {
+    const auto planted = make_planted_colorable(4000, 3, 2.6, 6, 4242);
+    const Graph& g = planted.graph;
+    std::printf("[3-coloring] interference graph: n=%d, m=%d, Δ=%d\n", g.n(), g.m(),
+                g.max_degree());
+
+    const auto enc = encode_three_coloring_advice(g, planted.coloring);
+    const auto stats = advice_stats(advice_from_bits(enc.bits));
+    std::printf("[3-coloring] persistent state: 1 bit/node (trivial schema: 2), "
+                "ones ratio %.4f, parity groups: %d\n",
+                stats.ones_ratio, enc.num_groups);
+
+    const auto dec = decode_three_coloring(g, enc.bits);
+    std::printf("[3-coloring] rebooted assignment valid: %s, %d LOCAL rounds\n",
+                is_proper_coloring(g, dec.coloring, 3) ? "yes" : "NO", dec.rounds);
+  }
+
+  // Part 2 — Δ channels on a Δ-colorable graph (one fewer channel than the
+  // greedy Δ+1 guarantee; impossible to find quickly without hints).
+  {
+    const int delta = 5;
+    const auto planted = make_planted_colorable(3000, delta, 3.4, delta, 777);
+    const Graph& g = planted.graph;
+    std::printf("[Δ-coloring] n=%d, Δ=%d\n", g.n(), delta);
+
+    const auto enc = encode_delta_coloring_advice(g, planted.coloring);
+    long long bits = 0;
+    for (const auto& [node, packed] : pack_var_advice(enc.advice)) {
+      (void)node;
+      bits += packed.size();
+    }
+    std::printf("[Δ-coloring] hints: %zu storage nodes, %lld bits total "
+                "(%.3f bits/node), %d clusters, %d local repairs\n",
+                enc.advice.size(), bits, static_cast<double>(bits) / g.n(),
+                enc.num_clusters, enc.num_repairs);
+
+    const auto dec = decode_delta_coloring(g, enc.advice);
+    std::printf("[Δ-coloring] assignment uses <= %d channels: %s, %d LOCAL rounds\n", delta,
+                is_proper_coloring(g, dec.coloring, delta) ? "yes" : "NO", dec.rounds);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Scenario: distributed decompression of a routing overlay (§1.5).
+//
+// A data-center operator wants every switch to store a compressed copy of
+// an overlay edge set X ⊆ E (e.g. "which links belong to the backup
+// spanning structure") using as little per-switch memory as possible, while
+// still letting the switches reconstruct X locally after a failover —
+// without a central controller round-trip.
+//
+// Trivial encoding: a degree-d switch stores d bits (one per incident
+// link). Information-theoretically at least d/2 bits are needed. The §1.5
+// schema hits ceil(d/2)+1: one bit of orientation advice plus one bit per
+// *outgoing* link under the almost-balanced orientation.
+#include <cstdio>
+
+#include "core/decompress.hpp"
+#include "graph/generators.hpp"
+#include "graph/rng.hpp"
+
+int main() {
+  using namespace lad;
+
+  // Leaf-spine-ish substrate: a random 6-regular network of 1200 switches.
+  const int degree = 6;
+  const Graph g = make_random_regular(1200, degree, 99);
+  std::printf("network: %d switches, %d links, %d-regular\n", g.n(), g.m(), degree);
+
+  // The overlay: a random 40%% subset of links.
+  Rng rng(7);
+  std::vector<char> overlay(static_cast<std::size_t>(g.m()));
+  int overlay_size = 0;
+  for (auto& b : overlay) {
+    b = rng.flip(0.4) ? 1 : 0;
+    overlay_size += b;
+  }
+  std::printf("overlay: %d of %d links\n", overlay_size, g.m());
+
+  // Compress: ceil(d/2)+1 bits per switch.
+  const auto compressed = compress_edge_set(g, overlay);
+  long long ours = 0, trivial = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    ours += compressed.labels[static_cast<std::size_t>(v)].size();
+    trivial += g.degree(v);
+  }
+  std::printf("per-switch storage: %.2f bits (trivial: %.2f, lower bound: %.2f)\n",
+              static_cast<double>(ours) / g.n(), static_cast<double>(trivial) / g.n(),
+              degree / 2.0);
+
+  // Decompress locally, in rounds independent of the network size.
+  const auto result = decompress_edge_set(g, compressed);
+  std::printf("decompressed in %d LOCAL rounds; exact recovery: %s\n", result.rounds,
+              result.in_x == overlay ? "yes" : "NO");
+  std::printf("total savings vs trivial: %lld bits (%.1f%%)\n", trivial - ours,
+              100.0 * (trivial - ours) / trivial);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Quickstart: solve a globally hard problem in O(1) LOCAL rounds with one
+// bit of advice per node.
+//
+// Balanced orientation on a cycle needs Θ(n) rounds without advice — the
+// two "ends" of any long arc must agree on a direction. With the §5 schema
+// a centralized prover plants one bit per node, and every node orients its
+// edges after a constant number of rounds.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "advice/advice.hpp"
+#include "baselines/global_orientation.hpp"
+#include "core/orientation.hpp"
+#include "graph/checkers.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace lad;
+
+  // A LOCAL network: a 10,000-node cycle with random identifiers.
+  const Graph g = make_cycle(10000, IdMode::kRandomSparse, 2024);
+  std::printf("graph: cycle, n=%d, m=%d, Δ=%d\n", g.n(), g.m(), g.max_degree());
+
+  // 1. The prover (sees the whole graph) computes the advice: one bit per
+  //    node (Definition 2, uniform fixed-length schema).
+  const auto advice = encode_orientation_advice(g);
+  const auto stats = advice_stats(advice_from_bits(advice.bits));
+  std::printf("advice: %lld bits total (1 per node), ones ratio %.4f\n",
+              stats.total_bits, stats.ones_ratio);
+
+  // 2. The distributed decoder runs in T(Δ) LOCAL rounds — independent of n.
+  const auto result = decode_orientation(g, advice.bits);
+  std::printf("decoded in %d LOCAL rounds\n", result.rounds);
+
+  // 3. Validate: every node has |indeg - outdeg| <= 1 (= 0 on even degrees).
+  std::printf("almost-balanced: %s\n",
+              is_balanced_orientation(g, result.orientation, 1) ? "yes" : "NO");
+
+  // 4. Compare with the advice-free world: Θ(n) rounds.
+  const auto baseline = orient_without_advice(g);
+  std::printf("without advice the same instance needs %d rounds (Θ(n))\n", baseline.rounds);
+  std::printf("speedup: %.0fx\n",
+              static_cast<double>(baseline.rounds) / std::max(1, result.rounds));
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "advice/advice.hpp"
+
+#include <algorithm>
+
+namespace lad {
+
+SchemaType classify_advice(const Advice& advice) {
+  int common_len = -1;
+  bool uniform = true;
+  bool subset_fixed = true;
+  for (const auto& b : advice) {
+    if (b.empty()) {
+      uniform = false;
+      continue;
+    }
+    if (common_len == -1) {
+      common_len = b.size();
+    } else if (b.size() != common_len) {
+      uniform = false;
+      subset_fixed = false;
+    }
+  }
+  if (uniform && common_len != -1) return SchemaType::kUniformFixedLength;
+  if (subset_fixed) return SchemaType::kSubsetFixedLength;
+  return SchemaType::kVariableLength;
+}
+
+AdviceStats advice_stats(const Advice& advice) {
+  AdviceStats s;
+  s.n = static_cast<int>(advice.size());
+  s.uniform_one_bit = true;
+  for (const auto& b : advice) {
+    if (!b.empty()) ++s.bit_holding_nodes;
+    s.total_bits += b.size();
+    s.max_bits_per_node = std::max(s.max_bits_per_node, b.size());
+    if (b.size() != 1) {
+      s.uniform_one_bit = false;
+    } else {
+      (b.bit(0) ? s.ones : s.zeros) += 1;
+    }
+  }
+  if (!s.uniform_one_bit) {
+    s.ones = s.zeros = 0;
+  } else if (s.n > 0) {
+    s.ones_ratio = static_cast<double>(s.ones) / s.n;
+  }
+  return s;
+}
+
+Advice advice_from_bits(const std::vector<char>& bits) {
+  Advice a(bits.size());
+  for (std::size_t v = 0; v < bits.size(); ++v) a[v].append(bits[v] != 0);
+  return a;
+}
+
+std::vector<char> bits_from_advice(const Advice& advice) {
+  std::vector<char> bits(advice.size(), 0);
+  for (std::size_t v = 0; v < advice.size(); ++v) {
+    LAD_CHECK_MSG(advice[v].size() == 1, "advice is not uniform 1-bit");
+    bits[v] = advice[v].bit(0) ? 1 : 0;
+  }
+  return bits;
+}
+
+}  // namespace lad

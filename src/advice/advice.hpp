@@ -1,0 +1,45 @@
+// Advice assignments and the schema taxonomy of Definition 2 / Definition 3.
+#pragma once
+
+#include <vector>
+
+#include "advice/bitstring.hpp"
+#include "graph/graph.hpp"
+
+namespace lad {
+
+/// Advice assignment: one bit-string (possibly empty) per node.
+using Advice = std::vector<BitString>;
+
+/// Definition 2 classifies schemas by the shape of their label assignment.
+enum class SchemaType {
+  kUniformFixedLength,  // all nodes get strings of the same length
+  kSubsetFixedLength,   // a subset gets equal-length strings, rest length 0
+  kVariableLength,      // arbitrary positive lengths on a subset
+};
+
+/// Classifies a concrete assignment (Type 1 ⊂ Type 2 ⊂ Type 3; the most
+/// specific applicable type is returned).
+SchemaType classify_advice(const Advice& advice);
+
+struct AdviceStats {
+  int n = 0;
+  int bit_holding_nodes = 0;  // nodes with non-empty strings
+  long long total_bits = 0;
+  int max_bits_per_node = 0;
+  // For uniform 1-bit assignments: Definition 3 sparsity = ones / n.
+  long long ones = 0;
+  long long zeros = 0;
+  double ones_ratio = 0.0;
+  bool uniform_one_bit = false;
+};
+
+AdviceStats advice_stats(const Advice& advice);
+
+/// Builds a uniform 1-bit Advice from a raw bit vector.
+Advice advice_from_bits(const std::vector<char>& bits);
+
+/// Extracts the per-node bit of a uniform 1-bit advice.
+std::vector<char> bits_from_advice(const Advice& advice);
+
+}  // namespace lad

@@ -1,0 +1,60 @@
+#include "advice/bitstring.hpp"
+
+namespace lad {
+
+BitString BitString::parse(const std::string& s) {
+  BitString b;
+  for (const char c : s) {
+    LAD_CHECK_MSG(c == '0' || c == '1', "BitString::parse: bad character '" << c << "'");
+    b.append(c == '1');
+  }
+  return b;
+}
+
+BitString BitString::fixed_width(std::uint64_t value, int width) {
+  LAD_CHECK(width >= 0 && width <= 64);
+  LAD_CHECK_MSG(width == 64 || value < (1ULL << width), "value does not fit in width");
+  BitString b;
+  for (int i = width - 1; i >= 0; --i) b.append((value >> i) & 1ULL);
+  return b;
+}
+
+void BitString::append(const BitString& other) {
+  bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+}
+
+void BitString::append_gamma(std::uint64_t value) {
+  LAD_CHECK_MSG(value >= 1, "Elias gamma encodes positive integers only");
+  int len = 0;
+  for (std::uint64_t v = value; v > 1; v >>= 1) ++len;
+  for (int i = 0; i < len; ++i) append(false);
+  for (int i = len; i >= 0; --i) append((value >> i) & 1ULL);
+}
+
+std::uint64_t BitString::read_fixed(int& pos, int width) const {
+  LAD_CHECK_MSG(pos + width <= size(), "read_fixed past end of BitString");
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) v = (v << 1) | (bit(pos + i) ? 1ULL : 0ULL);
+  pos += width;
+  return v;
+}
+
+std::uint64_t BitString::read_gamma(int& pos) const {
+  int zeros = 0;
+  while (pos + zeros < size() && !bit(pos + zeros)) ++zeros;
+  LAD_CHECK_MSG(pos + 2 * zeros + 1 <= size(), "truncated gamma code");
+  pos += zeros;
+  std::uint64_t v = 0;
+  for (int i = 0; i <= zeros; ++i) v = (v << 1) | (bit(pos + i) ? 1ULL : 0ULL);
+  pos += zeros + 1;
+  return v;
+}
+
+std::string BitString::to_string() const {
+  std::string s;
+  s.reserve(bits_.size());
+  for (const auto b : bits_) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+}  // namespace lad

@@ -1,0 +1,56 @@
+// Composition of advice schemas (the Lemma 1 analogue).
+//
+// The paper composes schemas by letting each sub-schema place variable-
+// length strings on a sparse set of nodes, then merging. We make the merge
+// loss-free by tagging every payload with (schema_id, anchor node ID): a
+// payload can then be *stored* at any nearby node without losing the
+// information of which node it describes. compose_schemas relocates entries
+// greedily so that the storage nodes of the combined schema keep a required
+// pairwise separation — the property the uniform-1-bit conversion
+// (sparsify.hpp, the Lemma 2 analogue) needs.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "advice/bitstring.hpp"
+#include "graph/distance.hpp"
+#include "graph/graph.hpp"
+
+namespace lad {
+
+struct SchemaEntry {
+  int schema_id = 0;       // which sub-schema this payload belongs to
+  NodeId anchor_id = 0;    // the node the payload describes (LOCAL ID)
+  BitString payload;
+
+  bool operator==(const SchemaEntry& o) const {
+    return schema_id == o.schema_id && anchor_id == o.anchor_id && payload == o.payload;
+  }
+};
+
+/// Self-delimiting packing of a list of entries into one bit-string.
+BitString pack_entries(const std::vector<SchemaEntry>& entries);
+std::vector<SchemaEntry> unpack_entries(const BitString& packed);
+
+/// Variable-length advice: storage node -> entries stored there.
+using VarAdvice = std::map<int, std::vector<SchemaEntry>>;
+
+/// Merges several variable-length schemas into one whose storage nodes are
+/// pairwise >= sep apart (within mask). Entries of a storage node that is
+/// too close to an already-kept storage node are relocated to the nearest
+/// kept node; because entries carry anchor IDs, relocation is loss-free.
+/// Entries keep their schema_id verbatim — callers composing several
+/// sub-schemas must pre-tag them with distinct ids. A decoder that
+/// searched radius R per storage node must search R + sep after
+/// composition.
+VarAdvice compose_schemas(const Graph& g, const std::vector<VarAdvice>& schemas, int sep,
+                          const NodeMask& mask = {});
+
+/// Flattens a VarAdvice into per-storage-node packed bit-strings.
+std::map<int, BitString> pack_var_advice(const VarAdvice& advice);
+
+/// Inverse of pack_var_advice.
+VarAdvice unpack_var_advice(const std::map<int, BitString>& packed);
+
+}  // namespace lad

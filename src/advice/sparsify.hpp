@@ -1,0 +1,60 @@
+// Variable-length -> uniform 1-bit conversion (the Lemma 2 analogue) via
+// the paper's path-marker encoding (§4):
+//
+//   B'' = 11110110 · map(0 -> 110, 1 -> 1110 over the payload) · 0
+//
+// B'' is written bit-by-bit on the nodes of a shortest path leaving the
+// anchor; every other node is labeled 0. Three properties make decoding
+// unambiguous:
+//   * "1111" occurs in B'' only at the very start, so only the anchor can
+//     pass the preamble check;
+//   * each distance layer around the anchor contains at most one 1-node, so
+//     the anchor can read B'' off its BFS layers without knowing the path;
+//   * "00" occurs only at the end, so the payload is self-delimiting.
+// Anchors must be pairwise farther than 2*L + 4 apart (L = encoded length),
+// which the encoder checks.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "advice/bitstring.hpp"
+#include "graph/distance.hpp"
+#include "graph/graph.hpp"
+
+namespace lad {
+
+/// Encoded length of B'' for a given payload.
+int encoded_path_length(const BitString& payload);
+
+/// Encoded length upper bound for payloads of at most `payload_bits` bits.
+int max_encoded_path_length(int payload_bits);
+
+/// Separation the anchors must keep for `payload_bits`-bit payloads.
+int required_anchor_separation(int payload_bits);
+
+struct UniformOneBit {
+  std::vector<char> bits;  // one bit per node of g
+  int max_path_len = 0;    // longest written path (decoder search slack)
+};
+
+/// Writes each anchor's payload along a path (within mask); all remaining
+/// in-mask nodes get 0. Preconditions (checked):
+///  * anchors pairwise > 2*L_max + 4 apart within the mask;
+///  * each anchor's masked eccentricity >= its encoded length - 1.
+/// When `verify` is set, the encoder round-trips every anchor through the
+/// decoder.
+UniformOneBit encode_paths_one_bit(const Graph& g, const std::map<int, BitString>& anchors,
+                                   const NodeMask& mask = {}, bool verify = true);
+
+/// Local test: is v an anchor, and if so what payload does it carry?
+/// Examines only the radius-(L_max + 2) ball around v within the mask, where
+/// L_max = max_encoded_path_length(max_payload_bits).
+std::optional<BitString> decode_anchor_at(const Graph& g, int v, const std::vector<char>& bits,
+                                          int max_payload_bits, const NodeMask& mask = {});
+
+/// Centralized convenience: runs decode_anchor_at on every node.
+std::map<int, BitString> decode_paths_one_bit(const Graph& g, const std::vector<char>& bits,
+                                              int max_payload_bits, const NodeMask& mask = {});
+
+}  // namespace lad

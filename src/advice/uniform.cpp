@@ -1,0 +1,52 @@
+#include "advice/uniform.hpp"
+
+#include <algorithm>
+
+namespace lad {
+namespace {
+
+int max_pack_bits(const std::map<int, BitString>& packed) {
+  int mx = 0;
+  for (const auto& [node, bits] : packed) {
+    (void)node;
+    mx = std::max(mx, bits.size());
+  }
+  return mx;
+}
+
+}  // namespace
+
+UniformEncodingResult encode_var_advice_one_bit(const Graph& g, const VarAdvice& advice,
+                                                const NodeMask& mask) {
+  // Separation fixpoint: the required separation depends on the largest
+  // packed payload, and composing at a larger separation can merge storage
+  // nodes and grow payloads. Iterate until stable.
+  VarAdvice composed = advice;
+  int sep = required_anchor_separation(max_pack_bits(pack_var_advice(composed)));
+  for (int iter = 0; iter < 16; ++iter) {
+    composed = compose_schemas(g, {advice}, sep, mask);
+    const int need = required_anchor_separation(max_pack_bits(pack_var_advice(composed)));
+    if (need <= sep) break;
+    LAD_CHECK_MSG(iter + 1 < 16, "uniform conversion did not reach a separation fixpoint; "
+                                 "the schema is too dense for this graph");
+    sep = need;
+  }
+
+  const auto packed = pack_var_advice(composed);
+  std::map<int, BitString> anchors(packed.begin(), packed.end());
+  UniformEncodingResult res;
+  res.num_anchors = static_cast<int>(anchors.size());
+  res.max_payload_bits = max_pack_bits(packed);
+  auto uni = encode_paths_one_bit(g, anchors, mask, /*verify=*/true);
+  res.bits = std::move(uni.bits);
+  return res;
+}
+
+VarAdvice decode_var_advice_one_bit(const Graph& g, const std::vector<char>& bits,
+                                    int max_payload_bits, const NodeMask& mask) {
+  const auto anchors = decode_paths_one_bit(g, bits, max_payload_bits, mask);
+  std::map<int, BitString> packed(anchors.begin(), anchors.end());
+  return unpack_var_advice(packed);
+}
+
+}  // namespace lad

@@ -1,0 +1,36 @@
+// The generic variable-length -> uniform 1-bit conversion (the paper's
+// Lemma 2 analogue, end to end): compose the storage nodes of a
+// variable-length schema to a sufficient pairwise separation, then write
+// each storage node's packed payload along a geodesic with the
+// self-delimiting path code of sparsify.hpp.
+//
+// The separation a payload needs grows with the payload, and merging
+// storage nodes grows payloads, so the composition runs to a fixpoint.
+// Feasibility (checked, with clear errors): the graph must be "roomy" —
+// anchors keep eccentricity >= encoded length and pairwise distance
+// > 2*length + 4. Families with Θ(n) diameter (cycles, ladders, banded
+// randoms) qualify; low-diameter expanders do not, which is exactly why §5
+// encodes along trails instead (advice/trailcode.hpp).
+#pragma once
+
+#include "advice/schema.hpp"
+#include "advice/sparsify.hpp"
+
+namespace lad {
+
+struct UniformEncodingResult {
+  std::vector<char> bits;    // one bit per node
+  int max_payload_bits = 0;  // decoder parameter
+  int num_anchors = 0;       // storage nodes after composition
+};
+
+/// Converts a variable-length schema into uniform 1-bit advice.
+UniformEncodingResult encode_var_advice_one_bit(const Graph& g, const VarAdvice& advice,
+                                                const NodeMask& mask = {});
+
+/// Inverse: recovers the schema entries (anchors are identified by the IDs
+/// stored in the entries, independent of where they were relocated).
+VarAdvice decode_var_advice_one_bit(const Graph& g, const std::vector<char>& bits,
+                                    int max_payload_bits, const NodeMask& mask = {});
+
+}  // namespace lad

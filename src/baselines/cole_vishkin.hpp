@@ -1,0 +1,31 @@
+// Cole–Vishkin 3-coloring of consistently oriented cycles in O(log* n)
+// rounds — the classical advice-free baseline that E1/B1 compare against
+// (with 1 bit of advice the same problem takes O(1) rounds; without advice
+// Linial's lower bound says Ω(log* n) is optimal).
+//
+// Runs on the synchronous message-passing engine, exercising the
+// operational LOCAL semantics end to end.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/engine.hpp"
+
+namespace lad {
+
+struct ColeVishkinResult {
+  std::vector<int> colors;  // proper 3-coloring, values 1..3
+  int rounds = 0;
+};
+
+/// 3-colors a cycle. `successor[v]` gives the consistent orientation (the
+/// standard model assumption for Cole–Vishkin; the cycle generator provides
+/// it). Runs as a real message-passing algorithm on the Engine.
+ColeVishkinResult cole_vishkin_cycle(const Graph& g, const std::vector<int>& successor);
+
+/// Convenience: builds the successor map of make_cycle-style graphs by
+/// walking the cycle from node 0.
+std::vector<int> cycle_successors(const Graph& g);
+
+}  // namespace lad

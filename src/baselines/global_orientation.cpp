@@ -1,0 +1,30 @@
+#include "baselines/global_orientation.hpp"
+
+#include <algorithm>
+
+#include "graph/euler.hpp"
+
+namespace lad {
+
+GlobalOrientationResult orient_without_advice(const Graph& g) {
+  const auto trails = euler_partition(g);
+  GlobalOrientationResult res;
+  res.orientation.assign(static_cast<std::size_t>(g.m()), EdgeDir::kUnset);
+  for (const auto& t : trails) {
+    const int dir = canonical_trail_direction(g, t) ? +1 : -1;
+    const int L = t.length();
+    for (int i = 0; i < L; ++i) {
+      const int a = t.nodes[static_cast<std::size_t>(i)];
+      const int b = t.closed ? t.nodes[static_cast<std::size_t>((i + 1) % L)]
+                             : t.nodes[static_cast<std::size_t>(i + 1)];
+      const int e = t.edges[static_cast<std::size_t>(i)];
+      const int from = dir > 0 ? a : b;
+      res.orientation[static_cast<std::size_t>(e)] =
+          g.edge_u(e) == from ? EdgeDir::kForward : EdgeDir::kBackward;
+    }
+    res.rounds = std::max(res.rounds, L);
+  }
+  return res;
+}
+
+}  // namespace lad

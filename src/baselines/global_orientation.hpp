@@ -1,0 +1,21 @@
+// Advice-free baseline for balanced orientation: without advice the problem
+// needs Ω(n) rounds (already on a single cycle, both endpoints of a long
+// path of the cycle must agree on a direction, which requires information
+// to travel the cycle). The baseline orients each Euler trail by the
+// canonical ID rule, which forces every node to see its whole trail: the
+// measured round count is the longest trail length — Θ(n) on a cycle.
+#pragma once
+
+#include "graph/checkers.hpp"
+#include "graph/graph.hpp"
+
+namespace lad {
+
+struct GlobalOrientationResult {
+  Orientation orientation;
+  int rounds = 0;  // longest trail walk = the advice-free cost
+};
+
+GlobalOrientationResult orient_without_advice(const Graph& g);
+
+}  // namespace lad

@@ -1,0 +1,149 @@
+#include "baselines/linial.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "graph/checkers.hpp"
+
+namespace lad {
+namespace {
+
+bool is_prime(int x) {
+  if (x < 2) return false;
+  for (int d = 2; static_cast<long long>(d) * d <= x; ++d) {
+    if (x % d == 0) return false;
+  }
+  return true;
+}
+
+int next_prime(int x) {
+  while (!is_prime(x)) ++x;
+  return x;
+}
+
+// Evaluates the polynomial whose coefficients are the base-q digits of
+// `code` at point a over F_q.
+int poly_eval(std::int64_t code, int q, int a) {
+  std::int64_t value = 0;
+  std::int64_t power = 1;
+  while (code > 0) {
+    value = (value + (code % q) * power) % q;
+    power = (power * a) % q;
+    code /= q;
+  }
+  return static_cast<int>(value);
+}
+
+int digits_base(std::int64_t c, int q) {
+  int d = 0;
+  std::int64_t x = c;
+  while (x > 0) {
+    x /= q;
+    ++d;
+  }
+  return std::max(1, d);
+}
+
+}  // namespace
+
+LinialResult linial_step(const Graph& g, const std::vector<int>& colors, int c) {
+  LAD_CHECK(is_proper_coloring(g, colors, c));
+  const int delta = std::max(1, g.max_degree());
+  // Pick q prime with q > Δ * d where d+1 = number of base-q digits of c.
+  // Iterate: a larger q shrinks d, so a small fixed point exists.
+  int q = next_prime(delta + 2);
+  while (true) {
+    const int d = digits_base(c, q) - 1;  // polynomial degree
+    if (q > delta * std::max(1, d)) break;
+    q = next_prime(q + 1);
+  }
+  const int d = digits_base(c, q) - 1;
+
+  LinialResult res;
+  res.colors.assign(static_cast<std::size_t>(g.n()), 0);
+  for (int v = 0; v < g.n(); ++v) {
+    const std::int64_t my = colors[v] - 1;
+    int chosen_a = -1;
+    for (int a = 0; a < q && chosen_a < 0; ++a) {
+      bool ok = true;
+      for (const int u : g.neighbors(v)) {
+        const std::int64_t other = colors[u] - 1;
+        if (other == my) continue;  // cannot happen in a proper coloring
+        if (poly_eval(other, q, a) == poly_eval(my, q, a)) {
+          // Same point-value pair only matters if the neighbor could pick
+          // the same a; conservatively avoid it.
+          ok = false;
+          break;
+        }
+      }
+      if (ok) chosen_a = a;
+    }
+    LAD_CHECK_MSG(chosen_a >= 0, "Linial step found no evaluation point (q=" << q << ", d=" << d
+                                                                             << ")");
+    res.colors[v] = 1 + chosen_a * q + poly_eval(my, q, chosen_a);
+  }
+  res.num_colors = q * q;
+  res.rounds = 1;
+  LAD_CHECK(is_proper_coloring(g, res.colors, res.num_colors));
+  return res;
+}
+
+LinialResult linial_reduce(const Graph& g, std::vector<int> colors, int c) {
+  LinialResult res;
+  res.colors = std::move(colors);
+  res.num_colors = c;
+  res.rounds = 0;
+  while (true) {
+    auto step = linial_step(g, res.colors, res.num_colors);
+    if (step.num_colors >= res.num_colors) break;
+    res.colors = std::move(step.colors);
+    res.num_colors = step.num_colors;
+    res.rounds += 1;
+  }
+  return res;
+}
+
+LinialResult linial_coloring_from_ids(const Graph& g) {
+  // Unique IDs are a proper coloring with poly(n) colors; compress the ID
+  // space to ranks first (purely to keep the arithmetic in 64 bits — the
+  // round count is unchanged, and ranks preserve order-invariance).
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(g.n()));
+  for (int v = 0; v < g.n(); ++v) ids.push_back(g.id(v));
+  std::sort(ids.begin(), ids.end());
+  std::vector<int> colors(static_cast<std::size_t>(g.n()));
+  for (int v = 0; v < g.n(); ++v) {
+    colors[v] =
+        1 + static_cast<int>(std::lower_bound(ids.begin(), ids.end(), g.id(v)) - ids.begin());
+  }
+  return linial_reduce(g, std::move(colors), g.n());
+}
+
+LinialResult reduce_to_k_by_classes(const Graph& g, std::vector<int> colors, int c, int k) {
+  LAD_CHECK(k >= g.max_degree() + 1);
+  LAD_CHECK(is_proper_coloring(g, colors, c));
+  LinialResult res;
+  res.rounds = 0;
+  for (int cls = k + 1; cls <= c; ++cls) {
+    // All nodes of class cls recolor simultaneously (the class is
+    // independent): one round each.
+    for (int v = 0; v < g.n(); ++v) {
+      if (colors[v] != cls) continue;
+      std::vector<char> used(static_cast<std::size_t>(k) + 1, 0);
+      for (const int u : g.neighbors(v)) {
+        if (colors[u] <= k) used[colors[u]] = 1;
+      }
+      int free_color = 1;
+      while (used[free_color]) ++free_color;
+      LAD_CHECK(free_color <= k);
+      colors[v] = free_color;
+    }
+    res.rounds += 1;
+  }
+  res.colors = std::move(colors);
+  res.num_colors = std::min(c, k);
+  LAD_CHECK(is_proper_coloring(g, res.colors, res.num_colors));
+  return res;
+}
+
+}  // namespace lad

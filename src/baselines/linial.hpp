@@ -1,0 +1,39 @@
+// Linial's color reduction (advice-free baseline, also stage 2 of §6).
+//
+// One round maps a proper c-coloring to a proper q^2-coloring, q a prime
+// with q > Δ·d and q^(d+1) >= c: node colors are interpreted as degree-<=d
+// polynomials over F_q; each node picks an evaluation point a that
+// disagrees with all neighbors' polynomials and outputs (a, p(a)). Iterating
+// reaches O(Δ^2) colors in O(log* c) rounds.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lad {
+
+struct LinialResult {
+  std::vector<int> colors;  // proper coloring, values 1..num_colors
+  int num_colors = 0;
+  int rounds = 0;
+};
+
+/// One Linial reduction round from the given proper coloring (colors are
+/// 1-based, at most `c`).
+LinialResult linial_step(const Graph& g, const std::vector<int>& colors, int c);
+
+/// Iterates linial_step until the palette stops shrinking; starting from the
+/// coloring induced by unique IDs this is the classical O(Δ^2)-coloring in
+/// O(log* n) rounds.
+LinialResult linial_coloring_from_ids(const Graph& g);
+
+/// Iterates linial_step from an arbitrary proper coloring.
+LinialResult linial_reduce(const Graph& g, std::vector<int> colors, int c);
+
+/// Reduces a proper coloring to at most k colors (k >= Δ+1) by processing
+/// color classes one per round (each class is independent; every member
+/// picks the smallest free color). Rounds = initial palette size.
+LinialResult reduce_to_k_by_classes(const Graph& g, std::vector<int> colors, int c, int k);
+
+}  // namespace lad

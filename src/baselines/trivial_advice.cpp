@@ -1,0 +1,62 @@
+#include "baselines/trivial_advice.hpp"
+
+namespace lad {
+
+int trivial_bits_per_node(int k) {
+  int bits = 0;
+  int v = 1;
+  while (v < k) {
+    v *= 2;
+    ++bits;
+  }
+  return std::max(1, bits);
+}
+
+Advice trivial_node_label_advice(const Graph& g, const std::vector<int>& labels, int k) {
+  LAD_CHECK(static_cast<int>(labels.size()) == g.n());
+  const int width = trivial_bits_per_node(k);
+  Advice a(static_cast<std::size_t>(g.n()));
+  for (int v = 0; v < g.n(); ++v) {
+    LAD_CHECK(labels[v] >= 1 && labels[v] <= k);
+    a[static_cast<std::size_t>(v)] =
+        BitString::fixed_width(static_cast<std::uint64_t>(labels[v] - 1), width);
+  }
+  return a;
+}
+
+std::vector<int> decode_trivial_node_labels(const Graph& g, const Advice& advice, int k) {
+  const int width = trivial_bits_per_node(k);
+  std::vector<int> labels(static_cast<std::size_t>(g.n()), 0);
+  for (int v = 0; v < g.n(); ++v) {
+    int pos = 0;
+    labels[static_cast<std::size_t>(v)] =
+        1 + static_cast<int>(advice[static_cast<std::size_t>(v)].read_fixed(pos, width));
+  }
+  return labels;
+}
+
+std::vector<char> edge_advice_for_orientation(const Graph& g, const Orientation& o) {
+  LAD_CHECK(static_cast<int>(o.size()) == g.m());
+  std::vector<char> bits(static_cast<std::size_t>(g.m()));
+  for (int e = 0; e < g.m(); ++e) {
+    // Bit 1: oriented from the lower-ID endpoint to the higher-ID one.
+    const bool low_to_high = (g.id(g.edge_u(e)) < g.id(g.edge_v(e))) ==
+                             (o[static_cast<std::size_t>(e)] == EdgeDir::kForward);
+    bits[static_cast<std::size_t>(e)] = low_to_high ? 1 : 0;
+  }
+  return bits;
+}
+
+Orientation decode_edge_advice_orientation(const Graph& g, const std::vector<char>& bits) {
+  LAD_CHECK(static_cast<int>(bits.size()) == g.m());
+  Orientation o(static_cast<std::size_t>(g.m()));
+  for (int e = 0; e < g.m(); ++e) {
+    const bool u_is_low = g.id(g.edge_u(e)) < g.id(g.edge_v(e));
+    const bool low_to_high = bits[static_cast<std::size_t>(e)] != 0;
+    o[static_cast<std::size_t>(e)] =
+        (u_is_low == low_to_high) ? EdgeDir::kForward : EdgeDir::kBackward;
+  }
+  return o;
+}
+
+}  // namespace lad

@@ -1,0 +1,31 @@
+// Trivial advice baselines (§1.1): any problem whose solution fits in
+// ceil(log2 |Σout|) bits per node can be solved with that many bits by
+// encoding the solution verbatim — e.g. β = 2 for 3-coloring. These provide
+// the upper reference line for the bits-per-node plots.
+#pragma once
+
+#include <vector>
+
+#include "advice/advice.hpp"
+#include "graph/checkers.hpp"
+#include "graph/graph.hpp"
+
+namespace lad {
+
+/// Encodes a node labeling verbatim with ceil(log2 k) bits per node.
+Advice trivial_node_label_advice(const Graph& g, const std::vector<int>& labels, int k);
+
+/// Decodes it back (0 rounds).
+std::vector<int> decode_trivial_node_labels(const Graph& g, const Advice& advice, int k);
+
+/// Bits per node the trivial encoding uses for a k-valued label.
+int trivial_bits_per_node(int k);
+
+/// §1.4's remark: if advice may be placed on *edges*, one bit per edge
+/// trivially encodes any orientation ("oriented from lower to higher ID").
+/// The paper's point is that node advice is the hard case; this is the
+/// easy reference implementation (0 decoding rounds).
+std::vector<char> edge_advice_for_orientation(const Graph& g, const Orientation& o);
+Orientation decode_edge_advice_orientation(const Graph& g, const std::vector<char>& bits);
+
+}  // namespace lad

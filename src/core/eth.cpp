@@ -1,0 +1,123 @@
+#include "core/eth.hpp"
+
+#include <algorithm>
+
+#include "graph/canonical.hpp"
+#include "graph/distance.hpp"
+#include "graph/rng.hpp"
+
+namespace lad {
+
+int OrderInvariantDecoder::decode(const Graph& g, int v, const std::vector<int>& advice) const {
+  ++lookups_;
+  const auto nodes = ball_nodes(g, v, radius_);
+  const auto key = canonical_view(g, nodes, v, advice);
+  const auto it = table_.find(key);
+  if (it != table_.end()) return it->second;
+  ++misses_;
+  const Ball ball = extract_ball(g, v, radius_);
+  std::vector<int> advice_in_ball(static_cast<std::size_t>(ball.graph.n()));
+  for (int i = 0; i < ball.graph.n(); ++i) {
+    advice_in_ball[static_cast<std::size_t>(i)] = advice[ball.to_parent[static_cast<std::size_t>(i)]];
+  }
+  const int out = rule_(ball, advice_in_ball);
+  table_.emplace(key, out);
+  return out;
+}
+
+AdviceSearchResult enumerate_advice(const Graph& g, const LclProblem& p, int beta,
+                                    const OrderInvariantDecoder& dec,
+                                    long long max_assignments) {
+  LAD_CHECK(p.num_node_labels() > 0 && p.num_edge_labels() == 0);
+  LAD_CHECK(beta >= 1 && beta <= 8);
+  const int n = g.n();
+  const long long values = 1LL << beta;
+  dec.reset_counters();
+
+  AdviceSearchResult res;
+  std::vector<int> advice(static_cast<std::size_t>(n), 0);
+  Labeling lab = Labeling::empty(g);
+
+  while (true) {
+    if (max_assignments >= 0 && res.assignments_tried >= max_assignments) break;
+    ++res.assignments_tried;
+
+    for (int v = 0; v < n; ++v) lab.node_labels[v] = dec.decode(g, v, advice);
+    bool valid = true;
+    for (int v = 0; v < n && valid; ++v) valid = p.valid_at(g, lab, v);
+    if (valid) {
+      res.found = true;
+      res.advice = advice;
+      res.labels = lab.node_labels;
+      break;
+    }
+
+    // Next assignment (base-2^beta counter).
+    int i = 0;
+    while (i < n) {
+      if (++advice[static_cast<std::size_t>(i)] < values) break;
+      advice[static_cast<std::size_t>(i)] = 0;
+      ++i;
+    }
+    if (i == n) break;  // wrapped around: exhausted
+  }
+
+  res.table_size = dec.table_size();
+  res.lookups = dec.lookups();
+  res.misses = dec.misses();
+  return res;
+}
+
+bool check_order_invariance(const OrderInvariantDecoder& dec, const Graph& g,
+                            const std::vector<int>& advice, int trials, std::uint64_t seed) {
+  std::vector<int> base(static_cast<std::size_t>(g.n()));
+  for (int v = 0; v < g.n(); ++v) base[v] = dec.decode(g, v, advice);
+
+  Rng rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    // Order-preserving reassignment: sorted IDs get strictly increasing
+    // random replacements.
+    std::vector<int> by_id = g.all_nodes();
+    std::sort(by_id.begin(), by_id.end(), [&](int a, int b) { return g.id(a) < g.id(b); });
+    std::vector<NodeId> fresh(static_cast<std::size_t>(g.n()));
+    NodeId cur = 0;
+    for (std::size_t i = 0; i < by_id.size(); ++i) {
+      cur += rng.uniform(1, 1000);
+      fresh[static_cast<std::size_t>(by_id[i])] = cur;
+    }
+    Graph::Builder b;
+    for (int v = 0; v < g.n(); ++v) b.add_node(fresh[static_cast<std::size_t>(v)]);
+    for (int e = 0; e < g.m(); ++e) b.add_edge(g.edge_u(e), g.edge_v(e));
+    const Graph h = std::move(b).build();
+    for (int v = 0; v < g.n(); ++v) {
+      if (dec.decode(h, v, advice) != base[static_cast<std::size_t>(v)]) return false;
+    }
+  }
+  return true;
+}
+
+OrderInvariantDecoder make_verbatim_decoder() {
+  return OrderInvariantDecoder(0, [](const Ball& ball, const std::vector<int>& advice) {
+    return advice[static_cast<std::size_t>(ball.center)] + 1;
+  });
+}
+
+OrderInvariantDecoder make_parity_cycle_decoder() {
+  return OrderInvariantDecoder(1, [](const Ball& ball, const std::vector<int>& advice) {
+    const int c = ball.center;
+    const auto nb = ball.graph.neighbors(c);
+    int small = c;
+    NodeId best = -1;
+    for (const int u : nb) {
+      if (best == -1 || ball.graph.id(u) < best) {
+        best = ball.graph.id(u);
+        small = u;
+      }
+    }
+    const int own = advice[static_cast<std::size_t>(c)] & 1;
+    const int other = advice[static_cast<std::size_t>(small)] & 1;
+    return 1 + ((own * 2 + other) % 3);
+  });
+}
+
+}  // namespace lad

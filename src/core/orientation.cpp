@@ -1,0 +1,83 @@
+#include "core/orientation.hpp"
+
+#include <algorithm>
+
+namespace lad {
+namespace {
+
+// Orients every edge of trail t along the +1 (as-given) or -1 direction.
+void orient_trail(const Graph& g, const Trail& t, int direction, Orientation& o) {
+  const int L = t.length();
+  for (int i = 0; i < L; ++i) {
+    const int a = t.nodes[static_cast<std::size_t>(i)];
+    const int b = t.closed ? t.nodes[static_cast<std::size_t>((i + 1) % L)]
+                           : t.nodes[static_cast<std::size_t>(i + 1)];
+    const int e = t.edges[static_cast<std::size_t>(i)];
+    const int from = direction > 0 ? a : b;
+    o[static_cast<std::size_t>(e)] = g.edge_u(e) == from ? EdgeDir::kForward : EdgeDir::kBackward;
+  }
+}
+
+}  // namespace
+
+OrientationEncoding encode_orientation_advice(const Graph& g, const OrientationParams& params) {
+  const auto trails = euler_partition(g);
+  std::vector<char> needs(trails.size(), 0);
+  std::vector<BitString> payloads(trails.size());  // empty payloads
+  int marked = 0;
+  for (std::size_t t = 0; t < trails.size(); ++t) {
+    if (trails[t].length() > params.short_trail_threshold) {
+      needs[t] = 1;
+      ++marked;
+    }
+  }
+  const int marker_len = trail_marker_length(BitString{});
+  LAD_CHECK_MSG(params.short_trail_threshold >= marker_len + 4 + params.marker_jitter,
+                "short_trail_threshold too small for the marker code");
+
+  TrailCodeParams tp;
+  tp.spacing = degree_scaled_spacing(params.marker_spacing, g.max_degree());
+  tp.jitter = params.marker_jitter;
+  tp.max_resample_rounds = params.max_resample_rounds;
+  tp.seed = params.seed;
+  auto code = encode_trail_marks(g, trails, needs, payloads, tp);
+
+  OrientationEncoding enc;
+  enc.resample_rounds = code.resample_rounds;
+  enc.bits = std::move(code.bits);
+  enc.walk_limit = trail_walk_limit(tp, marker_len);
+  enc.num_marked_trails = marked;
+  enc.params = params;
+  return enc;
+}
+
+OrientationDecodeResult decode_orientation(const Graph& g, const std::vector<char>& bits,
+                                           const OrientationParams& params) {
+  TrailCodeParams tp;
+  tp.spacing = degree_scaled_spacing(params.marker_spacing, g.max_degree());
+  tp.jitter = params.marker_jitter;
+  const int walk_limit = trail_walk_limit(tp, trail_marker_length(BitString{}));
+
+  const auto trails = euler_partition(g);
+  OrientationDecodeResult res;
+  res.orientation.assign(static_cast<std::size_t>(g.m()), EdgeDir::kUnset);
+  int rounds = 0;
+  for (const auto& t : trails) {
+    if (t.length() <= params.short_trail_threshold) {
+      const int dir = canonical_trail_direction(g, t) ? +1 : -1;
+      orient_trail(g, t, dir, res.orientation);
+      rounds = std::max(rounds, t.length());
+    } else {
+      // Every node on the trail decodes the nearest marker; all agree. The
+      // simulation decodes once per trail and charges the walk radius.
+      const auto d = decode_trail_mark(g, t, 0, bits, walk_limit);
+      LAD_CHECK_MSG(d.has_value(), "no marker decodable on a long trail");
+      orient_trail(g, t, d->direction, res.orientation);
+      rounds = std::max(rounds, walk_limit);
+    }
+  }
+  res.rounds = rounds;
+  return res;
+}
+
+}  // namespace lad

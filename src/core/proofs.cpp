@@ -1,0 +1,32 @@
+#include "core/proofs.hpp"
+
+namespace lad {
+
+std::vector<char> make_lcl_proof(const Graph& g, const LclProblem& p,
+                                 const SubexpLclParams& params, const Labeling* witness) {
+  return encode_subexp_lcl_advice(g, p, params, witness).bits;
+}
+
+ProofVerificationResult verify_lcl_proof(const Graph& g, const LclProblem& p,
+                                         const std::vector<char>& proof,
+                                         const SubexpLclParams& params) {
+  ProofVerificationResult res;
+  SubexpLclDecodeResult decoded;
+  try {
+    decoded = decode_subexp_lcl(g, p, proof, params);
+  } catch (const ContractViolation&) {
+    // A node noticed locally that the proof is malformed.
+    res.accepted = false;
+    res.decode_failed = true;
+    res.rejecting_nodes = 1;
+    res.rounds = 0;
+    return res;
+  }
+  const auto check = check_distributed(g, p, decoded.labeling);
+  res.accepted = check.accepted;
+  res.rounds = decoded.rounds + check.rounds;
+  for (const char r : check.rejecting) res.rejecting_nodes += r ? 1 : 0;
+  return res;
+}
+
+}  // namespace lad

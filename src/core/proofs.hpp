@@ -1,0 +1,42 @@
+// §1.2 corollary — locally checkable proofs with 1 bit per node.
+//
+// For any LCL Π on a subexponential-growth family, the §4 advice *is* a
+// locally checkable proof that a solution exists: the verifier decodes the
+// advice with the §4 algorithm and then checks Π's constraint in every
+// radius-r ball. Completeness: the honest advice decodes to a valid
+// solution, all nodes accept. Soundness: if the run fails anywhere — the
+// decoding breaks down locally or some constraint is violated — at least
+// one node rejects; in particular on instances with no solution every
+// advice assignment is rejected. (Note: this is not a 1-round proof
+// labeling scheme; the verifier inspects a constant-radius ball, exactly as
+// the paper points out.)
+#pragma once
+
+#include <vector>
+
+#include "core/subexp_lcl.hpp"
+#include "graph/graph.hpp"
+#include "lcl/checker.hpp"
+#include "lcl/lcl.hpp"
+
+namespace lad {
+
+struct ProofVerificationResult {
+  bool accepted = false;
+  int rejecting_nodes = 0;  // lower bound: decode failures count as >= 1
+  int rounds = 0;
+  bool decode_failed = false;
+};
+
+/// Honest prover: the §4 encoder.
+std::vector<char> make_lcl_proof(const Graph& g, const LclProblem& p,
+                                 const SubexpLclParams& params = {},
+                                 const Labeling* witness = nullptr);
+
+/// The verifier: decode, then locally check. Never throws — malformed
+/// proofs are rejections, not errors.
+ProofVerificationResult verify_lcl_proof(const Graph& g, const LclProblem& p,
+                                         const std::vector<char>& proof,
+                                         const SubexpLclParams& params = {});
+
+}  // namespace lad

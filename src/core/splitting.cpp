@@ -1,0 +1,252 @@
+#include "core/splitting.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/components.hpp"
+#include "graph/distance.hpp"
+
+namespace lad {
+namespace {
+
+// Canonical bipartition 2-coloring: in each component, the side containing
+// the smallest-ID node gets color 1. Both prover and (for gathered small
+// components) decoder use this rule.
+std::vector<int> canonical_two_coloring(const Graph& g) {
+  LAD_CHECK_MSG(is_bipartite(g), "splitting requires a bipartite graph");
+  const auto comps = connected_components(g);
+  std::vector<int> color(static_cast<std::size_t>(g.n()), 0);
+  for (const auto& members : comps.members) {
+    const int root = *std::min_element(members.begin(), members.end(), [&](int a, int b) {
+      return g.id(a) < g.id(b);
+    });
+    const auto dist = bfs_distances(g, root);
+    for (const int v : members) color[static_cast<std::size_t>(v)] = 1 + (dist[v] % 2);
+  }
+  return color;
+}
+
+int node_on_trail(const Trail& t, int pos) {
+  const int L = t.length();
+  if (t.closed) return t.nodes[static_cast<std::size_t>(((pos % L) + L) % L)];
+  return t.nodes[static_cast<std::size_t>(pos)];
+}
+
+}  // namespace
+
+SplittingEncoding encode_splitting_advice(const Graph& g, const SplittingParams& params) {
+  for (int v = 0; v < g.n(); ++v) {
+    LAD_CHECK_MSG(g.degree(v) % 2 == 0, "splitting requires even degrees, node " << g.id(v));
+  }
+  const auto col = canonical_two_coloring(g);
+
+  const auto trails = euler_partition(g);
+  std::vector<char> needs(trails.size(), 0);
+  int marked = 0;
+  for (std::size_t t = 0; t < trails.size(); ++t) {
+    LAD_CHECK(trails[t].closed);
+    if (trails[t].length() > params.orientation.short_trail_threshold) {
+      needs[t] = 1;
+      ++marked;
+    }
+  }
+
+  TrailCodeParams tp;
+  tp.spacing = degree_scaled_spacing(params.orientation.marker_spacing, g.max_degree());
+  tp.jitter = params.orientation.marker_jitter;
+  tp.max_resample_rounds = params.orientation.max_resample_rounds;
+  tp.seed = params.orientation.seed;
+
+  // Payload: the 2-color of the marker's start node (bit 1 <=> color 2).
+  auto payload_fn = [&](int t, int start) {
+    BitString b;
+    b.append(col[static_cast<std::size_t>(node_on_trail(trails[static_cast<std::size_t>(t)],
+                                                        start))] == 2);
+    return b;
+  };
+  auto code = encode_trail_marks(g, trails, needs, payload_fn, 1, tp);
+
+  SplittingEncoding enc;
+  enc.bits = std::move(code.bits);
+  enc.num_marked_trails = marked;
+  enc.params = params;
+  return enc;
+}
+
+SplittingDecodeResult decode_splitting(const Graph& g, const std::vector<char>& bits,
+                                       const SplittingParams& params) {
+  TrailCodeParams tp;
+  tp.spacing = degree_scaled_spacing(params.orientation.marker_spacing, g.max_degree());
+  tp.jitter = params.orientation.marker_jitter;
+  BitString one_bit;
+  one_bit.append(true);
+  const int walk_limit = trail_walk_limit(tp, trail_marker_length(one_bit));
+
+  const auto trails = euler_partition(g);
+  SplittingDecodeResult res;
+  res.edge_color.assign(static_cast<std::size_t>(g.m()), 0);
+  res.node_color.assign(static_cast<std::size_t>(g.n()), 0);
+  Orientation orient(static_cast<std::size_t>(g.m()), EdgeDir::kUnset);
+
+  int rounds = 0;
+  for (const auto& t : trails) {
+    const int L = t.length();
+    int dir;
+    if (L <= params.orientation.short_trail_threshold) {
+      dir = canonical_trail_direction(g, t) ? +1 : -1;
+      rounds = std::max(rounds, L);
+    } else {
+      const auto d = decode_trail_mark(g, t, 0, bits, walk_limit);
+      LAD_CHECK_MSG(d.has_value(), "no marker decodable on a long trail");
+      dir = d->direction;
+      rounds = std::max(rounds, walk_limit);
+      // Color every node of the trail by parity from the marker start.
+      const int base = d->payload.bit(0) ? 2 : 1;
+      for (int pos = 0; pos < L; ++pos) {
+        const int parity = ((pos - d->marker_start) % 2 + 2) % 2;
+        res.node_color[static_cast<std::size_t>(node_on_trail(t, pos))] =
+            parity == 0 ? base : 3 - base;
+      }
+    }
+    for (int i = 0; i < L; ++i) {
+      const int a = node_on_trail(t, i);
+      const int b = node_on_trail(t, i + 1);
+      const int e = t.edges[static_cast<std::size_t>(i)];
+      const int from = dir > 0 ? a : b;
+      orient[static_cast<std::size_t>(e)] =
+          g.edge_u(e) == from ? EdgeDir::kForward : EdgeDir::kBackward;
+    }
+  }
+
+  // Color propagation from informed nodes; components with no informed node
+  // are gathered whole and colored canonically.
+  const auto comps = connected_components(g);
+  for (const auto& members : comps.members) {
+    std::vector<int> sources;
+    for (const int v : members) {
+      if (res.node_color[static_cast<std::size_t>(v)] != 0) sources.push_back(v);
+    }
+    if (sources.empty()) {
+      const int root = *std::min_element(members.begin(), members.end(), [&](int a, int b) {
+        return g.id(a) < g.id(b);
+      });
+      const auto dist = bfs_distances(g, root);
+      int diam_bound = 0;
+      for (const int v : members) {
+        res.node_color[static_cast<std::size_t>(v)] = 1 + (dist[v] % 2);
+        diam_bound = std::max(diam_bound, dist[v]);
+      }
+      LAD_CHECK_MSG(diam_bound <= params.gather_bound,
+                    "component without markers exceeds gather bound");
+      rounds = std::max(rounds, 2 * diam_bound);
+      continue;
+    }
+    const auto dist = bfs_distances_multi(g, sources);
+    for (const int v : members) {
+      if (res.node_color[static_cast<std::size_t>(v)] != 0) continue;
+      // Walk to the nearest informed node; parity of the distance flips the
+      // color (bipartite).
+      const int d = dist[v];
+      // Find the informed neighbor chain: colors alternate along BFS layers.
+      // Equivalent: color = informed color flipped d times. We recover the
+      // informed color by walking back one BFS tree path.
+      int cur = v;
+      int steps = 0;
+      while (res.node_color[static_cast<std::size_t>(cur)] == 0) {
+        for (const int u : g.neighbors(cur)) {
+          if (dist[u] == dist[cur] - 1) {
+            cur = u;
+            break;
+          }
+        }
+        ++steps;
+      }
+      const int base = res.node_color[static_cast<std::size_t>(cur)];
+      res.node_color[static_cast<std::size_t>(v)] = (steps % 2 == 0) ? base : 3 - base;
+      rounds = std::max(rounds, walk_limit + d);
+    }
+  }
+
+  // Edge colors: an edge takes its tail's node color.
+  for (int e = 0; e < g.m(); ++e) {
+    const int tail = orient[static_cast<std::size_t>(e)] == EdgeDir::kForward ? g.edge_u(e)
+                                                                              : g.edge_v(e);
+    res.edge_color[static_cast<std::size_t>(e)] = res.node_color[static_cast<std::size_t>(tail)];
+  }
+  res.rounds = rounds;
+  return res;
+}
+
+EdgeColoringResult edge_color_bipartite_regular(const Graph& g, const SplittingParams& params) {
+  const int delta = g.max_degree();
+  LAD_CHECK_MSG(delta >= 1 && (delta & (delta - 1)) == 0, "Δ must be a power of two");
+  for (int v = 0; v < g.n(); ++v) {
+    LAD_CHECK_MSG(g.degree(v) == delta, "graph must be Δ-regular");
+  }
+  LAD_CHECK_MSG(is_bipartite(g), "graph must be bipartite");
+
+  EdgeColoringResult res;
+  res.edge_color.assign(static_cast<std::size_t>(g.m()), 1);
+  res.bits_per_node.assign(static_cast<std::size_t>(g.n()), 0);
+
+  // Work list: subgraphs (edge subsets of g) still of degree > 1, with the
+  // color-prefix accumulated so far. Edge colors are the binary strings of
+  // red/blue decisions plus one.
+  struct Piece {
+    std::vector<int> edges;  // parent edge ids
+  };
+  std::vector<Piece> pieces = {{[&] {
+    std::vector<int> all(static_cast<std::size_t>(g.m()));
+    for (int e = 0; e < g.m(); ++e) all[static_cast<std::size_t>(e)] = e;
+    return all;
+  }()}};
+
+  int level_degree = delta;
+  while (level_degree > 1) {
+    std::vector<Piece> next;
+    int level_rounds = 0;
+    for (const auto& piece : pieces) {
+      // Build the subgraph on the full node set with this edge subset.
+      Graph::Builder b;
+      for (int v = 0; v < g.n(); ++v) b.add_node(g.id(v));
+      for (const int e : piece.edges) b.add_edge(g.edge_u(e), g.edge_v(e));
+      Graph sub = std::move(b).build();
+      // Map subgraph edges back to parent edge ids.
+      std::vector<int> to_parent(static_cast<std::size_t>(sub.m()));
+      for (const int e : piece.edges) {
+        const int se = sub.edge_between(g.edge_u(e), g.edge_v(e));
+        LAD_CHECK(se >= 0);
+        to_parent[static_cast<std::size_t>(se)] = e;
+      }
+
+      const auto enc = encode_splitting_advice(sub, params);
+      const auto dec = decode_splitting(sub, enc.bits, params);
+      LAD_CHECK(is_splitting(sub, dec.edge_color));
+      level_rounds = std::max(level_rounds, dec.rounds);
+      for (int v = 0; v < g.n(); ++v) {
+        res.bits_per_node[static_cast<std::size_t>(v)] += 1;
+      }
+
+      Piece red, blue;
+      for (int se = 0; se < sub.m(); ++se) {
+        const int pe = to_parent[static_cast<std::size_t>(se)];
+        if (dec.edge_color[static_cast<std::size_t>(se)] == 1) {
+          red.edges.push_back(pe);
+        } else {
+          blue.edges.push_back(pe);
+          // Blue branch: set the current binary digit of the color.
+          res.edge_color[static_cast<std::size_t>(pe)] += level_degree / 2;
+        }
+      }
+      next.push_back(std::move(red));
+      next.push_back(std::move(blue));
+    }
+    pieces = std::move(next);
+    level_degree /= 2;
+    res.rounds += level_rounds;
+    ++res.levels;
+  }
+  return res;
+}
+
+}  // namespace lad

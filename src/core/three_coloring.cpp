@@ -1,0 +1,341 @@
+#include "core/three_coloring.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "graph/checkers.hpp"
+#include "graph/components.hpp"
+#include "graph/distance.hpp"
+#include "graph/ruling_set.hpp"
+
+namespace lad {
+namespace {
+
+// One half of a group: {w} or an adjacent pair {x, y}.
+using Half = std::vector<int>;
+
+int color1_neighbor_count(const Graph& g, const std::vector<int>& phi, int v) {
+  int c = 0;
+  for (const int u : g.neighbors(v)) {
+    if (phi[u] == 1) c += 1;
+  }
+  return c;
+}
+
+bool share_color1_neighbor(const Graph& g, const std::vector<int>& phi, int a, int b) {
+  for (const int u : g.neighbors(a)) {
+    if (phi[u] == 1 && g.adjacent(u, b)) return true;
+  }
+  return false;
+}
+
+// Lemma 7.2 selection: within C-distance `radius` of `from`, find either a
+// node w with >= 2 color-1 neighbors, or an adjacent (in C) pair {x, y}
+// with no common color-1 neighbor. `eligible` filters candidates.
+std::optional<Half> select_half(const Graph& g, const std::vector<int>& phi,
+                                const NodeMask& comp_mask, int from, int radius,
+                                const std::function<bool(const Half&)>& eligible) {
+  const auto near = ball_nodes(g, from, radius, comp_mask);
+  for (const int w : near) {
+    if (color1_neighbor_count(g, phi, w) >= 2) {
+      Half h = {w};
+      if (eligible(h)) return h;
+    }
+  }
+  for (const int x : near) {
+    for (const int y : g.neighbors(x)) {
+      if (!comp_mask[y]) continue;
+      if (share_color1_neighbor(g, phi, x, y)) continue;
+      Half h = {x, y};
+      if (eligible(h)) return h;
+    }
+  }
+  return std::nullopt;
+}
+
+struct Group {
+  Half s, s_prime;
+  std::vector<int> all() const {
+    std::vector<int> v = s;
+    v.insert(v.end(), s_prime.begin(), s_prime.end());
+    return v;
+  }
+};
+
+// Decoder-side node typing: type-1 bits sit on nodes with <= 1 one-bit
+// neighbor. Returns per-node: 0 = no bit, 1 = type-1 (color 1), 2 = type-23.
+std::vector<int> classify_bits(const Graph& g, const std::vector<char>& bits) {
+  std::vector<int> type(static_cast<std::size_t>(g.n()), 0);
+  for (int v = 0; v < g.n(); ++v) {
+    if (!bits[v]) continue;
+    int one_neighbors = 0;
+    for (const int u : g.neighbors(v)) one_neighbors += bits[u] ? 1 : 0;
+    type[v] = one_neighbors <= 1 ? 1 : 2;
+  }
+  return type;
+}
+
+}  // namespace
+
+std::vector<int> normalize_to_greedy(const Graph& g, std::vector<int> coloring) {
+  LAD_CHECK_MSG(is_proper_coloring(g, coloring, 0), "witness is not a proper coloring");
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int v = 0; v < g.n(); ++v) {
+      std::vector<char> used(static_cast<std::size_t>(coloring[v]) + 1, 0);
+      for (const int u : g.neighbors(v)) {
+        if (coloring[u] <= coloring[v]) used[coloring[u]] = 1;
+      }
+      int c = 1;
+      while (used[c]) ++c;
+      if (c < coloring[v]) {
+        coloring[v] = c;
+        changed = true;
+      }
+    }
+  }
+  LAD_CHECK(is_greedy_coloring(g, coloring));
+  return coloring;
+}
+
+ThreeColoringDerived derive_three_coloring_radii(const Graph& g, const ThreeColoringParams& p) {
+  ThreeColoringDerived d;
+  const int delta = std::max(1, g.max_degree());
+  d.candidate_radius = p.candidate_radius > 0 ? p.candidate_radius : delta + 2;
+  // Anchors are tried within candidate_radius of r, halves within another
+  // candidate_radius, plus 1 for pair partners.
+  d.group_radius = 2 * d.candidate_radius + 1;
+  d.ruling_alpha = 4 * d.group_radius + 4;
+  d.reach = d.ruling_alpha + d.group_radius;  // domination + group offset
+  d.large_component_diameter = p.large_component_diameter > 0 ? p.large_component_diameter
+                                                              : 2 * d.ruling_alpha;
+  return d;
+}
+
+ThreeColoringEncoding encode_three_coloring_advice(const Graph& g,
+                                                   const std::vector<int>& witness,
+                                                   const ThreeColoringParams& params) {
+  const auto d = derive_three_coloring_radii(g, params);
+  const auto phi = normalize_to_greedy(g, witness);
+  LAD_CHECK(is_proper_coloring(g, phi, 3));
+
+  ThreeColoringEncoding enc;
+  enc.params = params;
+  enc.greedy_phi = phi;
+  enc.bits.assign(static_cast<std::size_t>(g.n()), 0);
+  for (int v = 0; v < g.n(); ++v) {
+    if (phi[v] == 1) enc.bits[v] = 1;
+  }
+
+  // Components of G_{2,3}.
+  NodeMask mask23(static_cast<std::size_t>(g.n()), 0);
+  for (int v = 0; v < g.n(); ++v) mask23[v] = phi[v] >= 2 ? 1 : 0;
+  const auto comps = connected_components(g, mask23);
+
+  // Budget: how many group neighbors each color-1 node already has.
+  std::vector<int> c1_load(static_cast<std::size_t>(g.n()), 0);
+  std::vector<char> in_group(static_cast<std::size_t>(g.n()), 0);
+
+  for (int c = 0; c < comps.count(); ++c) {
+    const auto& members = comps.members[c];
+    const auto cmask = component_mask(g, comps, c);
+    const int diam = component_diameter(g, members.front(), cmask);
+    if (diam <= d.large_component_diameter) continue;  // small: no advice
+
+    const auto rc = ruling_set(g, d.ruling_alpha, members, cmask);
+    for (const int r : rc) {
+      // Eligibility: members must be fresh, keep every adjacent color-1
+      // node's load at <= 1, and stay inside the group radius of r.
+      const auto rdist = bfs_distances(g, r, cmask, d.group_radius);
+      auto fresh = [&](const Half& h, const std::vector<int>& forbidden) {
+        for (const int v : h) {
+          if (in_group[v] || rdist[v] == kUnreachable) return false;
+          for (const int f : forbidden) {
+            // Keep halves at G-distance >= 3: no adjacency, no common
+            // neighbor of any color.
+            if (v == f || g.adjacent(v, f)) return false;
+            for (const int u : g.neighbors(v)) {
+              if (g.adjacent(u, f)) return false;
+            }
+          }
+          for (const int u : g.neighbors(v)) {
+            if (phi[u] == 1 && c1_load[u] >= 1) return false;
+          }
+        }
+        // Within a pair {x, y}: a shared color-1 neighbor is already
+        // excluded by the Lemma 7.2 condition.
+        return true;
+      };
+
+      std::optional<Group> group;
+      const auto anchors = ball_nodes(g, r, d.candidate_radius, cmask);
+      int tries = 0;
+      for (const int v : anchors) {
+        if (++tries > params.max_candidate_tries) break;
+        auto s = select_half(g, phi, cmask, v, d.candidate_radius,
+                             [&](const Half& h) { return fresh(h, {}); });
+        if (!s) continue;
+        auto s2 = select_half(g, phi, cmask, v, d.candidate_radius,
+                              [&](const Half& h) { return fresh(h, *s); });
+        if (!s2) continue;
+        group = Group{*s, *s2};
+        break;
+      }
+      LAD_CHECK_MSG(group.has_value(),
+                    "no parity group found near ruling node " << g.id(r));
+
+      // Write bits per the parity rule.
+      const auto all = group->all();
+      const int s_min = *std::min_element(all.begin(), all.end(), [&](int a, int b) {
+        return g.id(a) < g.id(b);
+      });
+      const bool s_in_first =
+          std::find(group->s.begin(), group->s.end(), s_min) != group->s.end();
+      std::vector<int> written;
+      if (phi[s_min] == 2) {
+        written = s_in_first ? group->s : group->s_prime;
+      } else {
+        LAD_CHECK(phi[s_min] == 3);
+        written = all;
+      }
+      for (const int v : written) {
+        enc.bits[v] = 1;
+        in_group[v] = 1;
+        for (const int u : g.neighbors(v)) {
+          if (phi[u] == 1) ++c1_load[u];
+        }
+      }
+      ++enc.num_groups;
+    }
+  }
+
+  // Invariant checks the decoder relies on.
+  const auto type = classify_bits(g, enc.bits);
+  for (int v = 0; v < g.n(); ++v) {
+    if (phi[v] == 1) {
+      LAD_CHECK_MSG(type[v] == 1, "color-1 node " << g.id(v) << " lost its type-1 bit");
+    } else if (in_group[v]) {
+      LAD_CHECK_MSG(type[v] == 2, "group member " << g.id(v) << " not typed 23");
+    } else {
+      LAD_CHECK_MSG(type[v] == 0, "stray bit at " << g.id(v));
+    }
+  }
+  return enc;
+}
+
+ThreeColoringDecodeResult decode_three_coloring(const Graph& g, const std::vector<char>& bits,
+                                                const ThreeColoringParams& params) {
+  const auto d = derive_three_coloring_radii(g, params);
+  const auto type = classify_bits(g, bits);
+
+  ThreeColoringDecodeResult res;
+  res.coloring.assign(static_cast<std::size_t>(g.n()), 0);
+  int rounds = 1;  // classifying bits costs one round
+
+  // The G_{2,3} mask is locally computable: everyone knows every node's type.
+  NodeMask mask23(static_cast<std::size_t>(g.n()), 0);
+  for (int v = 0; v < g.n(); ++v) {
+    if (type[v] == 1) {
+      res.coloring[v] = 1;
+    } else {
+      mask23[v] = 1;
+    }
+  }
+
+  const auto comps = connected_components(g, mask23);
+  const int collect_radius = 2 * d.group_radius;
+  for (int c = 0; c < comps.count(); ++c) {
+    const auto& members = comps.members[c];
+    const auto cmask = component_mask(g, comps, c);
+
+    // Does this component contain any type-23 bit?
+    std::vector<int> group_nodes;
+    for (const int v : members) {
+      if (type[v] == 2) group_nodes.push_back(v);
+    }
+
+    if (group_nodes.empty()) {
+      // Small component: canonical 2-coloring, side of the smallest ID gets
+      // color 2. Each node gathers the whole component.
+      const int root = *std::min_element(members.begin(), members.end(), [&](int a, int b) {
+        return g.id(a) < g.id(b);
+      });
+      const auto dist = bfs_distances(g, root, cmask);
+      int ecc = 0;
+      for (const int v : members) {
+        LAD_CHECK_MSG(dist[v] != kUnreachable, "component disconnected under mask");
+        res.coloring[v] = dist[v] % 2 == 0 ? 2 : 3;
+        ecc = std::max(ecc, dist[v]);
+      }
+      LAD_CHECK_MSG(is_bipartite(g, cmask), "advice inconsistent: G_{2,3} not bipartite");
+      rounds = std::max(rounds, 2 * ecc + 1);
+      continue;
+    }
+
+    // Large component: every node finds the nearest group, counts its
+    // connected components, and 2-colors by parity from the group's
+    // smallest-ID visible node s.
+    const auto gdist = bfs_distances_multi(g, group_nodes, cmask);
+    for (const int v : members) {
+      LAD_CHECK_MSG(gdist[v] != kUnreachable && gdist[v] <= d.reach + collect_radius,
+                    "node " << g.id(v) << " cannot reach a parity group");
+      // Nearest group node t0.
+      int t0 = -1;
+      {
+        int cur = v;
+        while (type[cur] != 2) {
+          for (const int u : g.neighbors(cur)) {
+            if (cmask[u] && gdist[u] == gdist[cur] - 1) {
+              cur = u;
+              break;
+            }
+          }
+        }
+        t0 = cur;
+      }
+      // Collect the group around t0 and count its components.
+      const auto near = ball_nodes(g, t0, collect_radius, cmask);
+      std::vector<int> grp;
+      for (const int u : near) {
+        if (type[u] == 2) grp.push_back(u);
+      }
+      // Component count within grp (groups have halves of size 1 or 2).
+      std::vector<char> in_grp(static_cast<std::size_t>(g.n()), 0);
+      for (const int u : grp) in_grp[u] = 1;
+      int comps_in_group = 0;
+      std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);
+      for (const int u : grp) {
+        if (seen[u]) continue;
+        ++comps_in_group;
+        std::vector<int> stack = {u};
+        seen[u] = 1;
+        while (!stack.empty()) {
+          const int x = stack.back();
+          stack.pop_back();
+          for (const int y : g.neighbors(x)) {
+            if (in_grp[y] && !seen[y]) {
+              seen[y] = 1;
+              stack.push_back(y);
+            }
+          }
+        }
+      }
+      LAD_CHECK_MSG(comps_in_group == 1 || comps_in_group == 2,
+                    "malformed parity group near " << g.id(t0));
+      const int s = *std::min_element(grp.begin(), grp.end(), [&](int a, int b) {
+        return g.id(a) < g.id(b);
+      });
+      const int phi_s = comps_in_group == 1 ? 2 : 3;
+      const int dvs = distance(g, v, s, cmask);
+      LAD_CHECK(dvs != kUnreachable);
+      res.coloring[v] = dvs % 2 == 0 ? phi_s : 5 - phi_s;
+      rounds = std::max(rounds, gdist[v] + 2 * collect_radius + 1);
+    }
+  }
+  res.rounds = rounds;
+  return res;
+}
+
+}  // namespace lad

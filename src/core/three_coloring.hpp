@@ -1,0 +1,85 @@
+// §7 — 3-coloring 3-colorable graphs with 1 bit of advice per node.
+//
+// Encoding (Theorem 7.1): fix a *greedy* 3-coloring φ (every node of color
+// c has neighbors of all colors < c). Then:
+//   * every color-1 node gets bit 1 ("type-1 bits");
+//   * in every large component C of G_{2,3} (the graph induced by colors 2
+//     and 3), sparse *groups* of additional 1-bits ("type-23 bits") pin down
+//     which of the two 2-colorings of C the schema chose.
+//
+// The two bit kinds are distinguished exactly as in the paper: a 1-bit at v
+// is of type 1 iff v has at most one neighbor carrying a 1-bit. Greedy-ness
+// guarantees every group member sees >= 2 one-bit neighbors (its partner
+// and/or its color-1 neighbors), while a constructive selection (the
+// paper's LLL step) keeps every color-1 node at <= 1 group neighbor.
+//
+// A group is S_v ∪ S'_v where each half is either a single node w with two
+// color-1 neighbors or an adjacent pair {x, y} with no common color-1
+// neighbor (Lemma 7.2). Let s be the smallest-ID node of the union: if
+// φ(s) = 2 only s's half is written (the group decodes as ONE connected
+// component), if φ(s) = 3 both halves are written (TWO components). A
+// decoder counts components, learns φ(s), and 2-colors its component of
+// G_{2,3} by parity from s. Small components carry no advice and are
+// 2-colored canonically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lad {
+
+struct ThreeColoringParams {
+  /// Components of G_{2,3} with diameter above this are "large" and receive
+  /// parity groups (paper: 4000Δ^9; any value >= ruling_alpha works for the
+  /// construction, with correctness checked by the encoder).
+  int large_component_diameter = 0;  // 0 = derive from the other parameters
+  /// Radius around a ruling-set node within which candidate group halves
+  /// are searched (paper's Lemma 7.2 radius is Δ).
+  int candidate_radius = 0;  // 0 = Δ + 2
+  /// Candidate anchors tried per ruling node before giving up.
+  int max_candidate_tries = 64;
+  std::uint64_t seed = 777;
+};
+
+struct ThreeColoringDerived {
+  int candidate_radius = 0;
+  int group_radius = 0;    // group members lie within this C-distance of r
+  int ruling_alpha = 0;    // pairwise group separation
+  int reach = 0;           // every large-component node finds a group within this
+  int large_component_diameter = 0;
+};
+
+/// Resolves the derived radii for a given graph (shared by encoder/decoder).
+ThreeColoringDerived derive_three_coloring_radii(const Graph& g, const ThreeColoringParams& p);
+
+struct ThreeColoringEncoding {
+  std::vector<char> bits;        // uniform 1-bit advice
+  std::vector<int> greedy_phi;   // the greedy witness coloring (diagnostics)
+  int num_groups = 0;
+  ThreeColoringParams params;
+};
+
+/// Centralized prover. `witness` must be a proper 3-coloring of g (the
+/// encoder normalizes it to a greedy one); pass the planted coloring from
+/// the generator, or any coloring found offline — 3-coloring is NP-hard, and
+/// Definition 2 places no bound on the prover.
+ThreeColoringEncoding encode_three_coloring_advice(const Graph& g,
+                                                   const std::vector<int>& witness,
+                                                   const ThreeColoringParams& params = {});
+
+struct ThreeColoringDecodeResult {
+  std::vector<int> coloring;  // proper 3-coloring, values 1..3
+  int rounds = 0;
+};
+
+/// LOCAL decoder (poly(Δ) rounds).
+ThreeColoringDecodeResult decode_three_coloring(const Graph& g, const std::vector<char>& bits,
+                                                const ThreeColoringParams& params = {});
+
+/// Rewrites a proper coloring into a greedy one (colors only decrease).
+std::vector<int> normalize_to_greedy(const Graph& g, std::vector<int> coloring);
+
+}  // namespace lad

@@ -1,0 +1,39 @@
+#include "graph/canonical.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace lad {
+
+std::string canonical_view(const Graph& g, const std::vector<int>& nodes, int center,
+                           const std::vector<int>& labels) {
+  std::vector<int> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end(), [&](int a, int b) { return g.id(a) < g.id(b); });
+  std::unordered_map<int, int> rank;
+  rank.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) rank[sorted[i]] = static_cast<int>(i);
+  LAD_CHECK_MSG(rank.count(center), "canonical_view: center not in node set");
+
+  std::vector<std::pair<int, int>> edges;
+  for (const int v : sorted) {
+    for (const int u : g.neighbors(v)) {
+      const auto it = rank.find(u);
+      if (it == rank.end()) continue;
+      const int rv = rank[v], ru = it->second;
+      if (rv < ru) edges.emplace_back(rv, ru);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+
+  std::ostringstream os;
+  os << "n=" << sorted.size() << ";c=" << rank[center] << ";E=";
+  for (const auto& [a, b] : edges) os << a << '-' << b << ',';
+  if (!labels.empty()) {
+    os << ";L=";
+    for (const int v : sorted) os << labels[v] << ',';
+  }
+  return os.str();
+}
+
+}  // namespace lad

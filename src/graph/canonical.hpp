@@ -1,0 +1,26 @@
+// Canonical, order-invariant encodings of local views.
+//
+// §8 turns an arbitrary advice algorithm into an *order-invariant* one whose
+// output depends only on the topology of the view, the relative order of the
+// IDs, and the input labels — not on numerical ID values. We realize such
+// algorithms as lookup tables keyed by the canonical string computed here:
+// nodes of the view are renamed by their ID rank, making the key identical
+// for any two views that are isomorphic as ordered labeled graphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lad {
+
+/// Canonical key of the view induced by `nodes` (a subset of g), centered at
+/// `center` (which must be in `nodes`). `labels[v]` is an arbitrary integer
+/// input (advice bit, color, ...); pass an empty vector for no labels.
+/// The key depends only on: induced topology, relative ID order of `nodes`,
+/// labels, and which node is the center.
+std::string canonical_view(const Graph& g, const std::vector<int>& nodes, int center,
+                           const std::vector<int>& labels = {});
+
+}  // namespace lad

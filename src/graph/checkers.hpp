@@ -1,0 +1,58 @@
+// Independent validity checkers for every output the library produces.
+//
+// Decoder outputs are never trusted: each experiment validates its result
+// with one of these centralized checkers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/distance.hpp"
+#include "graph/graph.hpp"
+
+namespace lad {
+
+/// Orientation of every edge: kForward means edge_u(e) -> edge_v(e).
+enum class EdgeDir : std::int8_t { kUnset = 0, kForward = 1, kBackward = -1 };
+using Orientation = std::vector<EdgeDir>;
+
+/// Proper node coloring with positive colors; if k > 0 also enforces
+/// colors <= k. Nodes outside the mask are ignored.
+bool is_proper_coloring(const Graph& g, const std::vector<int>& colors, int k = 0,
+                        const NodeMask& mask = {});
+
+bool is_independent_set(const Graph& g, const std::vector<char>& in_set);
+
+/// Independent and dominating.
+bool is_maximal_independent_set(const Graph& g, const std::vector<char>& in_set);
+
+/// in_matching[e] over edges; checks no two chosen edges share a node.
+bool is_matching(const Graph& g, const std::vector<char>& in_matching);
+bool is_maximal_matching(const Graph& g, const std::vector<char>& in_matching);
+
+int out_degree(const Graph& g, const Orientation& o, int v);
+int in_degree(const Graph& g, const Orientation& o, int v);
+
+/// Every edge oriented, and |indeg - outdeg| <= tolerance at every node
+/// (tolerance 0 = balanced, 1 = almost balanced).
+bool is_balanced_orientation(const Graph& g, const Orientation& o, int tolerance);
+
+/// No node of degree >= 1 has outdegree 0.
+bool is_sinkless_orientation(const Graph& g, const Orientation& o);
+
+/// Red/blue edge coloring such that every node has an equal number of red
+/// and blue incident edges (all degrees must be even). color[e] in {1, 2}.
+bool is_splitting(const Graph& g, const std::vector<int>& edge_color);
+
+/// Proper edge coloring with colors 1..k (0 < color <= k, incident edges
+/// distinct).
+bool is_proper_edge_coloring(const Graph& g, const std::vector<int>& edge_color, int k);
+
+/// True if the masked subgraph is bipartite.
+bool is_bipartite(const Graph& g, const NodeMask& mask = {});
+
+/// Greedy coloring property (§7): every node of color c > 1 has, for each
+/// color c' < c, at least one neighbor of color c'.
+bool is_greedy_coloring(const Graph& g, const std::vector<int>& colors);
+
+}  // namespace lad

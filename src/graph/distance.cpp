@@ -1,0 +1,96 @@
+#include "graph/distance.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace lad {
+namespace {
+
+inline bool in_mask(const NodeMask& mask, int v) { return mask.empty() || mask[v]; }
+
+}  // namespace
+
+std::vector<int> bfs_distances(const Graph& g, int source, const NodeMask& mask, int max_dist) {
+  return bfs_distances_multi(g, {source}, mask, max_dist);
+}
+
+std::vector<int> bfs_distances_multi(const Graph& g, const std::vector<int>& sources,
+                                     const NodeMask& mask, int max_dist) {
+  std::vector<int> dist(static_cast<std::size_t>(g.n()), kUnreachable);
+  std::deque<int> q;
+  for (const int s : sources) {
+    LAD_CHECK(s >= 0 && s < g.n());
+    LAD_CHECK_MSG(in_mask(mask, s), "BFS source excluded by mask");
+    if (dist[s] != 0) {
+      dist[s] = 0;
+      q.push_back(s);
+    }
+  }
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop_front();
+    if (max_dist >= 0 && dist[v] >= max_dist) continue;
+    for (const int u : g.neighbors(v)) {
+      if (!in_mask(mask, u) || dist[u] != kUnreachable) continue;
+      dist[u] = dist[v] + 1;
+      q.push_back(u);
+    }
+  }
+  return dist;
+}
+
+std::vector<int> ball_nodes(const Graph& g, int v, int radius, const NodeMask& mask) {
+  const auto dist = bfs_distances(g, v, mask, radius);
+  std::vector<int> out;
+  // BFS order: collect by distance layers.
+  std::vector<std::vector<int>> layers(static_cast<std::size_t>(radius) + 1);
+  for (int u = 0; u < g.n(); ++u) {
+    if (dist[u] != kUnreachable) layers[static_cast<std::size_t>(dist[u])].push_back(u);
+  }
+  for (const auto& layer : layers)
+    for (const int u : layer) out.push_back(u);
+  return out;
+}
+
+int ball_size(const Graph& g, int v, int radius, const NodeMask& mask) {
+  return static_cast<int>(ball_nodes(g, v, radius, mask).size());
+}
+
+int distance(const Graph& g, int u, int v, const NodeMask& mask) {
+  const auto dist = bfs_distances(g, u, mask);
+  return dist[v];
+}
+
+std::vector<int> shortest_path(const Graph& g, int u, int v, const NodeMask& mask) {
+  const auto dist = bfs_distances(g, u, mask);
+  if (dist[v] == kUnreachable) return {};
+  std::vector<int> path = {v};
+  int cur = v;
+  while (cur != u) {
+    for (const int w : g.neighbors(cur)) {
+      if ((mask.empty() || mask[w]) && dist[w] == dist[cur] - 1) {
+        cur = w;
+        break;
+      }
+    }
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int eccentricity(const Graph& g, int v, const NodeMask& mask) {
+  const auto dist = bfs_distances(g, v, mask);
+  int ecc = 0;
+  for (const int d : dist) ecc = std::max(ecc, d);
+  return ecc;
+}
+
+int component_diameter(const Graph& g, int v, const NodeMask& mask) {
+  const auto comp = ball_nodes(g, v, g.n(), mask);
+  int diam = 0;
+  for (const int u : comp) diam = std::max(diam, eccentricity(g, u, mask));
+  return diam;
+}
+
+}  // namespace lad

@@ -1,0 +1,48 @@
+// BFS-based distance utilities, with optional restriction to a node subset.
+//
+// Several constructions in the paper operate "within" an induced subgraph
+// (a component of G_{2,3}, the not-yet-clustered graph G_i, ...). All
+// functions here accept an optional mask: when given, only nodes v with
+// mask[v] != 0 exist for the traversal.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lad {
+
+/// Node mask: mask[v] != 0 means v participates. An empty vector means all.
+using NodeMask = std::vector<char>;
+
+constexpr int kUnreachable = -1;
+
+/// Distances from `source` (capped at max_dist when >= 0); kUnreachable
+/// marks nodes outside the cap / mask / component.
+std::vector<int> bfs_distances(const Graph& g, int source, const NodeMask& mask = {},
+                               int max_dist = -1);
+
+/// Multi-source BFS distances.
+std::vector<int> bfs_distances_multi(const Graph& g, const std::vector<int>& sources,
+                                     const NodeMask& mask = {}, int max_dist = -1);
+
+/// Nodes at distance <= radius from v (the ball N_<=radius(v)), in BFS order.
+std::vector<int> ball_nodes(const Graph& g, int v, int radius, const NodeMask& mask = {});
+
+/// |N_<=radius(v)|.
+int ball_size(const Graph& g, int v, int radius, const NodeMask& mask = {});
+
+/// Distance between u and v, kUnreachable if disconnected (within mask).
+int distance(const Graph& g, int u, int v, const NodeMask& mask = {});
+
+/// One shortest u-v path (node sequence, u first); empty if disconnected.
+std::vector<int> shortest_path(const Graph& g, int u, int v, const NodeMask& mask = {});
+
+/// Eccentricity of v within its (masked) component.
+int eccentricity(const Graph& g, int v, const NodeMask& mask = {});
+
+/// Exact diameter of the (masked) component containing v (all-pairs BFS;
+/// intended for moderate component sizes).
+int component_diameter(const Graph& g, int v, const NodeMask& mask = {});
+
+}  // namespace lad

@@ -1,0 +1,26 @@
+// Greedy distance-d colorings.
+//
+// A distance-d coloring assigns colors to nodes such that any two distinct
+// nodes with the same color are at distance > d (equivalently, a proper
+// coloring of the power graph G^d). Used by the §4 clustering schema.
+#pragma once
+
+#include <vector>
+
+#include "graph/distance.hpp"
+#include "graph/graph.hpp"
+
+namespace lad {
+
+/// Greedy distance-d coloring with colors 1, 2, ...; nodes are processed in
+/// increasing ID order. Returns the color vector (0 for nodes outside mask).
+std::vector<int> distance_coloring(const Graph& g, int d, const NodeMask& mask = {});
+
+/// Checks the distance-d coloring property over the masked subgraph.
+bool is_distance_coloring(const Graph& g, const std::vector<int>& colors, int d,
+                          const NodeMask& mask = {});
+
+/// Largest color used (0 if none).
+int num_colors(const std::vector<int>& colors);
+
+}  // namespace lad

@@ -1,0 +1,110 @@
+// Graph generators for the experiment harness and tests.
+//
+// All generators take an IdMode that controls how LOCAL identifiers are
+// assigned; advice schemas may legitimately depend on IDs (paper §1.1), so
+// tests exercise both dense and sparse random ID spaces.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/rng.hpp"
+
+namespace lad {
+
+enum class IdMode {
+  kSequential,    // IDs 1..n in index order
+  kRandomDense,   // a random permutation of 1..n
+  kRandomSparse,  // n distinct random IDs from {1..n^3}
+};
+
+/// Draws an ID vector for n nodes according to the mode.
+std::vector<NodeId> assign_ids(int n, IdMode mode, Rng& rng);
+
+/// Simple path v0 - v1 - ... - v_{n-1}.
+Graph make_path(int n, IdMode mode = IdMode::kSequential, std::uint64_t seed = 1);
+
+/// Simple cycle on n >= 3 nodes.
+Graph make_cycle(int n, IdMode mode = IdMode::kSequential, std::uint64_t seed = 1);
+
+/// w x h grid (4-neighbor), polynomial growth.
+Graph make_grid(int w, int h, IdMode mode = IdMode::kSequential, std::uint64_t seed = 1);
+
+/// w x h torus (4-regular when w,h >= 3), polynomial growth.
+Graph make_torus(int w, int h, IdMode mode = IdMode::kSequential, std::uint64_t seed = 1);
+
+/// Complete graph K_n.
+Graph make_complete(int n, IdMode mode = IdMode::kSequential, std::uint64_t seed = 1);
+
+/// Star with n-1 leaves.
+Graph make_star(int n, IdMode mode = IdMode::kSequential, std::uint64_t seed = 1);
+
+/// d-dimensional hypercube (2^d nodes, d-regular).
+Graph make_hypercube(int d, IdMode mode = IdMode::kSequential, std::uint64_t seed = 1);
+
+/// Circular ladder C_m x K_2 (3-regular, 2n = 2m nodes, diameter ~ m/2):
+/// the canonical "roomy" bounded-degree family (large diameter at Δ = 3).
+Graph make_circular_ladder(int m, IdMode mode = IdMode::kSequential, std::uint64_t seed = 1);
+
+/// Complete bipartite graph K_{a,b}.
+Graph make_complete_bipartite(int a, int b, IdMode mode = IdMode::kSequential,
+                              std::uint64_t seed = 1);
+
+/// "Banded" random graph: nodes on a ring, random edges only between nodes
+/// at ring distance <= band. Large diameter (~ n / band) at tunable degree;
+/// the roomy family used for geodesic 1-bit encodings.
+Graph make_banded_random(int n, int band, double avg_deg, int max_deg, std::uint64_t seed,
+                         IdMode mode = IdMode::kRandomDense);
+
+/// Random tree with maximum degree at most max_deg.
+Graph make_bounded_degree_tree(int n, int max_deg, std::uint64_t seed,
+                               IdMode mode = IdMode::kRandomDense);
+
+/// Random d-regular simple graph via the pairing model with retries.
+/// Requires n*d even and d < n.
+Graph make_random_regular(int n, int d, std::uint64_t seed,
+                          IdMode mode = IdMode::kRandomDense);
+
+/// Random bipartite d-regular simple graph on 2*side nodes, built from d
+/// distinct cyclic shifts of a random permutation (always simple, d <= side).
+Graph make_bipartite_regular(int side, int d, std::uint64_t seed,
+                             IdMode mode = IdMode::kRandomDense);
+
+/// Erdos–Renyi-style random graph with a hard degree cap.
+Graph make_random_bounded_degree(int n, double avg_deg, int max_deg, std::uint64_t seed,
+                                 IdMode mode = IdMode::kRandomDense);
+
+/// Result of a planted-coloring construction: the graph is k-colorable by
+/// construction and `coloring[v]` (values 1..k) is a witness.
+struct PlantedColoring {
+  Graph graph;
+  std::vector<int> coloring;
+};
+
+/// Random k-colorable graph with max degree <= max_deg: nodes are split into
+/// k classes and random cross-class edges are added up to the degree cap.
+/// When `connect` is set, a cross-class spanning structure makes it connected
+/// if possible.
+PlantedColoring make_planted_colorable(int n, int k, double avg_deg, int max_deg,
+                                       std::uint64_t seed, bool connect = true,
+                                       IdMode mode = IdMode::kRandomDense);
+
+/// Caterpillar with a 3-colorable structure: a spine of `spine` nodes, each
+/// with a pendant leaf. The witness colors the spine 2/3 alternating and
+/// the leaves 1 — the family whose G_{2,3} is one long path (the hard case
+/// of the §7 schema).
+PlantedColoring make_planted_caterpillar(int spine, std::uint64_t seed,
+                                         IdMode mode = IdMode::kRandomDense);
+
+/// Random graph in which every node has even degree (an edge-disjoint union
+/// of random cycles), max degree <= max_deg.
+Graph make_even_degree_graph(int n, int target_deg, std::uint64_t seed,
+                             IdMode mode = IdMode::kRandomDense);
+
+/// Disjoint union; IDs are re-drawn to stay unique.
+Graph disjoint_union(const std::vector<Graph>& parts, IdMode mode = IdMode::kSequential,
+                     std::uint64_t seed = 1);
+
+}  // namespace lad

@@ -1,0 +1,127 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace lad {
+
+int Graph::Builder::add_node(NodeId id) {
+  LAD_CHECK_MSG(id >= 1, "LOCAL identifiers must be positive, got " << id);
+  ids_.push_back(id);
+  return static_cast<int>(ids_.size()) - 1;
+}
+
+void Graph::Builder::add_edge(int u, int v) {
+  LAD_CHECK_MSG(u >= 0 && u < n() && v >= 0 && v < n(),
+                "edge endpoint out of range: {" << u << "," << v << "} with n=" << n());
+  LAD_CHECK_MSG(u != v, "self-loop at node index " << u);
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+}
+
+Graph Graph::Builder::build() && {
+  Graph g;
+  g.ids_ = std::move(ids_);
+  const int n = static_cast<int>(g.ids_.size());
+
+  g.id_to_ix_.reserve(g.ids_.size());
+  for (int v = 0; v < n; ++v) {
+    auto [it, inserted] = g.id_to_ix_.emplace(g.ids_[v], v);
+    (void)it;
+    LAD_CHECK_MSG(inserted, "duplicate node ID " << g.ids_[v]);
+  }
+
+  std::sort(edges_.begin(), edges_.end());
+  const auto dup = std::adjacent_find(edges_.begin(), edges_.end());
+  LAD_CHECK_MSG(dup == edges_.end(), "parallel edge between indices "
+                                         << (dup == edges_.end() ? -1 : dup->first) << " and "
+                                         << (dup == edges_.end() ? -1 : dup->second));
+
+  const int m = static_cast<int>(edges_.size());
+  g.edge_u_.resize(m);
+  g.edge_v_.resize(m);
+  std::vector<int> deg(n, 0);
+  for (int e = 0; e < m; ++e) {
+    g.edge_u_[e] = edges_[e].first;
+    g.edge_v_[e] = edges_[e].second;
+    ++deg[edges_[e].first];
+    ++deg[edges_[e].second];
+  }
+
+  g.adj_off_.assign(n + 1, 0);
+  for (int v = 0; v < n; ++v) g.adj_off_[v + 1] = g.adj_off_[v] + deg[v];
+  g.adj_.resize(g.adj_off_[n]);
+  g.inc_.resize(g.adj_off_[n]);
+
+  std::vector<int> cursor(g.adj_off_.begin(), g.adj_off_.end() - 1);
+  for (int e = 0; e < m; ++e) {
+    const int u = g.edge_u_[e], v = g.edge_v_[e];
+    g.adj_[cursor[u]] = v;
+    g.inc_[cursor[u]++] = e;
+    g.adj_[cursor[v]] = u;
+    g.inc_[cursor[v]++] = e;
+  }
+
+  // Sort each adjacency slice by neighbor ID, carrying incident edge ids along.
+  for (int v = 0; v < n; ++v) {
+    const int lo = g.adj_off_[v], hi = g.adj_off_[v + 1];
+    std::vector<int> order(hi - lo);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return g.ids_[g.adj_[lo + a]] < g.ids_[g.adj_[lo + b]];
+    });
+    std::vector<int> adj2(hi - lo), inc2(hi - lo);
+    for (int k = 0; k < hi - lo; ++k) {
+      adj2[k] = g.adj_[lo + order[k]];
+      inc2[k] = g.inc_[lo + order[k]];
+    }
+    std::copy(adj2.begin(), adj2.end(), g.adj_.begin() + lo);
+    std::copy(inc2.begin(), inc2.end(), g.inc_.begin() + lo);
+    g.max_degree_ = std::max(g.max_degree_, hi - lo);
+  }
+  return g;
+}
+
+int Graph::index_of(NodeId id) const {
+  const auto it = id_to_ix_.find(id);
+  LAD_CHECK_MSG(it != id_to_ix_.end(), "no node with ID " << id);
+  return it->second;
+}
+
+int Graph::edge_between(int u, int v) const {
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nb = neighbors(u);
+  const auto ie = incident_edges(u);
+  for (std::size_t p = 0; p < nb.size(); ++p) {
+    if (nb[p] == v) return ie[p];
+  }
+  return -1;
+}
+
+int Graph::port_of(int v, int u) const {
+  const auto nb = neighbors(v);
+  for (std::size_t p = 0; p < nb.size(); ++p) {
+    if (nb[p] == u) return static_cast<int>(p);
+  }
+  return -1;
+}
+
+std::vector<int> Graph::all_nodes() const {
+  std::vector<int> v(n());
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+Graph make_graph(const std::vector<NodeId>& ids,
+                 const std::vector<std::pair<NodeId, NodeId>>& edges_by_id) {
+  Graph::Builder b;
+  std::unordered_map<NodeId, int> ix;
+  for (const NodeId id : ids) ix[id] = b.add_node(id);
+  for (const auto& [a, c] : edges_by_id) {
+    LAD_CHECK_MSG(ix.count(a) && ix.count(c), "edge references unknown ID");
+    b.add_edge(ix[a], ix[c]);
+  }
+  return std::move(b).build();
+}
+
+}  // namespace lad

@@ -1,0 +1,113 @@
+// Undirected simple graph with LOCAL-model identifiers.
+//
+// Nodes carry two names:
+//   * a dense internal index in [0, n) used for storage, and
+//   * a unique identifier (NodeId) from {1, ..., poly(n)} as in the LOCAL
+//     model; algorithms and advice schemas are allowed to depend on IDs.
+//
+// Adjacency lists are sorted by neighbor *ID* (not index), which gives every
+// node a deterministic, locally computable port order — the paper's
+// "sorting the neighbors of v by their IDs".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/common.hpp"
+
+namespace lad {
+
+using NodeId = std::int64_t;
+
+class Graph {
+ public:
+  /// Incrementally assembles a graph, then `build()`s it.
+  class Builder {
+   public:
+    /// Declares a node with the given unique LOCAL identifier.
+    /// Returns the dense index of the node.
+    int add_node(NodeId id);
+
+    /// Adds an undirected edge between node indices u and v.
+    /// Parallel edges and self-loops are rejected.
+    void add_edge(int u, int v);
+
+    /// Number of nodes added so far.
+    int n() const { return static_cast<int>(ids_.size()); }
+
+    Graph build() &&;
+
+   private:
+    std::vector<NodeId> ids_;
+    std::vector<std::pair<int, int>> edges_;
+  };
+
+  Graph() = default;
+
+  int n() const { return static_cast<int>(ids_.size()); }
+  int m() const { return static_cast<int>(edge_u_.size()); }
+
+  int degree(int v) const { return adj_off_[v + 1] - adj_off_[v]; }
+  int max_degree() const { return max_degree_; }
+
+  /// Neighbors of v, sorted by their IDs (deterministic port order).
+  std::span<const int> neighbors(int v) const {
+    return {adj_.data() + adj_off_[v], adj_.data() + adj_off_[v + 1]};
+  }
+
+  /// Incident edge indices of v, aligned with `neighbors(v)`:
+  /// incident_edges(v)[p] is the edge {v, neighbors(v)[p]}.
+  std::span<const int> incident_edges(int v) const {
+    return {inc_.data() + adj_off_[v], inc_.data() + adj_off_[v + 1]};
+  }
+
+  NodeId id(int v) const { return ids_[v]; }
+
+  /// Dense index of the node with the given ID; throws if absent.
+  int index_of(NodeId id) const;
+
+  /// True if the graph contains a node with this ID.
+  bool has_id(NodeId id) const { return id_to_ix_.count(id) > 0; }
+
+  /// Endpoints of edge e, with endpoint_u(e) < endpoint_v(e) as indices.
+  int edge_u(int e) const { return edge_u_[e]; }
+  int edge_v(int e) const { return edge_v_[e]; }
+
+  /// The endpoint of edge e that is not w.
+  int other_endpoint(int e, int w) const {
+    LAD_CHECK(edge_u_[e] == w || edge_v_[e] == w);
+    return edge_u_[e] == w ? edge_v_[e] : edge_u_[e];
+  }
+
+  /// Edge index of {u, v}; returns -1 if not adjacent.
+  int edge_between(int u, int v) const;
+
+  /// Port of u in v's adjacency list (position of u among v's neighbors);
+  /// returns -1 if u is not a neighbor of v.
+  int port_of(int v, int u) const;
+
+  bool adjacent(int u, int v) const { return edge_between(u, v) >= 0; }
+
+  /// All node indices [0, n).
+  std::vector<int> all_nodes() const;
+
+ private:
+  friend class Builder;
+
+  std::vector<NodeId> ids_;
+  std::unordered_map<NodeId, int> id_to_ix_;
+  std::vector<int> adj_off_;  // CSR offsets, size n+1
+  std::vector<int> adj_;      // neighbor indices, sorted by neighbor ID per node
+  std::vector<int> inc_;      // incident edge ids, aligned with adj_
+  std::vector<int> edge_u_, edge_v_;
+  int max_degree_ = 0;
+};
+
+/// Convenience: builds a graph from explicit IDs and ID-pairs.
+Graph make_graph(const std::vector<NodeId>& ids,
+                 const std::vector<std::pair<NodeId, NodeId>>& edges_by_id);
+
+}  // namespace lad

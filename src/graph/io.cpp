@@ -1,0 +1,74 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace lad {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.n() << ' ' << g.m() << '\n';
+  for (int v = 0; v < g.n(); ++v) {
+    os << g.id(v) << (v + 1 < g.n() ? ' ' : '\n');
+  }
+  if (g.n() == 0) os << '\n';
+  for (int e = 0; e < g.m(); ++e) {
+    os << g.id(g.edge_u(e)) << ' ' << g.id(g.edge_v(e)) << '\n';
+  }
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  write_edge_list(os, g);
+  return os.str();
+}
+
+Graph read_edge_list(std::istream& is) {
+  int n = 0, m = 0;
+  LAD_CHECK_MSG(static_cast<bool>(is >> n >> m), "edge list: missing header");
+  LAD_CHECK_MSG(n >= 0 && m >= 0, "edge list: negative counts");
+  Graph::Builder b;
+  std::vector<NodeId> ids(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    LAD_CHECK_MSG(static_cast<bool>(is >> ids[v]), "edge list: truncated ID row");
+    b.add_node(ids[v]);
+  }
+  std::unordered_map<NodeId, int> ix;
+  for (int v = 0; v < n; ++v) ix[ids[v]] = v;
+  for (int e = 0; e < m; ++e) {
+    NodeId a = 0, c = 0;
+    LAD_CHECK_MSG(static_cast<bool>(is >> a >> c), "edge list: truncated edge row");
+    LAD_CHECK_MSG(ix.count(a) && ix.count(c), "edge list: edge references unknown ID");
+    b.add_edge(ix[a], ix[c]);
+  }
+  return std::move(b).build();
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  return read_edge_list(is);
+}
+
+std::string to_dot(const Graph& g, const std::vector<std::string>& node_label,
+                   const std::vector<char>& highlight) {
+  std::ostringstream os;
+  os << "graph G {\n";
+  for (int v = 0; v < g.n(); ++v) {
+    os << "  n" << g.id(v) << " [label=\"" << g.id(v);
+    if (!node_label.empty() && !node_label[static_cast<std::size_t>(v)].empty()) {
+      os << "\\n" << node_label[static_cast<std::size_t>(v)];
+    }
+    os << "\"";
+    if (!highlight.empty() && highlight[static_cast<std::size_t>(v)]) {
+      os << " style=filled fillcolor=gold";
+    }
+    os << "];\n";
+  }
+  for (int e = 0; e < g.m(); ++e) {
+    os << "  n" << g.id(g.edge_u(e)) << " -- n" << g.id(g.edge_v(e)) << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace lad

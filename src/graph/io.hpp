@@ -1,0 +1,33 @@
+// Graph serialization: a line-based edge-list format and Graphviz DOT
+// export (for inspecting advice assignments and decoded solutions).
+//
+// Edge-list format:
+//   n m
+//   id_0 id_1 ... id_{n-1}
+//   u_id v_id          (m lines, endpoints by LOCAL identifier)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lad {
+
+/// Writes the edge-list representation.
+void write_edge_list(std::ostream& os, const Graph& g);
+std::string to_edge_list(const Graph& g);
+
+/// Parses the edge-list representation; throws ContractViolation on
+/// malformed input.
+Graph read_edge_list(std::istream& is);
+Graph from_edge_list(const std::string& text);
+
+/// Graphviz DOT export. `node_label[v]` (optional) is rendered next to the
+/// ID; `highlight[v]` (optional) fills the node (e.g. the 1-bits of an
+/// advice assignment).
+std::string to_dot(const Graph& g, const std::vector<std::string>& node_label = {},
+                   const std::vector<char>& highlight = {});
+
+}  // namespace lad

@@ -1,0 +1,26 @@
+#include "graph/rng.hpp"
+
+#include <numeric>
+
+namespace lad {
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(eng_);
+}
+
+double Rng::uniform01() {
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  return d(eng_);
+}
+
+bool Rng::flip(double p) { return uniform01() < p; }
+
+std::vector<int> Rng::permutation(int n) {
+  std::vector<int> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  shuffle(p);
+  return p;
+}
+
+}  // namespace lad

@@ -1,0 +1,42 @@
+// Deterministic random number generation used across generators and provers.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace lad {
+
+/// Thin deterministic wrapper around mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : eng_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli with success probability p.
+  bool flip(double p);
+
+  /// Random permutation of {0, ..., n-1}.
+  std::vector<int> permutation(int n);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (int i = static_cast<int>(v.size()) - 1; i > 0; --i) {
+      const int j = static_cast<int>(uniform(0, i));
+      std::swap(v[i], v[static_cast<std::size_t>(j)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace lad

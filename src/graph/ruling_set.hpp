@@ -1,0 +1,28 @@
+// Greedy ruling sets.
+//
+// An (alpha, beta)-ruling set S over a candidate set C satisfies:
+//   * any two nodes of S are at distance >= alpha, and
+//   * every node of C has a node of S within distance beta.
+// The greedy construction below (scan candidates in ID order, keep a node
+// iff no kept node is within distance < alpha) produces an
+// (alpha, alpha-1)-ruling set, the form used throughout the paper.
+#pragma once
+
+#include <vector>
+
+#include "graph/distance.hpp"
+#include "graph/graph.hpp"
+
+namespace lad {
+
+/// Greedy (alpha, alpha-1)-ruling set over `candidates`; distances are
+/// measured in g restricted to `mask`. Candidates must lie inside the mask.
+std::vector<int> ruling_set(const Graph& g, int alpha, const std::vector<int>& candidates,
+                            const NodeMask& mask = {});
+
+/// Validity check used by tests: pairwise distance >= alpha and domination
+/// radius <= beta over the candidate set.
+bool is_ruling_set(const Graph& g, const std::vector<int>& s, int alpha, int beta,
+                   const std::vector<int>& candidates, const NodeMask& mask = {});
+
+}  // namespace lad

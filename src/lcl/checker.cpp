@@ -1,0 +1,23 @@
+#include "lcl/checker.hpp"
+
+namespace lad {
+
+DistributedCheckResult check_distributed(const Graph& g, const LclProblem& p,
+                                         const Labeling& lab) {
+  DistributedCheckResult res;
+  res.rejecting.assign(static_cast<std::size_t>(g.n()), 0);
+  res.rounds = p.radius();
+  res.accepted = true;
+  const bool sized = static_cast<int>(lab.node_labels.size()) == g.n() &&
+                     static_cast<int>(lab.edge_labels.size()) == g.m();
+  for (int v = 0; v < g.n(); ++v) {
+    const bool ok = sized && p.valid_at(g, lab, v);
+    if (!ok) {
+      res.rejecting[v] = 1;
+      res.accepted = false;
+    }
+  }
+  return res;
+}
+
+}  // namespace lad

@@ -1,0 +1,21 @@
+// Distributed LCL checking: every node inspects its radius-r ball and
+// accepts/rejects. This is the verifier half of locally checkable proofs.
+#pragma once
+
+#include <vector>
+
+#include "lcl/lcl.hpp"
+
+namespace lad {
+
+struct DistributedCheckResult {
+  bool accepted = false;             // all nodes accepted
+  std::vector<char> rejecting;       // per-node reject flags
+  int rounds = 0;                    // = checkability radius
+};
+
+/// Runs the radius-r local verifier at every node.
+DistributedCheckResult check_distributed(const Graph& g, const LclProblem& p,
+                                         const Labeling& lab);
+
+}  // namespace lad

@@ -1,0 +1,16 @@
+#include "lcl/lcl.hpp"
+
+namespace lad {
+
+bool is_valid_labeling(const Graph& g, const LclProblem& p, const Labeling& lab,
+                       const std::vector<char>& node_mask) {
+  if (static_cast<int>(lab.node_labels.size()) != g.n()) return false;
+  if (static_cast<int>(lab.edge_labels.size()) != g.m()) return false;
+  for (int v = 0; v < g.n(); ++v) {
+    if (!node_mask.empty() && !node_mask[v]) continue;
+    if (!p.valid_at(g, lab, v)) return false;
+  }
+  return true;
+}
+
+}  // namespace lad

@@ -1,0 +1,57 @@
+// Locally checkable labeling problems (§3.3).
+//
+// An LCL is specified by finite node/edge label alphabets, a checkability
+// radius r, and a local constraint. We represent the constraint as a
+// predicate `valid_at(g, labeling, v)` that may inspect only the radius-r
+// ball of v; validity of a labeling is the conjunction over all nodes —
+// exactly the paper's definition, with the constraint set C given
+// intensionally rather than as an explicit list of labeled balls.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lad {
+
+/// A (possibly partial) labeling: -1 means unassigned; valid labels are
+/// 1..num_node_labels / 1..num_edge_labels.
+struct Labeling {
+  std::vector<int> node_labels;
+  std::vector<int> edge_labels;
+
+  static Labeling empty(const Graph& g) {
+    Labeling l;
+    l.node_labels.assign(static_cast<std::size_t>(g.n()), -1);
+    l.edge_labels.assign(static_cast<std::size_t>(g.m()), -1);
+    return l;
+  }
+};
+
+class LclProblem {
+ public:
+  virtual ~LclProblem() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Checkability radius r.
+  virtual int radius() const = 0;
+
+  /// Sizes of the output alphabets; 0 means the problem does not label that
+  /// kind of object (such labels stay -1).
+  virtual int num_node_labels() const = 0;
+  virtual int num_edge_labels() const = 0;
+
+  /// Constraint at v. May assume every label within radius r of v is
+  /// assigned; must inspect only that ball.
+  virtual bool valid_at(const Graph& g, const Labeling& lab, int v) const = 0;
+};
+
+/// Global validity = local validity at every (masked) node.
+bool is_valid_labeling(const Graph& g, const LclProblem& p, const Labeling& lab,
+                       const std::vector<char>& node_mask = {});
+
+}  // namespace lad

@@ -1,0 +1,98 @@
+#include "lcl/problems.hpp"
+
+#include <sstream>
+
+namespace lad {
+
+std::string VertexColoringLcl::name() const {
+  std::ostringstream os;
+  os << "vertex-" << k_ << "-coloring";
+  return os.str();
+}
+
+bool VertexColoringLcl::valid_at(const Graph& g, const Labeling& lab, int v) const {
+  const int c = lab.node_labels[v];
+  if (c < 1 || c > k_) return false;
+  for (const int u : g.neighbors(v)) {
+    if (lab.node_labels[u] == c) return false;
+  }
+  return true;
+}
+
+bool MisLcl::valid_at(const Graph& g, const Labeling& lab, int v) const {
+  const int c = lab.node_labels[v];
+  if (c != 1 && c != 2) return false;
+  bool has_in_neighbor = false;
+  for (const int u : g.neighbors(v)) {
+    if (lab.node_labels[u] == 2) has_in_neighbor = true;
+  }
+  if (c == 2) return !has_in_neighbor;
+  return has_in_neighbor;  // label 1 (out) must be dominated
+}
+
+bool MaximalMatchingLcl::valid_at(const Graph& g, const Labeling& lab, int v) const {
+  int incident_in = 0;
+  for (const int e : g.incident_edges(v)) {
+    const int c = lab.edge_labels[e];
+    if (c != 1 && c != 2) return false;
+    if (c == 2) ++incident_in;
+  }
+  if (incident_in > 1) return false;
+  if (incident_in == 1) return true;
+  // Unmatched node: every neighbor must be matched (else the shared edge
+  // could be added).
+  for (const int u : g.neighbors(v)) {
+    bool u_matched = false;
+    for (const int e : g.incident_edges(u)) {
+      if (lab.edge_labels[e] == 2) u_matched = true;
+    }
+    if (!u_matched) return false;
+  }
+  return true;
+}
+
+std::string EdgeColoringLcl::name() const {
+  std::ostringstream os;
+  os << "edge-" << k_ << "-coloring";
+  return os.str();
+}
+
+bool EdgeColoringLcl::valid_at(const Graph& g, const Labeling& lab, int v) const {
+  std::vector<char> seen(static_cast<std::size_t>(k_) + 1, 0);
+  for (const int e : g.incident_edges(v)) {
+    const int c = lab.edge_labels[e];
+    if (c < 1 || c > k_) return false;
+    if (seen[c]) return false;
+    seen[c] = 1;
+  }
+  return true;
+}
+
+std::string WeakColoringLcl::name() const {
+  std::ostringstream os;
+  os << "weak-" << c_ << "-coloring";
+  return os.str();
+}
+
+bool WeakColoringLcl::valid_at(const Graph& g, const Labeling& lab, int v) const {
+  const int c = lab.node_labels[v];
+  if (c < 1 || c > c_) return false;
+  if (g.degree(v) == 0) return true;
+  for (const int u : g.neighbors(v)) {
+    if (lab.node_labels[u] != c) return true;
+  }
+  return false;
+}
+
+bool SinklessOrientationLcl::valid_at(const Graph& g, const Labeling& lab, int v) const {
+  if (g.degree(v) < 3) return true;
+  for (const int e : g.incident_edges(v)) {
+    const int c = lab.edge_labels[e];
+    if (c != 1 && c != 2) return false;
+    const bool outgoing = (c == 1 && g.edge_u(e) == v) || (c == 2 && g.edge_v(e) == v);
+    if (outgoing) return true;
+  }
+  return false;
+}
+
+}  // namespace lad

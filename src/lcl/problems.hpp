@@ -1,0 +1,84 @@
+// Concrete LCL problems used throughout the experiments (§1.2 lists these
+// as the canonical examples: vertex coloring, edge coloring, MIS, maximal
+// matching, sinkless orientation).
+#pragma once
+
+#include "lcl/lcl.hpp"
+
+namespace lad {
+
+/// Proper vertex k-coloring; node labels 1..k, radius 1.
+class VertexColoringLcl : public LclProblem {
+ public:
+  explicit VertexColoringLcl(int k) : k_(k) { LAD_CHECK(k >= 1); }
+  std::string name() const override;
+  int radius() const override { return 1; }
+  int num_node_labels() const override { return k_; }
+  int num_edge_labels() const override { return 0; }
+  bool valid_at(const Graph& g, const Labeling& lab, int v) const override;
+
+ private:
+  int k_;
+};
+
+/// Maximal independent set; node labels {1 = out, 2 = in}, radius 1.
+class MisLcl : public LclProblem {
+ public:
+  std::string name() const override { return "mis"; }
+  int radius() const override { return 1; }
+  int num_node_labels() const override { return 2; }
+  int num_edge_labels() const override { return 0; }
+  bool valid_at(const Graph& g, const Labeling& lab, int v) const override;
+};
+
+/// Maximal matching; edge labels {1 = out, 2 = in}, radius 1.
+class MaximalMatchingLcl : public LclProblem {
+ public:
+  std::string name() const override { return "maximal-matching"; }
+  int radius() const override { return 1; }
+  int num_node_labels() const override { return 0; }
+  int num_edge_labels() const override { return 2; }
+  bool valid_at(const Graph& g, const Labeling& lab, int v) const override;
+};
+
+/// Proper edge k-coloring; edge labels 1..k, radius 1.
+class EdgeColoringLcl : public LclProblem {
+ public:
+  explicit EdgeColoringLcl(int k) : k_(k) { LAD_CHECK(k >= 1); }
+  std::string name() const override;
+  int radius() const override { return 1; }
+  int num_node_labels() const override { return 0; }
+  int num_edge_labels() const override { return k_; }
+  bool valid_at(const Graph& g, const Labeling& lab, int v) const override;
+
+ private:
+  int k_;
+};
+
+/// Weak c-coloring: every non-isolated node has at least one neighbor with
+/// a different label (Naor–Stockmeyer's classic example). Radius 1.
+class WeakColoringLcl : public LclProblem {
+ public:
+  explicit WeakColoringLcl(int c) : c_(c) { LAD_CHECK(c >= 2); }
+  std::string name() const override;
+  int radius() const override { return 1; }
+  int num_node_labels() const override { return c_; }
+  int num_edge_labels() const override { return 0; }
+  bool valid_at(const Graph& g, const Labeling& lab, int v) const override;
+
+ private:
+  int c_;
+};
+
+/// Sinkless orientation (every node of degree >= 3 has an outgoing edge);
+/// edge label 1 means edge_u -> edge_v, 2 the reverse. Radius 1.
+class SinklessOrientationLcl : public LclProblem {
+ public:
+  std::string name() const override { return "sinkless-orientation"; }
+  int radius() const override { return 1; }
+  int num_node_labels() const override { return 0; }
+  int num_edge_labels() const override { return 2; }
+  bool valid_at(const Graph& g, const Labeling& lab, int v) const override;
+};
+
+}  // namespace lad

@@ -1,0 +1,149 @@
+#include "lcl/solver.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/distance.hpp"
+
+namespace lad {
+namespace {
+
+struct Var {
+  bool is_node = true;
+  int index = 0;  // node or edge index
+};
+
+class Search {
+ public:
+  Search(const Graph& g, const LclProblem& p, const Labeling& pinned,
+         const std::vector<int>& free_nodes, const std::vector<int>& free_edges,
+         const std::vector<int>& check_nodes, std::int64_t max_steps)
+      : g_(g), p_(p), lab_(pinned), max_steps_(max_steps) {
+    check_.assign(static_cast<std::size_t>(g.n()), 0);
+    for (const int v : check_nodes) check_[v] = 1;
+    build_order(free_nodes, free_edges);
+  }
+
+  std::optional<Labeling> run() {
+    if (!assign(0)) return std::nullopt;
+    // Every check node must now have a fully labeled region.
+    for (int v = 0; v < g_.n(); ++v) {
+      if (check_[v]) {
+        LAD_CHECK_MSG(region_fully_labeled(v), "check node " << g_.id(v)
+                                                             << " region not fully labeled");
+        LAD_CHECK(p_.valid_at(g_, lab_, v));
+      }
+    }
+    return lab_;
+  }
+
+ private:
+  // Orders variables by a BFS-like sweep so that constraints become fully
+  // labeled (and thus prunable) as early as possible.
+  void build_order(const std::vector<int>& free_nodes, const std::vector<int>& free_edges) {
+    std::vector<Var> vars;
+    if (p_.num_node_labels() > 0) {
+      for (const int v : free_nodes) vars.push_back({true, v});
+    }
+    if (p_.num_edge_labels() > 0) {
+      for (const int e : free_edges) vars.push_back({false, e});
+    }
+    // Anchor each variable at a node and sort by BFS order from the first
+    // variable's anchor.
+    if (vars.empty()) {
+      order_ = {};
+      return;
+    }
+    const int root = vars.front().is_node ? vars.front().index : g_.edge_u(vars.front().index);
+    const auto dist = bfs_distances(g_, root);
+    auto key = [&](const Var& v) {
+      const int a = v.is_node ? v.index : std::min(g_.edge_u(v.index), g_.edge_v(v.index));
+      const int d = dist[a] == kUnreachable ? g_.n() + 1 : dist[a];
+      return std::make_tuple(d, v.is_node ? 0 : 1, v.index);
+    };
+    std::sort(vars.begin(), vars.end(), [&](const Var& a, const Var& b) { return key(a) < key(b); });
+    order_ = std::move(vars);
+  }
+
+  bool region_fully_labeled(int v) {
+    for (const int u : ball_nodes(g_, v, p_.radius())) {
+      if (p_.num_node_labels() > 0 && lab_.node_labels[u] == -1) return false;
+      if (p_.num_edge_labels() > 0) {
+        for (const int e : g_.incident_edges(u)) {
+          if (lab_.edge_labels[e] == -1) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Check nodes whose constraint region contains the just-assigned variable.
+  std::vector<int> affected_checks(const Var& var) {
+    std::vector<int> out;
+    const int r = p_.radius();
+    auto collect = [&](int from, int radius) {
+      for (const int v : ball_nodes(g_, from, radius)) {
+        if (check_[v]) out.push_back(v);
+      }
+    };
+    if (var.is_node) {
+      collect(var.index, r);
+    } else {
+      collect(g_.edge_u(var.index), r + 1);
+      collect(g_.edge_v(var.index), r + 1);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  bool assign(std::size_t i) {
+    LAD_CHECK_MSG(++steps_ <= max_steps_, "solve_lcl: step budget exhausted");
+    if (i == order_.size()) return true;
+    const Var& var = order_[i];
+    const int num_labels = var.is_node ? p_.num_node_labels() : p_.num_edge_labels();
+    int& slot = var.is_node ? lab_.node_labels[var.index] : lab_.edge_labels[var.index];
+    LAD_CHECK_MSG(slot == -1, "free variable already pinned");
+    const auto affected = affected_checks(var);
+    for (int label = 1; label <= num_labels; ++label) {
+      slot = label;
+      bool ok = true;
+      for (const int v : affected) {
+        if (region_fully_labeled(v) && !p_.valid_at(g_, lab_, v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && assign(i + 1)) return true;
+    }
+    slot = -1;
+    return false;
+  }
+
+  const Graph& g_;
+  const LclProblem& p_;
+  Labeling lab_;
+  std::vector<char> check_;
+  std::vector<Var> order_;
+  std::int64_t max_steps_;
+  std::int64_t steps_ = 0;
+};
+
+}  // namespace
+
+std::optional<Labeling> solve_lcl(const Graph& g, const LclProblem& p, const Labeling& pinned,
+                                  const std::vector<int>& free_nodes,
+                                  const std::vector<int>& free_edges,
+                                  const std::vector<int>& check_nodes, std::int64_t max_steps) {
+  Search s(g, p, pinned, free_nodes, free_edges, check_nodes, max_steps);
+  return s.run();
+}
+
+std::optional<Labeling> solve_lcl(const Graph& g, const LclProblem& p, std::int64_t max_steps) {
+  std::vector<int> nodes = g.all_nodes();
+  std::vector<int> edges(static_cast<std::size_t>(g.m()));
+  for (int e = 0; e < g.m(); ++e) edges[e] = e;
+  return solve_lcl(g, p, Labeling::empty(g), nodes, edges, nodes, max_steps);
+}
+
+}  // namespace lad

@@ -1,0 +1,33 @@
+// Centralized exact LCL solver (backtracking with incremental local
+// constraint checks).
+//
+// Used by (a) encoders, which per Definition 2 are centralized and may
+// compute any witness, and (b) the §4 decoder, where each cluster completes
+// the pinned border labeling by brute force inside its own ball.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lcl/lcl.hpp"
+
+namespace lad {
+
+/// Searches for labels of `free_nodes`/`free_edges` extending `pinned`
+/// (entries -1 in pinned are unassigned) such that valid_at holds for every
+/// node of `check_nodes` whose constraint region becomes fully labeled.
+/// Every check node's region must be fully labeled once the search finishes.
+/// Returns std::nullopt if no completion exists (or the step budget runs
+/// out, which throws instead — a budget exhaustion is a usage error).
+std::optional<Labeling> solve_lcl(const Graph& g, const LclProblem& p, const Labeling& pinned,
+                                  const std::vector<int>& free_nodes,
+                                  const std::vector<int>& free_edges,
+                                  const std::vector<int>& check_nodes,
+                                  std::int64_t max_steps = 50'000'000);
+
+/// Whole-graph convenience: all labels free, all constraints checked.
+std::optional<Labeling> solve_lcl(const Graph& g, const LclProblem& p,
+                                  std::int64_t max_steps = 50'000'000);
+
+}  // namespace lad

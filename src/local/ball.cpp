@@ -1,0 +1,29 @@
+#include "local/ball.hpp"
+
+namespace lad {
+
+Ball extract_ball(const Graph& g, int center, int radius, const NodeMask& mask) {
+  LAD_CHECK(radius >= 0);
+  Ball b;
+  b.radius = radius;
+  const auto nodes = ball_nodes(g, center, radius, mask);
+  const auto dist = bfs_distances(g, center, mask, radius);
+
+  Graph::Builder builder;
+  std::vector<int> ball_ix(static_cast<std::size_t>(g.n()), -1);
+  for (const int v : nodes) {
+    ball_ix[v] = builder.add_node(g.id(v));
+    b.to_parent.push_back(v);
+    b.dist.push_back(dist[v]);
+  }
+  for (const int v : nodes) {
+    for (const int u : g.neighbors(v)) {
+      if (ball_ix[u] >= 0 && v < u) builder.add_edge(ball_ix[v], ball_ix[u]);
+    }
+  }
+  b.graph = std::move(builder).build();
+  b.center = ball_ix[center];
+  return b;
+}
+
+}  // namespace lad

@@ -1,0 +1,62 @@
+// Radius-t views ("balls") — the information-theoretic content of t rounds
+// in the LOCAL model.
+//
+// A classical fact about the LOCAL model with unbounded messages: a T-round
+// algorithm is exactly a function mapping each node's radius-T ball
+// (topology + IDs + inputs within distance T) to an output. The heavy
+// decoders in this library are written against this view API; the message
+// engine in engine.hpp provides the operational semantics, and the test
+// suite cross-validates the two (gather-by-flooding reconstructs the same
+// ball).
+#pragma once
+
+#include <vector>
+
+#include "graph/distance.hpp"
+#include "graph/graph.hpp"
+
+namespace lad {
+
+struct Ball {
+  /// Induced subgraph on N_<=radius(center); nodes keep their original IDs.
+  Graph graph;
+  /// Index of the center within `graph`.
+  int center = 0;
+  /// Ball index -> index in the parent graph.
+  std::vector<int> to_parent;
+  /// Ball index -> distance from the center.
+  std::vector<int> dist;
+  int radius = 0;
+
+  /// Parent index -> ball index lookup (linear; balls are small).
+  int from_parent(int parent_ix) const {
+    for (std::size_t i = 0; i < to_parent.size(); ++i) {
+      if (to_parent[i] == parent_ix) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// Extracts the radius-t ball around `center`, optionally restricted to a
+/// masked subgraph.
+Ball extract_ball(const Graph& g, int center, int radius, const NodeMask& mask = {});
+
+/// Tracks the number of LOCAL rounds a view-based decoder has consumed. The
+/// final round count of an algorithm run in the view API is the maximum
+/// radius it gathered (plus any explicit extra rounds it charges).
+class RoundLedger {
+ public:
+  /// Records that some node gathered a radius-r ball.
+  void charge_radius(int r) { rounds_ = std::max(rounds_, r); }
+
+  /// Records r additional synchronous rounds after gathering.
+  void charge_extra(int r) { extra_ += r; }
+
+  int rounds() const { return rounds_ + extra_; }
+
+ private:
+  int rounds_ = 0;
+  int extra_ = 0;
+};
+
+}  // namespace lad

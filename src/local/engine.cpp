@@ -1,0 +1,97 @@
+#include "local/engine.hpp"
+
+#include <algorithm>
+
+namespace lad {
+
+NodeId NodeCtx::id() const { return eng_.g_.id(v_); }
+int NodeCtx::degree() const { return eng_.g_.degree(v_); }
+int NodeCtx::n() const { return eng_.g_.n(); }
+int NodeCtx::max_degree() const { return eng_.g_.max_degree(); }
+
+NodeId NodeCtx::neighbor_id(int port) const {
+  const auto nb = eng_.g_.neighbors(v_);
+  LAD_CHECK(port >= 0 && port < static_cast<int>(nb.size()));
+  return eng_.g_.id(nb[port]);
+}
+
+const std::string& NodeCtx::received(int port) const {
+  static const std::string kEmpty;
+  const int s = eng_.slot(v_, port);
+  return eng_.inbox_present_[s] ? eng_.inbox_[s] : kEmpty;
+}
+
+bool NodeCtx::has_message(int port) const { return eng_.inbox_present_[eng_.slot(v_, port)]; }
+
+void NodeCtx::send(int port, std::string payload) {
+  const int s = eng_.slot(v_, port);
+  eng_.outbox_[s] = std::move(payload);
+  eng_.outbox_present_[s] = 1;
+}
+
+void NodeCtx::broadcast(const std::string& payload) {
+  for (int p = 0; p < degree(); ++p) send(p, payload);
+}
+
+void NodeCtx::halt(std::string output) {
+  eng_.halted_[v_] = 1;
+  eng_.outputs_[v_] = std::move(output);
+}
+
+RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
+  const int n = g_.n();
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + g_.degree(v);
+  }
+  const int total_ports = offsets_[n];
+  const auto& offsets = offsets_;
+
+  inbox_.assign(static_cast<std::size_t>(total_ports), "");
+  inbox_present_.assign(static_cast<std::size_t>(total_ports), 0);
+  outbox_.assign(static_cast<std::size_t>(total_ports), "");
+  outbox_present_.assign(static_cast<std::size_t>(total_ports), 0);
+  halted_.assign(static_cast<std::size_t>(n), 0);
+  outputs_.assign(static_cast<std::size_t>(n), "");
+
+  alg.init(g_);
+
+  RunResult res;
+  for (int round = 1; round <= max_rounds; ++round) {
+    bool any_active = false;
+    for (int v = 0; v < n; ++v) {
+      if (halted_[v]) continue;
+      any_active = true;
+      NodeCtx ctx(*this, v, round);
+      alg.round(ctx);
+    }
+    if (!any_active) break;
+    res.rounds = round;
+
+    // Deliver: a message sent by v on port p arrives at u = nb(v)[p] on
+    // u's port q = port_of(u, v).
+    std::fill(inbox_present_.begin(), inbox_present_.end(), 0);
+    for (int v = 0; v < n; ++v) {
+      const auto nb = g_.neighbors(v);
+      for (int p = 0; p < static_cast<int>(nb.size()); ++p) {
+        const int s = offsets[v] + p;
+        if (!outbox_present_[s]) continue;
+        const int u = nb[p];
+        const int q = g_.port_of(u, v);
+        const int t = offsets[u] + q;
+        res.messages += 1;
+        res.bytes += static_cast<long long>(outbox_[s].size());
+        inbox_[t] = std::move(outbox_[s]);
+        inbox_present_[t] = 1;
+        outbox_present_[s] = 0;
+        outbox_[s].clear();
+      }
+    }
+  }
+
+  res.all_halted = std::all_of(halted_.begin(), halted_.end(), [](char h) { return h != 0; });
+  res.outputs = outputs_;
+  return res;
+}
+
+}  // namespace lad

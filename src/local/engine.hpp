@@ -1,0 +1,100 @@
+// Synchronous message-passing engine for the LOCAL model.
+//
+// Semantics (§3.2 of the paper): computation proceeds in synchronous rounds;
+// in each round every non-halted node reads the messages its neighbors sent
+// in the previous round, performs arbitrary local computation, sends one
+// (arbitrarily large) message per port, and may halt with an output. The
+// runtime of an algorithm is the number of rounds until every node has
+// halted.
+//
+// Nodes initially know: their own ID, their degree, their neighbors' IDs
+// (port-numbered with ID-sorted ports), the maximum degree Delta, and n.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lad {
+
+class Engine;
+
+/// Per-node, per-round interface handed to algorithms.
+class NodeCtx {
+ public:
+  int node() const { return v_; }
+  NodeId id() const;
+  int degree() const;
+  int n() const;
+  int max_degree() const;
+  int round_number() const { return round_; }
+
+  /// ID of the neighbor on the given port (ports are ID-sorted).
+  NodeId neighbor_id(int port) const;
+
+  /// Message received on `port` this round ("" if none).
+  const std::string& received(int port) const;
+  bool has_message(int port) const;
+
+  /// Sends `payload` to the neighbor on `port`, delivered next round.
+  void send(int port, std::string payload);
+
+  /// Sends the same payload on all ports.
+  void broadcast(const std::string& payload);
+
+  /// Terminates this node with the given output; `round()` is not called on
+  /// it again.
+  void halt(std::string output);
+
+ private:
+  friend class Engine;
+  NodeCtx(Engine& eng, int v, int round) : eng_(eng), v_(v), round_(round) {}
+  Engine& eng_;
+  int v_;
+  int round_;
+};
+
+/// A distributed algorithm: `round` is invoked once per node per round.
+/// Implementations typically keep per-node state in vectors indexed by
+/// ctx.node(); `init` is the place to size them.
+class SyncAlgorithm {
+ public:
+  virtual ~SyncAlgorithm() = default;
+  virtual void init(const Graph& g) { (void)g; }
+  virtual void round(NodeCtx& ctx) = 0;
+};
+
+struct RunResult {
+  /// Rounds executed until global termination (or max_rounds).
+  int rounds = 0;
+  bool all_halted = false;
+  /// Output string each node halted with ("" if it never halted).
+  std::vector<std::string> outputs;
+  /// Message complexity: messages delivered and their total payload bytes.
+  long long messages = 0;
+  long long bytes = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(const Graph& g) : g_(g) {}
+
+  /// Runs `alg` until all nodes halt or `max_rounds` elapse.
+  RunResult run(SyncAlgorithm& alg, int max_rounds);
+
+ private:
+  friend class NodeCtx;
+  const Graph& g_;
+  std::vector<std::string> inbox_;      // flattened: adj offset indexing
+  std::vector<char> inbox_present_;
+  std::vector<std::string> outbox_;
+  std::vector<char> outbox_present_;
+  std::vector<char> halted_;
+  std::vector<std::string> outputs_;
+  std::vector<int> offsets_;  // CSR port offsets, size n+1
+  int slot(int v, int port) const { return offsets_[v] + port; }
+};
+
+}  // namespace lad

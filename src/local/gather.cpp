@@ -1,0 +1,179 @@
+#include "local/gather.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "graph/distance.hpp"
+
+namespace lad {
+namespace {
+
+// Flooding state per node: known node IDs and known edges (as ID pairs).
+struct Knowledge {
+  std::set<NodeId> nodes;
+  std::set<std::pair<NodeId, NodeId>> edges;
+
+  std::string serialize() const {
+    std::ostringstream os;
+    os << nodes.size() << ' ';
+    for (const auto id : nodes) os << id << ' ';
+    os << edges.size() << ' ';
+    for (const auto& [a, b] : edges) os << a << ' ' << b << ' ';
+    return os.str();
+  }
+
+  void merge_serialized(const std::string& s) {
+    std::istringstream is(s);
+    std::size_t nn = 0, ne = 0;
+    is >> nn;
+    for (std::size_t i = 0; i < nn; ++i) {
+      NodeId id = 0;
+      is >> id;
+      nodes.insert(id);
+    }
+    is >> ne;
+    for (std::size_t i = 0; i < ne; ++i) {
+      NodeId a = 0, b = 0;
+      is >> a >> b;
+      edges.insert({a, b});
+    }
+  }
+};
+
+class GatherAlgorithm : public SyncAlgorithm {
+ public:
+  explicit GatherAlgorithm(int radius) : radius_(radius) {}
+
+  void init(const Graph& g) override {
+    know_.assign(static_cast<std::size_t>(g.n()), {});
+    for (int v = 0; v < g.n(); ++v) {
+      auto& k = know_[static_cast<std::size_t>(v)];
+      k.nodes.insert(g.id(v));
+      // A node initially knows its incident edges (neighbor IDs via ports).
+      for (const int u : g.neighbors(v)) {
+        k.nodes.insert(g.id(u));
+        k.edges.insert({std::min(g.id(v), g.id(u)), std::max(g.id(v), g.id(u))});
+      }
+    }
+  }
+
+  void round(NodeCtx& ctx) override {
+    auto& k = know_[static_cast<std::size_t>(ctx.node())];
+    for (int p = 0; p < ctx.degree(); ++p) {
+      if (ctx.has_message(p)) k.merge_serialized(ctx.received(p));
+    }
+    if (ctx.round_number() > radius_) {
+      ctx.halt(k.serialize());
+      return;
+    }
+    ctx.broadcast(k.serialize());
+  }
+
+  const Knowledge& knowledge(int v) const { return know_[static_cast<std::size_t>(v)]; }
+
+ private:
+  int radius_;
+  std::vector<Knowledge> know_;
+};
+
+}  // namespace
+
+std::vector<Ball> gather_balls_by_messages(const Graph& g, int radius) {
+  GatherAlgorithm alg(radius);
+  Engine eng(g);
+  const auto run = eng.run(alg, radius + 2);
+  LAD_CHECK(run.all_halted);
+
+  // After t+1 rounds a node knows edges incident to nodes at distance <= t;
+  // restrict to the induced radius-t ball.
+  std::vector<Ball> balls;
+  balls.reserve(static_cast<std::size_t>(g.n()));
+  for (int v = 0; v < g.n(); ++v) {
+    const auto& k = alg.knowledge(v);
+    // Build a graph from the known edges, then cut the radius-t ball.
+    std::map<NodeId, int> ix;
+    Graph::Builder b;
+    for (const auto id : k.nodes) ix[id] = b.add_node(id);
+    for (const auto& [a, c] : k.edges) b.add_edge(ix.at(a), ix.at(c));
+    const Graph known = std::move(b).build();
+    const Ball ball = extract_ball(known, known.index_of(g.id(v)), radius);
+
+    // Re-anchor to parent-graph indices.
+    Ball out;
+    out.radius = radius;
+    Graph::Builder ob;
+    for (int i = 0; i < ball.graph.n(); ++i) ob.add_node(ball.graph.id(i));
+    for (int e = 0; e < ball.graph.m(); ++e) ob.add_edge(ball.graph.edge_u(e), ball.graph.edge_v(e));
+    out.graph = std::move(ob).build();
+    out.center = ball.center;
+    out.dist = ball.dist;
+    for (int i = 0; i < ball.graph.n(); ++i) {
+      out.to_parent.push_back(g.index_of(ball.graph.id(i)));
+    }
+    balls.push_back(std::move(out));
+  }
+  return balls;
+}
+
+namespace {
+
+class BfsAlgorithm : public SyncAlgorithm {
+ public:
+  BfsAlgorithm(int source, DistributedBfsResult& out) : source_(source), out_(out) {}
+
+  void init(const Graph& g) override {
+    g_ = &g;
+    out_.dist.assign(static_cast<std::size_t>(g.n()), kUnreachable);
+    out_.parent.assign(static_cast<std::size_t>(g.n()), -1);
+  }
+
+  void round(NodeCtx& ctx) override {
+    const int v = ctx.node();
+    auto& d = out_.dist[static_cast<std::size_t>(v)];
+    if (ctx.round_number() == 1) {
+      if (v == source_) {
+        d = 0;
+        ctx.broadcast("0");
+      }
+      return;
+    }
+    bool announced = false;
+    if (d == kUnreachable) {
+      for (int p = 0; p < ctx.degree(); ++p) {
+        if (!ctx.has_message(p)) continue;
+        const int du = std::stoi(ctx.received(p));
+        if (d == kUnreachable || du + 1 < d) {
+          d = du + 1;
+          out_.parent[static_cast<std::size_t>(v)] = g_->neighbors(v)[p];
+        }
+      }
+      if (d != kUnreachable) {
+        ctx.broadcast(std::to_string(d));
+        announced = true;
+      }
+    }
+    // Termination: nodes cannot know the diameter, so the driver bounds the
+    // rounds; halt once settled and already announced.
+    if (d != kUnreachable && !announced) ctx.halt(std::to_string(d));
+  }
+
+ private:
+  int source_;
+  DistributedBfsResult& out_;
+  const Graph* g_ = nullptr;
+};
+
+}  // namespace
+
+DistributedBfsResult bfs_by_messages(const Graph& g, int source) {
+  DistributedBfsResult out;
+  BfsAlgorithm alg(source, out);
+  Engine eng(g);
+  const auto run = eng.run(alg, g.n() + 3);
+  out.rounds = run.rounds;
+  return out;
+}
+
+}  // namespace lad

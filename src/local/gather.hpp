@@ -1,0 +1,29 @@
+// Reusable message-passing building blocks on the Engine.
+//
+// gather_balls_by_messages is the operational proof of the view API: t+1
+// rounds of flooding reconstruct exactly the radius-t balls that
+// local/ball.hpp extracts combinatorially (the classical LOCAL
+// equivalence). bfs_by_messages is the standard distributed BFS.
+#pragma once
+
+#include <vector>
+
+#include "local/ball.hpp"
+#include "local/engine.hpp"
+
+namespace lad {
+
+/// Runs a flooding algorithm for radius+1 rounds and reconstructs each
+/// node's radius-`radius` ball from the messages alone.
+std::vector<Ball> gather_balls_by_messages(const Graph& g, int radius);
+
+struct DistributedBfsResult {
+  std::vector<int> dist;    // kUnreachable outside the source's component
+  std::vector<int> parent;  // BFS parent (-1 for source/unreached)
+  int rounds = 0;
+};
+
+/// Single-source BFS as a message-passing algorithm.
+DistributedBfsResult bfs_by_messages(const Graph& g, int source);
+
+}  // namespace lad

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "advice/advice.hpp"
+
+namespace lad {
+namespace {
+
+TEST(Advice, ClassifyUniform) {
+  Advice a(4);
+  for (auto& b : a) b = BitString::parse("10");
+  EXPECT_EQ(classify_advice(a), SchemaType::kUniformFixedLength);
+}
+
+TEST(Advice, ClassifySubsetFixed) {
+  Advice a(4);
+  a[1] = BitString::parse("101");
+  a[3] = BitString::parse("000");
+  EXPECT_EQ(classify_advice(a), SchemaType::kSubsetFixedLength);
+}
+
+TEST(Advice, ClassifyVariable) {
+  Advice a(4);
+  a[0] = BitString::parse("1");
+  a[2] = BitString::parse("1010");
+  EXPECT_EQ(classify_advice(a), SchemaType::kVariableLength);
+}
+
+TEST(Advice, StatsOneBit) {
+  Advice a = advice_from_bits({1, 0, 0, 1, 0});
+  const auto s = advice_stats(a);
+  EXPECT_TRUE(s.uniform_one_bit);
+  EXPECT_EQ(s.ones, 2);
+  EXPECT_EQ(s.zeros, 3);
+  EXPECT_DOUBLE_EQ(s.ones_ratio, 0.4);
+  EXPECT_EQ(s.total_bits, 5);
+  EXPECT_EQ(s.bit_holding_nodes, 5);
+}
+
+TEST(Advice, StatsVariable) {
+  Advice a(3);
+  a[0] = BitString::parse("101");
+  const auto s = advice_stats(a);
+  EXPECT_FALSE(s.uniform_one_bit);
+  EXPECT_EQ(s.bit_holding_nodes, 1);
+  EXPECT_EQ(s.total_bits, 3);
+  EXPECT_EQ(s.max_bits_per_node, 3);
+}
+
+TEST(Advice, BitsRoundTrip) {
+  const std::vector<char> bits = {1, 0, 1, 1, 0};
+  EXPECT_EQ(bits_from_advice(advice_from_bits(bits)), bits);
+}
+
+TEST(Advice, BitsFromNonUniformThrows) {
+  Advice a(2);
+  a[0] = BitString::parse("10");
+  a[1] = BitString::parse("1");
+  EXPECT_THROW(bits_from_advice(a), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cole_vishkin.hpp"
+#include "baselines/global_orientation.hpp"
+#include "baselines/linial.hpp"
+#include "baselines/trivial_advice.hpp"
+#include "graph/checkers.hpp"
+#include "graph/generators.hpp"
+
+namespace lad {
+namespace {
+
+TEST(ColeVishkin, ThreeColorsCycles) {
+  for (const int n : {3, 10, 100, 1000}) {
+    const Graph g = make_cycle(n, IdMode::kRandomDense, 7 + n);
+    const auto res = cole_vishkin_cycle(g, cycle_successors(g));
+    EXPECT_TRUE(is_proper_coloring(g, res.colors, 3)) << "n=" << n;
+  }
+}
+
+TEST(ColeVishkin, RoundsGrowVerySlowly) {
+  // O(log* n): the round count is tiny and almost flat in n.
+  const Graph a = make_cycle(50, IdMode::kRandomDense, 1);
+  const Graph b = make_cycle(5000, IdMode::kRandomDense, 2);
+  const int ra = cole_vishkin_cycle(a, cycle_successors(a)).rounds;
+  const int rb = cole_vishkin_cycle(b, cycle_successors(b)).rounds;
+  EXPECT_LE(rb, ra + 4);
+  EXPECT_LE(rb, 20);
+}
+
+TEST(ColeVishkin, SparseIds) {
+  const Graph g = make_cycle(256, IdMode::kRandomSparse, 3);
+  const auto res = cole_vishkin_cycle(g, cycle_successors(g));
+  EXPECT_TRUE(is_proper_coloring(g, res.colors, 3));
+}
+
+TEST(Linial, StepReducesPalette) {
+  const Graph g = make_cycle(100, IdMode::kRandomDense, 4);
+  std::vector<int> colors(100);
+  for (int v = 0; v < 100; ++v) colors[v] = v + 1;
+  const auto res = linial_step(g, colors, 100);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors, res.num_colors));
+  EXPECT_LT(res.num_colors, 100);
+}
+
+TEST(Linial, FromIdsReachesSmallPalette) {
+  const Graph g = make_grid(12, 12, IdMode::kRandomSparse, 5);
+  const auto res = linial_coloring_from_ids(g);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors, res.num_colors));
+  const int delta = g.max_degree();
+  EXPECT_LE(res.num_colors, 8 * delta * delta + 60);  // O(Δ^2) ballpark
+  EXPECT_LE(res.rounds, 8);                           // ~log* of the ID space
+}
+
+TEST(Linial, ReduceToDeltaPlusOne) {
+  const Graph g = make_random_regular(150, 4, 6);
+  auto lin = linial_coloring_from_ids(g);
+  const auto res = reduce_to_k_by_classes(g, lin.colors, lin.num_colors, 5);
+  EXPECT_TRUE(is_proper_coloring(g, res.colors, 5));
+}
+
+TEST(Linial, ClassReductionRejectsTooFewColors) {
+  const Graph g = make_complete(5);
+  std::vector<int> colors = {1, 2, 3, 4, 5};
+  EXPECT_THROW(reduce_to_k_by_classes(g, colors, 5, 3), ContractViolation);
+}
+
+TEST(GlobalOrientation, BalancedButLinearRounds) {
+  const Graph g = make_cycle(700, IdMode::kRandomDense, 8);
+  const auto res = orient_without_advice(g);
+  EXPECT_TRUE(is_balanced_orientation(g, res.orientation, 1));
+  EXPECT_EQ(res.rounds, 700);  // must see the whole cycle: Θ(n)
+}
+
+TEST(GlobalOrientation, RoundsScaleWithN) {
+  const int ra = orient_without_advice(make_cycle(100)).rounds;
+  const int rb = orient_without_advice(make_cycle(1000)).rounds;
+  EXPECT_EQ(ra, 100);
+  EXPECT_EQ(rb, 1000);
+}
+
+TEST(TrivialAdvice, EdgeAdviceOrientationRoundTrip) {
+  // §1.4: with advice on edges, 1 bit per edge trivially stores any
+  // orientation and decodes in 0 rounds.
+  const Graph g = make_grid(8, 8, IdMode::kRandomSparse, 9);
+  const auto base = orient_without_advice(g);
+  const auto bits = edge_advice_for_orientation(g, base.orientation);
+  const auto back = decode_edge_advice_orientation(g, bits);
+  EXPECT_EQ(back, base.orientation);
+  EXPECT_TRUE(is_balanced_orientation(g, back, 1));
+}
+
+TEST(TrivialAdvice, RoundTrip) {
+  const Graph g = make_cycle(9);
+  std::vector<int> labels(9);
+  for (int v = 0; v < 9; ++v) labels[v] = 1 + v % 3;
+  const auto advice = trivial_node_label_advice(g, labels, 3);
+  EXPECT_EQ(decode_trivial_node_labels(g, advice, 3), labels);
+  EXPECT_EQ(trivial_bits_per_node(3), 2);
+  EXPECT_EQ(trivial_bits_per_node(2), 1);
+  EXPECT_EQ(trivial_bits_per_node(8), 3);
+  EXPECT_EQ(trivial_bits_per_node(9), 4);
+}
+
+}  // namespace
+}  // namespace lad

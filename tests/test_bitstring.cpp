@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "advice/bitstring.hpp"
+
+namespace lad {
+namespace {
+
+TEST(BitString, ParseAndToString) {
+  const auto b = BitString::parse("10110");
+  EXPECT_EQ(b.size(), 5);
+  EXPECT_TRUE(b.bit(0));
+  EXPECT_FALSE(b.bit(1));
+  EXPECT_EQ(b.to_string(), "10110");
+  EXPECT_THROW(BitString::parse("10x"), ContractViolation);
+}
+
+TEST(BitString, FixedWidth) {
+  const auto b = BitString::fixed_width(5, 4);
+  EXPECT_EQ(b.to_string(), "0101");
+  int pos = 0;
+  EXPECT_EQ(b.read_fixed(pos, 4), 5u);
+  EXPECT_EQ(pos, 4);
+  EXPECT_THROW(BitString::fixed_width(4, 2), ContractViolation);
+}
+
+TEST(BitString, AppendConcat) {
+  auto a = BitString::parse("11");
+  a.append(BitString::parse("00"));
+  a.append(true);
+  EXPECT_EQ(a.to_string(), "11001");
+}
+
+TEST(BitString, GammaRoundTrip) {
+  BitString b;
+  const std::uint64_t values[] = {1, 2, 3, 7, 8, 100, 12345, 1ULL << 40};
+  for (const auto v : values) b.append_gamma(v);
+  int pos = 0;
+  for (const auto v : values) EXPECT_EQ(b.read_gamma(pos), v);
+  EXPECT_EQ(pos, b.size());
+}
+
+TEST(BitString, GammaRejectsZero) {
+  BitString b;
+  EXPECT_THROW(b.append_gamma(0), ContractViolation);
+}
+
+TEST(BitString, ReadPastEndThrows) {
+  const auto b = BitString::parse("1");
+  int pos = 0;
+  EXPECT_THROW(b.read_fixed(pos, 2), ContractViolation);
+}
+
+TEST(BitString, TruncatedGammaThrows) {
+  const auto b = BitString::parse("00");  // promises >= 2 more bits
+  int pos = 0;
+  EXPECT_THROW(b.read_gamma(pos), ContractViolation);
+}
+
+TEST(BitString, Equality) {
+  EXPECT_EQ(BitString::parse("101"), BitString::parse("101"));
+  EXPECT_FALSE(BitString::parse("101") == BitString::parse("100"));
+  EXPECT_TRUE(BitString{}.empty());
+}
+
+class GammaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GammaFuzz, RandomSequencesRoundTrip) {
+  std::mt19937_64 rng(GetParam());
+  BitString b;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 200; ++i) {
+    // Spread across magnitudes: 1..2^k for random k.
+    const int k = static_cast<int>(rng() % 50);
+    const std::uint64_t v = 1 + (rng() % ((1ULL << k) | 1ULL));
+    values.push_back(v);
+    b.append_gamma(v);
+  }
+  int pos = 0;
+  for (const auto v : values) EXPECT_EQ(b.read_gamma(pos), v);
+  EXPECT_EQ(pos, b.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GammaFuzz, ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(BitString, FixedWidthBoundaries) {
+  EXPECT_EQ(BitString::fixed_width(0, 0).size(), 0);
+  const auto full = BitString::fixed_width(0xFFFFFFFFFFFFFFFFULL, 64);
+  int pos = 0;
+  EXPECT_EQ(full.read_fixed(pos, 64), 0xFFFFFFFFFFFFFFFFULL);
+}
+
+TEST(BitString, MixedCodecs) {
+  BitString b;
+  b.append_gamma(42);
+  b.append(BitString::fixed_width(5, 3));
+  b.append_gamma(1);
+  int pos = 0;
+  EXPECT_EQ(b.read_gamma(pos), 42u);
+  EXPECT_EQ(b.read_fixed(pos, 3), 5u);
+  EXPECT_EQ(b.read_gamma(pos), 1u);
+  EXPECT_EQ(pos, b.size());
+}
+
+}  // namespace
+}  // namespace lad

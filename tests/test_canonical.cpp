@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "graph/canonical.hpp"
+#include "graph/generators.hpp"
+
+namespace lad {
+namespace {
+
+TEST(Canonical, OrderInvariance) {
+  // Two paths with different numerical IDs but identical ID order must give
+  // identical canonical keys.
+  const Graph a = make_graph({10, 20, 30}, {{10, 20}, {20, 30}});
+  const Graph b = make_graph({7, 100, 5000}, {{7, 100}, {100, 5000}});
+  const auto ka = canonical_view(a, a.all_nodes(), a.index_of(20));
+  const auto kb = canonical_view(b, b.all_nodes(), b.index_of(100));
+  EXPECT_EQ(ka, kb);
+}
+
+TEST(Canonical, SensitiveToIdOrder) {
+  // Same topology, but the center is the largest ID in one and the middle
+  // ID in the other: different relative order, different key.
+  const Graph a = make_graph({1, 2, 3}, {{1, 2}, {2, 3}});
+  const Graph b = make_graph({1, 5, 3}, {{1, 5}, {5, 3}});
+  const auto ka = canonical_view(a, a.all_nodes(), a.index_of(2));
+  const auto kb = canonical_view(b, b.all_nodes(), b.index_of(5));
+  EXPECT_NE(ka, kb);
+}
+
+TEST(Canonical, SensitiveToTopology) {
+  const Graph path = make_graph({1, 2, 3}, {{1, 2}, {2, 3}});
+  const Graph tri = make_graph({1, 2, 3}, {{1, 2}, {2, 3}, {1, 3}});
+  EXPECT_NE(canonical_view(path, path.all_nodes(), 0),
+            canonical_view(tri, tri.all_nodes(), 0));
+}
+
+TEST(Canonical, SensitiveToCenter) {
+  const Graph g = make_graph({1, 2, 3}, {{1, 2}, {2, 3}});
+  EXPECT_NE(canonical_view(g, g.all_nodes(), g.index_of(1)),
+            canonical_view(g, g.all_nodes(), g.index_of(2)));
+}
+
+TEST(Canonical, SensitiveToLabels) {
+  const Graph g = make_graph({1, 2}, {{1, 2}});
+  EXPECT_NE(canonical_view(g, g.all_nodes(), 0, {0, 1}),
+            canonical_view(g, g.all_nodes(), 0, {1, 0}));
+  EXPECT_EQ(canonical_view(g, g.all_nodes(), 0, {1, 0}),
+            canonical_view(g, g.all_nodes(), 0, {1, 0}));
+}
+
+TEST(Canonical, SubsetView) {
+  const Graph g = make_path(5);
+  const auto key = canonical_view(g, {1, 2, 3}, 2);
+  const Graph h = make_path(3);
+  EXPECT_EQ(key, canonical_view(h, h.all_nodes(), 1));
+}
+
+TEST(Canonical, CenterMustBeInSet) {
+  const Graph g = make_path(5);
+  EXPECT_THROW(canonical_view(g, {0, 1}, 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lad

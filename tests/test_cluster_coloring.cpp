@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster_coloring.hpp"
+#include "graph/checkers.hpp"
+#include "graph/generators.hpp"
+
+namespace lad {
+namespace {
+
+void round_trip(const Graph& g, const ClusterColoringParams& params = {}) {
+  const auto enc = encode_cluster_coloring_advice(g, params);
+  const auto dec = decode_cluster_coloring(g, enc.advice, params);
+  const int delta = std::max(1, g.max_degree());
+  EXPECT_TRUE(is_proper_coloring(g, dec.coloring, dec.num_colors));
+  // Lemma 6.3: O(Δ^2) colors after the Linial reduction (q^2 for the first
+  // prime q > Δ·d, comfortably within 8Δ² + 60).
+  EXPECT_LE(dec.num_colors, 8 * delta * delta + 60) << "Δ=" << delta;
+  EXPECT_GT(enc.num_clusters, 0);
+}
+
+TEST(ClusterColoring, Cycle) { round_trip(make_cycle(600, IdMode::kRandomDense, 1)); }
+TEST(ClusterColoring, Grid) { round_trip(make_grid(24, 24, IdMode::kRandomDense, 2)); }
+TEST(ClusterColoring, RandomRegular) { round_trip(make_random_regular(500, 5, 3)); }
+TEST(ClusterColoring, Tree) { round_trip(make_bounded_degree_tree(500, 4, 4)); }
+TEST(ClusterColoring, PlantedDense) {
+  round_trip(make_planted_colorable(700, 6, 4.0, 6, 5).graph);
+}
+
+TEST(ClusterColoring, AdviceIsPerCenterOnly) {
+  const Graph g = make_cycle(1000, IdMode::kRandomDense, 6);
+  const auto enc = encode_cluster_coloring_advice(g);
+  EXPECT_EQ(static_cast<int>(enc.advice.size()), enc.num_clusters);
+  for (const auto& [node, entries] : enc.advice) {
+    (void)node;
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].schema_id, 0);
+  }
+}
+
+TEST(ClusterColoring, RoundsScaleWithSpacingNotN) {
+  ClusterColoringParams params;
+  params.cluster_spacing = 10;
+  const auto a = make_cycle(800, IdMode::kRandomDense, 7);
+  const auto b = make_cycle(6400, IdMode::kRandomDense, 8);
+  const auto ra = decode_cluster_coloring(a, encode_cluster_coloring_advice(a, params).advice,
+                                          params)
+                      .rounds;
+  const auto rb = decode_cluster_coloring(b, encode_cluster_coloring_advice(b, params).advice,
+                                          params)
+                      .rounds;
+  EXPECT_LE(std::abs(ra - rb), 6);  // cluster radius < spacing, both cases
+}
+
+TEST(ClusterColoring, SchemaIdFilter) {
+  // Entries of other schemas are ignored by the decoder.
+  const Graph g = make_cycle(500, IdMode::kRandomDense, 9);
+  auto enc = encode_cluster_coloring_advice(g);
+  SchemaEntry foreign;
+  foreign.schema_id = 99;
+  foreign.anchor_id = g.id(0);
+  foreign.payload = BitString::parse("1111");
+  enc.advice[0].push_back(foreign);
+  const auto dec = decode_cluster_coloring(g, enc.advice);
+  EXPECT_TRUE(is_proper_coloring(g, dec.coloring, dec.num_colors));
+}
+
+class ClusterSpacingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterSpacingSweep, ValidAcrossSpacings) {
+  ClusterColoringParams params;
+  params.cluster_spacing = GetParam();
+  round_trip(make_grid(20, 20, IdMode::kRandomDense, 10), params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spacings, ClusterSpacingSweep, ::testing::Values(4, 8, 16, 32));
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/decompress.hpp"
+#include "graph/generators.hpp"
+#include "graph/rng.hpp"
+
+namespace lad {
+namespace {
+
+std::vector<char> random_subset(int m, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<char> x(static_cast<std::size_t>(m), 0);
+  for (auto& b : x) b = rng.flip(p) ? 1 : 0;
+  return x;
+}
+
+void round_trip(const Graph& g, double density, std::uint64_t seed) {
+  const auto x = random_subset(g.m(), density, seed);
+  const auto compressed = compress_edge_set(g, x);
+  const auto result = decompress_edge_set(g, compressed);
+  EXPECT_EQ(result.in_x, x);
+  for (int v = 0; v < g.n(); ++v) {
+    const int budget = (g.degree(v) + 1) / 2 + 1;
+    EXPECT_LE(compressed.labels[static_cast<std::size_t>(v)].size(), budget);
+    EXPECT_LE(compressed.labels[static_cast<std::size_t>(v)].size(), trivial_bits_at(g, v) + 1);
+  }
+}
+
+TEST(Decompress, CycleHalf) { round_trip(make_cycle(400, IdMode::kRandomDense, 1), 0.5, 10); }
+TEST(Decompress, CycleSparseSet) { round_trip(make_cycle(300), 0.05, 11); }
+TEST(Decompress, CycleFullSet) { round_trip(make_cycle(300), 1.0, 12); }
+TEST(Decompress, CycleEmptySet) { round_trip(make_cycle(300), 0.0, 13); }
+TEST(Decompress, Grid) { round_trip(make_grid(18, 18, IdMode::kRandomDense, 2), 0.4, 14); }
+TEST(Decompress, Regular6) { round_trip(make_random_regular(500, 6, 3), 0.5, 15); }
+TEST(Decompress, Tree) { round_trip(make_bounded_degree_tree(300, 5, 4), 0.3, 16); }
+TEST(Decompress, Torus) { round_trip(make_torus(10, 14, IdMode::kRandomSparse, 5), 0.6, 17); }
+
+TEST(Decompress, BitsPerNodeBeatTrivialOnRegulars) {
+  // On d-regular graphs with d >= 4 the schema stores ceil(d/2)+1 < d bits.
+  const Graph g = make_random_regular(450, 6, 21);
+  const auto x = random_subset(g.m(), 0.5, 22);
+  const auto compressed = compress_edge_set(g, x);
+  long long ours = 0, trivial = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    ours += compressed.labels[static_cast<std::size_t>(v)].size();
+    trivial += trivial_bits_at(g, v);
+  }
+  EXPECT_LT(ours, trivial);
+}
+
+TEST(Decompress, RoundsIndependentOfN) {
+  const auto small = make_cycle(300, IdMode::kRandomDense, 31);
+  const auto large = make_cycle(3000, IdMode::kRandomDense, 32);
+  const auto cs = compress_edge_set(small, random_subset(small.m(), 0.5, 33));
+  const auto cl = compress_edge_set(large, random_subset(large.m(), 0.5, 34));
+  EXPECT_EQ(decompress_edge_set(small, cs).rounds, decompress_edge_set(large, cl).rounds);
+}
+
+TEST(Decompress, CircularLadder) {
+  round_trip(make_circular_ladder(250, IdMode::kRandomDense, 6), 0.5, 18);
+}
+
+TEST(Decompress, BandedRandom) {
+  round_trip(make_banded_random(900, 6, 3.0, 6, 7), 0.35, 19);
+}
+
+TEST(Decompress, LabelsAreSelfContainedPerNode) {
+  // A node's label length is exactly 1 + its outdegree under the decoded
+  // orientation — never more.
+  const Graph g = make_grid(14, 14, IdMode::kRandomDense, 8);
+  std::vector<char> x(static_cast<std::size_t>(g.m()), 1);
+  const auto c = compress_edge_set(g, x);
+  long long total = 0;
+  for (int v = 0; v < g.n(); ++v) total += c.labels[static_cast<std::size_t>(v)].size();
+  // Sum over nodes of (1 + outdeg) = n + m.
+  EXPECT_EQ(total, static_cast<long long>(g.n()) + g.m());
+}
+
+class DecompressSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(DecompressSweep, RegularDegreeSweep) {
+  const auto [d, density] = GetParam();
+  // Higher degrees need longer trails relative to the Δ-scaled marker
+  // spacing (DESIGN.md: the Δ^O(α) dependence), so n grows with d.
+  const Graph g = make_random_regular(80 * d, d, 100 + d);
+  round_trip(g, density, 1000 + d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DecompressSweep,
+                         ::testing::Combine(::testing::Values(2, 3, 4, 5, 8),
+                                            ::testing::Values(0.1, 0.5, 0.9)));
+
+}  // namespace
+}  // namespace lad

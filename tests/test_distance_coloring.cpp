@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "graph/distance_coloring.hpp"
+#include "graph/generators.hpp"
+
+namespace lad {
+namespace {
+
+class DistColoringSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DistColoringSweep, ValidOnCycles) {
+  const auto [n, d] = GetParam();
+  const Graph g = make_cycle(n, IdMode::kRandomDense, 5);
+  const auto colors = distance_coloring(g, d);
+  EXPECT_TRUE(is_distance_coloring(g, colors, d));
+  // Greedy on a cycle never needs more than 2d+1 colors.
+  EXPECT_LE(num_colors(colors), 2 * d + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DistColoringSweep,
+                         ::testing::Combine(::testing::Values(15, 40, 101),
+                                            ::testing::Values(1, 2, 4, 7)));
+
+TEST(DistanceColoring, DistanceOneIsProperColoring) {
+  const Graph g = make_grid(8, 8, IdMode::kRandomDense, 9);
+  const auto colors = distance_coloring(g, 1);
+  EXPECT_TRUE(is_distance_coloring(g, colors, 1));
+  EXPECT_LE(num_colors(colors), g.max_degree() + 1);
+}
+
+TEST(DistanceColoring, MaskedNodesStayZero) {
+  const Graph g = make_path(10);
+  NodeMask mask(10, 1);
+  mask[0] = mask[9] = 0;
+  const auto colors = distance_coloring(g, 2, mask);
+  EXPECT_EQ(colors[0], 0);
+  EXPECT_EQ(colors[9], 0);
+  EXPECT_TRUE(is_distance_coloring(g, colors, 2, mask));
+}
+
+TEST(DistanceColoring, ValidatorCatchesViolation) {
+  const Graph g = make_path(4);
+  // Nodes 0 and 2 share a color at distance 2.
+  EXPECT_FALSE(is_distance_coloring(g, {1, 2, 1, 3}, 2));
+  EXPECT_TRUE(is_distance_coloring(g, {1, 2, 3, 1}, 2));
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,92 @@
+// Cross-cutting edge cases not tied to a single module's suite.
+#include <gtest/gtest.h>
+
+#include "advice/advice.hpp"
+#include "core/orientation.hpp"
+#include "core/subexp_lcl.hpp"
+#include "graph/checkers.hpp"
+#include "graph/generators.hpp"
+#include "lcl/problems.hpp"
+#include "local/engine.hpp"
+
+namespace lad {
+namespace {
+
+TEST(EdgeCases, PortOfNonNeighbor) {
+  const Graph g = make_path(4);
+  EXPECT_EQ(g.port_of(0, 3), -1);
+  EXPECT_EQ(g.port_of(0, 1), 0);
+}
+
+TEST(EdgeCases, AdviceStatsEmptyGraph) {
+  const auto s = advice_stats({});
+  EXPECT_EQ(s.n, 0);
+  EXPECT_EQ(s.total_bits, 0);
+  EXPECT_TRUE(s.uniform_one_bit);
+}
+
+TEST(EdgeCases, HaltedNodesNotCalledAgain) {
+  // A node that halts in round 1 must never see round() again.
+  class HaltOnce : public SyncAlgorithm {
+   public:
+    void init(const Graph& g) override { calls.assign(static_cast<std::size_t>(g.n()), 0); }
+    void round(NodeCtx& ctx) override {
+      ++calls[static_cast<std::size_t>(ctx.node())];
+      if (ctx.node() == 0) {
+        ctx.halt("done");
+      } else if (ctx.round_number() == 3) {
+        ctx.halt("late");
+      }
+    }
+    std::vector<int> calls;
+  };
+  const Graph g = make_path(3);
+  HaltOnce alg;
+  Engine eng(g);
+  const auto res = eng.run(alg, 10);
+  EXPECT_TRUE(res.all_halted);
+  EXPECT_EQ(alg.calls[0], 1);
+  EXPECT_EQ(alg.calls[1], 3);
+}
+
+TEST(EdgeCases, OrientationOnIsolatedNodes) {
+  // Nodes of degree 0 impose no constraints; the schema must not choke.
+  const Graph g = disjoint_union({make_path(1), make_cycle(200), make_path(1)},
+                                 IdMode::kRandomDense, 3);
+  const auto enc = encode_orientation_advice(g);
+  const auto dec = decode_orientation(g, enc.bits);
+  EXPECT_TRUE(is_balanced_orientation(g, dec.orientation, 1));
+}
+
+TEST(EdgeCases, SubexpOnTwoFarComponents) {
+  // Two long cycles: clusters form independently in each.
+  const Graph g =
+      disjoint_union({make_cycle(1500), make_cycle(1500)}, IdMode::kRandomDense, 4);
+  VertexColoringLcl p(3);
+  SubexpLclParams params;
+  params.x = 100;
+  const auto enc = encode_subexp_lcl_advice(g, p, params);
+  EXPECT_GE(enc.num_clusters, 2);
+  const auto dec = decode_subexp_lcl(g, p, enc.bits, params);
+  EXPECT_TRUE(is_valid_labeling(g, p, dec.labeling));
+}
+
+TEST(EdgeCases, SinklessOrientationLowDegreeAlwaysValid) {
+  // Degree < 3 nodes are unconstrained per the LCL definition.
+  const Graph g = make_path(5);
+  SinklessOrientationLcl p;
+  Labeling lab = Labeling::empty(g);
+  lab.edge_labels.assign(static_cast<std::size_t>(g.m()), 1);
+  EXPECT_TRUE(is_valid_labeling(g, p, lab));
+}
+
+TEST(EdgeCases, GeneratorDegenerateSizes) {
+  EXPECT_EQ(make_path(1).n(), 1);
+  EXPECT_EQ(make_star(1).m(), 0);
+  EXPECT_EQ(make_hypercube(0).n(), 1);
+  EXPECT_EQ(make_complete(1).m(), 0);
+  EXPECT_THROW(make_cycle(2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lad

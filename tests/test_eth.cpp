@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "core/eth.hpp"
+#include "graph/checkers.hpp"
+#include "graph/generators.hpp"
+#include "lcl/problems.hpp"
+
+namespace lad {
+namespace {
+
+TEST(Eth, VerbatimDecoderFindsTwoColoringOfEvenCycle) {
+  const Graph g = make_cycle(8, IdMode::kRandomDense, 1);
+  VertexColoringLcl p(2);
+  const auto dec = make_verbatim_decoder();
+  const auto res = enumerate_advice(g, p, 1, dec);
+  ASSERT_TRUE(res.found);
+  EXPECT_TRUE(is_proper_coloring(g, res.labels, 2));
+}
+
+TEST(Eth, VerbatimDecoderExhaustsOnOddCycle) {
+  // 2-coloring an odd cycle is impossible: all 2^n assignments fail.
+  const Graph g = make_cycle(9);
+  VertexColoringLcl p(2);
+  const auto dec = make_verbatim_decoder();
+  const auto res = enumerate_advice(g, p, 1, dec);
+  EXPECT_FALSE(res.found);
+  EXPECT_EQ(res.assignments_tried, 1LL << 9);
+}
+
+TEST(Eth, TwoBitsSolveThreeColoring) {
+  const Graph g = make_cycle(7, IdMode::kRandomDense, 2);
+  VertexColoringLcl p(4);  // beta=2 encodes 4 labels verbatim
+  const auto dec = make_verbatim_decoder();
+  const auto res = enumerate_advice(g, p, 2, dec);
+  ASSERT_TRUE(res.found);
+  EXPECT_TRUE(is_proper_coloring(g, res.labels, 4));
+}
+
+TEST(Eth, OrderInvariantTableIsReusedAcrossIdSpaces) {
+  // The same cycle with different ID values but identical ID order must
+  // produce zero new table misses on the second run.
+  VertexColoringLcl p(2);
+  const auto dec = make_verbatim_decoder();
+
+  const Graph a = make_cycle(6, IdMode::kSequential, 1);
+  auto ra = enumerate_advice(a, p, 1, dec);
+  const long long misses_first = ra.misses;
+  EXPECT_GT(misses_first, 0);
+
+  // IDs 10,20,...,60 preserve the order of 1..6.
+  std::vector<NodeId> ids;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (int i = 0; i < 6; ++i) ids.push_back(10 * (i + 1));
+  for (int i = 0; i < 6; ++i) edges.emplace_back(10 * (i + 1), 10 * ((i + 1) % 6 + 1));
+  const Graph b = make_graph(ids, edges);
+  dec.reset_counters();
+  auto rb = enumerate_advice(b, p, 1, dec);
+  EXPECT_EQ(rb.misses, 0) << "order-invariant table should already cover all views";
+}
+
+TEST(Eth, ExponentialScalingOfAssignments) {
+  // The unsolvable instance forces full enumeration: tried = 2^n.
+  VertexColoringLcl p(2);
+  long long prev = 0;
+  for (const int n : {5, 7, 9}) {
+    const auto dec = make_verbatim_decoder();
+    const auto res = enumerate_advice(make_cycle(n), p, 1, dec);
+    EXPECT_FALSE(res.found);
+    EXPECT_EQ(res.assignments_tried, 1LL << n);
+    EXPECT_GT(res.assignments_tried, prev);
+    prev = res.assignments_tried;
+  }
+}
+
+TEST(Eth, TableStaysSmall) {
+  // s(n) is amortized O(1): distinct canonical radius-0 views with 1-bit
+  // advice on a cycle are just {bit 0, bit 1}.
+  const Graph g = make_cycle(10);
+  VertexColoringLcl p(2);
+  const auto dec = make_verbatim_decoder();
+  const auto res = enumerate_advice(g, p, 1, dec);
+  EXPECT_LE(res.table_size, 2);
+  EXPECT_GT(res.lookups, res.table_size);
+}
+
+TEST(Eth, ParityDecoderRuns) {
+  const Graph g = make_cycle(6, IdMode::kRandomDense, 3);
+  VertexColoringLcl p(3);
+  const auto dec = make_parity_cycle_decoder();
+  const auto res = enumerate_advice(g, p, 1, dec, 1LL << 6);
+  // Whether or not advice exists under this restricted rule, the search
+  // must stay within budget and keep a bounded table.
+  EXPECT_LE(res.assignments_tried, 1LL << 6);
+  EXPECT_GT(res.table_size, 0);
+  if (res.found) EXPECT_TRUE(is_proper_coloring(g, res.labels, 3));
+}
+
+TEST(Eth, OrderInvarianceCheckerPassesForInvariantRules) {
+  const Graph g = make_cycle(10, IdMode::kRandomDense, 5);
+  std::vector<int> advice(10);
+  for (int v = 0; v < 10; ++v) advice[v] = v % 2;
+  EXPECT_TRUE(check_order_invariance(make_verbatim_decoder(), g, advice, 5, 1));
+  EXPECT_TRUE(check_order_invariance(make_parity_cycle_decoder(), g, advice, 5, 2));
+}
+
+TEST(Eth, MemoizationForcesOrderInvariance) {
+  // The §8 Lemma: any advice algorithm A can be replaced by an
+  // order-invariant A'. OrderInvariantDecoder realizes A' by keying the
+  // rule on canonical views: even a rule that *reads numerical IDs* becomes
+  // order-invariant, because the memo table answers every view isomorphic
+  // (as an ordered labeled graph) to one already seen.
+  OrderInvariantDecoder raw_id_rule(0, [](const Ball& ball, const std::vector<int>&) {
+    return 1 + static_cast<int>(ball.graph.id(ball.center) % 2);
+  });
+  const Graph g = make_cycle(8, IdMode::kRandomDense, 6);
+  const std::vector<int> advice(8, 0);
+  // All radius-0 views with identical advice share one canonical key, so
+  // A' collapses the ID-dependent rule to a single consistent answer...
+  EXPECT_TRUE(check_order_invariance(raw_id_rule, g, advice, 10, 3));
+  // ...and indeed every node decodes to the same label.
+  const int first = raw_id_rule.decode(g, 0, advice);
+  for (int v = 1; v < g.n(); ++v) EXPECT_EQ(raw_id_rule.decode(g, v, advice), first);
+}
+
+TEST(Eth, MaxAssignmentsBudget) {
+  const Graph g = make_cycle(9);
+  VertexColoringLcl p(2);
+  const auto dec = make_verbatim_decoder();
+  const auto res = enumerate_advice(g, p, 1, dec, 17);
+  EXPECT_FALSE(res.found);
+  EXPECT_EQ(res.assignments_tried, 17);
+}
+
+}  // namespace
+}  // namespace lad

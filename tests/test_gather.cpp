@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "graph/canonical.hpp"
+#include "graph/distance.hpp"
+#include "graph/generators.hpp"
+#include "local/gather.hpp"
+
+namespace lad {
+namespace {
+
+// The operational/combinatorial equivalence at the heart of the LOCAL
+// model: flooding for t+1 rounds reconstructs exactly the radius-t ball.
+class GatherEquivalence : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GatherEquivalence, FloodingMatchesExtraction) {
+  const auto [which, radius] = GetParam();
+  Graph g;
+  switch (which) {
+    case 0:
+      g = make_cycle(24, IdMode::kRandomDense, 5);
+      break;
+    case 1:
+      g = make_grid(6, 6, IdMode::kRandomSparse, 6);
+      break;
+    default:
+      g = make_bounded_degree_tree(40, 4, 7);
+      break;
+  }
+  const auto balls = gather_balls_by_messages(g, radius);
+  ASSERT_EQ(static_cast<int>(balls.size()), g.n());
+  for (int v = 0; v < g.n(); ++v) {
+    const Ball direct = extract_ball(g, v, radius);
+    // Compare as canonical views (topology + ID order + center).
+    const auto key_a =
+        canonical_view(balls[v].graph, balls[v].graph.all_nodes(), balls[v].center);
+    const auto key_b = canonical_view(direct.graph, direct.graph.all_nodes(), direct.center);
+    EXPECT_EQ(key_a, key_b) << "node " << g.id(v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GatherEquivalence,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(0, 1, 2, 3)));
+
+TEST(DistributedBfs, MatchesCentralizedDistances) {
+  const Graph g = make_grid(7, 5, IdMode::kRandomDense, 8);
+  const auto res = bfs_by_messages(g, 3);
+  const auto expect = bfs_distances(g, 3);
+  EXPECT_EQ(res.dist, expect);
+}
+
+TEST(DistributedBfs, ParentsFormBfsTree) {
+  const Graph g = make_cycle(15);
+  const auto res = bfs_by_messages(g, 0);
+  for (int v = 0; v < g.n(); ++v) {
+    if (v == 0) {
+      EXPECT_EQ(res.parent[v], -1);
+      continue;
+    }
+    ASSERT_GE(res.parent[v], 0);
+    EXPECT_EQ(res.dist[res.parent[v]], res.dist[v] - 1);
+    EXPECT_TRUE(g.adjacent(v, res.parent[v]));
+  }
+}
+
+TEST(DistributedBfs, RoundsTrackEccentricity) {
+  const Graph g = make_path(30);
+  const auto res = bfs_by_messages(g, 0);
+  EXPECT_GE(res.rounds, 29);
+  EXPECT_LE(res.rounds, 33);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/checkers.hpp"
+#include "graph/components.hpp"
+#include "graph/distance.hpp"
+#include "graph/generators.hpp"
+
+namespace lad {
+namespace {
+
+TEST(Generators, Path) {
+  const Graph g = make_path(10);
+  EXPECT_EQ(g.n(), 10);
+  EXPECT_EQ(g.m(), 9);
+  EXPECT_EQ(g.max_degree(), 2);
+  int endpoints = 0;
+  for (int v = 0; v < g.n(); ++v) endpoints += g.degree(v) == 1 ? 1 : 0;
+  EXPECT_EQ(endpoints, 2);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = make_cycle(12);
+  EXPECT_EQ(g.n(), 12);
+  EXPECT_EQ(g.m(), 12);
+  for (int v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_EQ(connected_components(g).count(), 1);
+}
+
+TEST(Generators, Grid) {
+  const Graph g = make_grid(5, 4);
+  EXPECT_EQ(g.n(), 20);
+  EXPECT_EQ(g.m(), 5 * 3 + 4 * 4);
+  EXPECT_EQ(g.max_degree(), 4);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, Torus) {
+  const Graph g = make_torus(4, 5);
+  EXPECT_EQ(g.n(), 20);
+  for (int v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(Generators, CompleteAndStar) {
+  EXPECT_EQ(make_complete(6).m(), 15);
+  const Graph s = make_star(7);
+  EXPECT_EQ(s.m(), 6);
+  EXPECT_EQ(s.max_degree(), 6);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.n(), 16);
+  for (int v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), 4);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Generators, BoundedDegreeTree) {
+  const Graph g = make_bounded_degree_tree(200, 3, 42);
+  EXPECT_EQ(g.n(), 200);
+  EXPECT_EQ(g.m(), 199);
+  EXPECT_LE(g.max_degree(), 3);
+  EXPECT_EQ(connected_components(g).count(), 1);
+}
+
+TEST(Generators, RandomRegular) {
+  for (const int d : {2, 3, 4, 6}) {
+    const Graph g = make_random_regular(60, d, 7 + d);
+    for (int v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), d) << "d=" << d;
+  }
+}
+
+TEST(Generators, BipartiteRegular) {
+  for (const int d : {1, 2, 4, 8}) {
+    const Graph g = make_bipartite_regular(16, d, 3 + d);
+    EXPECT_EQ(g.n(), 32);
+    for (int v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), d);
+    EXPECT_TRUE(is_bipartite(g));
+  }
+}
+
+TEST(Generators, RandomBoundedDegree) {
+  const Graph g = make_random_bounded_degree(300, 3.0, 5, 99);
+  EXPECT_LE(g.max_degree(), 5);
+}
+
+TEST(Generators, PlantedColorableIsColorable) {
+  for (const int k : {3, 4, 5}) {
+    const auto pc = make_planted_colorable(200, k, 2.5, k, 11 * k);
+    EXPECT_TRUE(is_proper_coloring(pc.graph, pc.coloring, k)) << "k=" << k;
+    EXPECT_LE(pc.graph.max_degree(), k);
+  }
+}
+
+TEST(Generators, EvenDegreeGraph) {
+  const Graph g = make_even_degree_graph(100, 4, 5);
+  for (int v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(g.degree(v) % 2, 0) << "node " << v;
+  }
+  EXPECT_LE(g.max_degree(), 4);
+  EXPECT_GT(g.m(), 0);
+}
+
+TEST(Generators, DisjointUnion) {
+  const Graph g = disjoint_union({make_cycle(5), make_path(4)});
+  EXPECT_EQ(g.n(), 9);
+  EXPECT_EQ(g.m(), 5 + 3);
+  EXPECT_EQ(connected_components(g).count(), 2);
+}
+
+TEST(Generators, CircularLadder) {
+  const Graph g = make_circular_ladder(20);
+  EXPECT_EQ(g.n(), 40);
+  EXPECT_EQ(g.m(), 60);
+  for (int v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), 3);
+  EXPECT_TRUE(is_bipartite(g));  // m even
+  EXPECT_EQ(connected_components(g).count(), 1);
+}
+
+TEST(Generators, PlantedCaterpillar) {
+  const auto pc = make_planted_caterpillar(50, 4);
+  EXPECT_EQ(pc.graph.n(), 100);
+  EXPECT_EQ(pc.graph.m(), 99);
+  EXPECT_TRUE(is_proper_coloring(pc.graph, pc.coloring, 3));
+  EXPECT_TRUE(is_greedy_coloring(pc.graph, pc.coloring));
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = make_complete_bipartite(3, 5);
+  EXPECT_EQ(g.n(), 8);
+  EXPECT_EQ(g.m(), 15);
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(g.max_degree(), 5);
+}
+
+TEST(Generators, BandedRandomHasLargeDiameter) {
+  const Graph g = make_banded_random(600, 5, 3.0, 6, 12);
+  EXPECT_LE(g.max_degree(), 6);
+  EXPECT_EQ(connected_components(g).count(), 1);
+  // Edges only between ring-close nodes: diameter is Ω(n / band).
+  EXPECT_GE(eccentricity(g, 0), 600 / 5 / 4);
+}
+
+TEST(Generators, IdModesProduceDistinctIds) {
+  Rng rng(1);
+  for (const auto mode : {IdMode::kSequential, IdMode::kRandomDense, IdMode::kRandomSparse}) {
+    const auto ids = assign_ids(50, mode, rng);
+    std::set<NodeId> s(ids.begin(), ids.end());
+    EXPECT_EQ(s.size(), 50u);
+    for (const auto id : ids) EXPECT_GE(id, 1);
+  }
+}
+
+TEST(Generators, SparseIdsWithinCube) {
+  Rng rng(2);
+  const auto ids = assign_ids(20, IdMode::kRandomSparse, rng);
+  for (const auto id : ids) EXPECT_LE(id, 20LL * 20 * 20);
+}
+
+}  // namespace
+}  // namespace lad

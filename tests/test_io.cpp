@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace lad {
+namespace {
+
+void expect_same_graph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.n(), b.n());
+  ASSERT_EQ(a.m(), b.m());
+  for (int v = 0; v < a.n(); ++v) {
+    const int w = b.index_of(a.id(v));
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(w);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t p = 0; p < na.size(); ++p) {
+      EXPECT_EQ(a.id(na[p]), b.id(nb[p]));
+    }
+  }
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  const Graph g = make_grid(6, 5, IdMode::kRandomSparse, 3);
+  const Graph back = from_edge_list(to_edge_list(g));
+  expect_same_graph(g, back);
+}
+
+TEST(Io, EdgeListRoundTripEmptyAndSingle) {
+  expect_same_graph(Graph{}, from_edge_list(to_edge_list(Graph{})));
+  const Graph one = make_path(1);
+  expect_same_graph(one, from_edge_list(to_edge_list(one)));
+}
+
+TEST(Io, EdgeListRejectsTruncated) {
+  EXPECT_THROW(from_edge_list("3 1\n1 2 3\n"), ContractViolation);
+  EXPECT_THROW(from_edge_list("2 1\n1 2\n1 9\n"), ContractViolation);
+  EXPECT_THROW(from_edge_list(""), ContractViolation);
+}
+
+TEST(Io, EdgeListRejectsNegativeHeader) {
+  EXPECT_THROW(from_edge_list("-1 0\n"), ContractViolation);
+}
+
+TEST(Io, DotContainsAllNodesAndEdges) {
+  const Graph g = make_cycle(4);
+  const auto dot = to_dot(g);
+  for (int v = 0; v < g.n(); ++v) {
+    EXPECT_NE(dot.find("n" + std::to_string(g.id(v))), std::string::npos);
+  }
+  EXPECT_NE(dot.find("--"), std::string::npos);
+  EXPECT_EQ(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(Io, DotHighlightsAdviceBits) {
+  const Graph g = make_path(3);
+  const auto dot = to_dot(g, {}, {1, 0, 0});
+  EXPECT_NE(dot.find("fillcolor=gold"), std::string::npos);
+}
+
+TEST(Io, DotNodeLabels) {
+  const Graph g = make_path(2);
+  const auto dot = to_dot(g, {"red", "blue"}, {});
+  EXPECT_NE(dot.find("red"), std::string::npos);
+  EXPECT_NE(dot.find("blue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/ruling_set.hpp"
+
+namespace lad {
+namespace {
+
+class RulingSetSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RulingSetSweep, GreedyIsAlphaAlphaMinusOneRuling) {
+  const auto [n, alpha] = GetParam();
+  const Graph g = make_cycle(n, IdMode::kRandomDense, 17);
+  const auto s = ruling_set(g, alpha, g.all_nodes());
+  EXPECT_TRUE(is_ruling_set(g, s, alpha, alpha - 1, g.all_nodes()));
+  EXPECT_FALSE(s.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RulingSetSweep,
+                         ::testing::Combine(::testing::Values(20, 51, 100),
+                                            ::testing::Values(2, 3, 5, 9)));
+
+TEST(RulingSet, OnGrid) {
+  const Graph g = make_grid(12, 12, IdMode::kRandomDense, 3);
+  const auto s = ruling_set(g, 4, g.all_nodes());
+  EXPECT_TRUE(is_ruling_set(g, s, 4, 3, g.all_nodes()));
+}
+
+TEST(RulingSet, CandidateSubset) {
+  const Graph g = make_path(30);
+  std::vector<int> cands;
+  for (int v = 0; v < 30; v += 2) cands.push_back(v);
+  const auto s = ruling_set(g, 3, cands);
+  EXPECT_TRUE(is_ruling_set(g, s, 3, 2, cands));
+  for (const int v : s) EXPECT_EQ(v % 2, 0);
+}
+
+TEST(RulingSet, WithinMask) {
+  const Graph g = make_cycle(20);
+  NodeMask mask(20, 1);
+  mask[0] = 0;
+  std::vector<int> cands;
+  for (int v = 1; v < 20; ++v) cands.push_back(v);
+  const auto s = ruling_set(g, 4, cands, mask);
+  EXPECT_TRUE(is_ruling_set(g, s, 4, 3, cands, mask));
+}
+
+TEST(RulingSet, AlphaOneIsEverything) {
+  const Graph g = make_path(5);
+  const auto s = ruling_set(g, 1, g.all_nodes());
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(RulingSet, EmptyCandidates) {
+  const Graph g = make_path(5);
+  EXPECT_TRUE(ruling_set(g, 3, {}).empty());
+  EXPECT_TRUE(is_ruling_set(g, {}, 3, 2, {}));
+}
+
+TEST(RulingSet, MisValidatorRejectsCloseNodes) {
+  const Graph g = make_path(6);
+  EXPECT_FALSE(is_ruling_set(g, {0, 1}, 2, 1, g.all_nodes()));
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "core/running_example.hpp"
+#include "graph/checkers.hpp"
+#include "graph/generators.hpp"
+
+namespace lad {
+namespace {
+
+void round_trip(const Graph& g, const RunningExampleParams& params = {}) {
+  const auto enc = encode_running_example(g, params);
+  const auto dec = decode_running_example(g, enc.advice, params);
+  EXPECT_TRUE(is_splitting(g, dec.edge_color));
+  EXPECT_TRUE(is_proper_coloring(g, dec.node_color, 2));
+}
+
+TEST(RunningExample, EvenCycle) { round_trip(make_cycle(400, IdMode::kRandomDense, 1)); }
+TEST(RunningExample, Torus) { round_trip(make_torus(12, 14, IdMode::kRandomDense, 2)); }
+TEST(RunningExample, BipartiteRegular) { round_trip(make_bipartite_regular(100, 4, 3)); }
+TEST(RunningExample, Hypercube) { round_trip(make_hypercube(6, IdMode::kRandomDense, 4)); }
+TEST(RunningExample, SmallCycle) { round_trip(make_cycle(8)); }
+
+TEST(RunningExample, DisjointComponents) {
+  round_trip(disjoint_union({make_cycle(120), make_cycle(64)}, IdMode::kRandomDense, 5));
+}
+
+TEST(RunningExample, RejectsOddDegrees) {
+  EXPECT_THROW(encode_running_example(make_path(10)), ContractViolation);
+}
+
+TEST(RunningExample, RejectsNonBipartite) {
+  EXPECT_THROW(encode_running_example(make_cycle(9)), ContractViolation);
+}
+
+TEST(RunningExample, ComposedScheduleHasBothSubSchemas) {
+  const Graph g = make_cycle(300, IdMode::kRandomDense, 6);
+  const auto enc = encode_running_example(g);
+  bool has_color = false, has_orient = false;
+  for (const auto& [node, entries] : enc.advice) {
+    (void)node;
+    for (const auto& e : entries) {
+      has_color = has_color || e.schema_id == 0;
+      has_orient = has_orient || e.schema_id == 1;
+    }
+  }
+  EXPECT_TRUE(has_color);
+  EXPECT_TRUE(has_orient);
+}
+
+TEST(RunningExample, UniformOneBitOnRoomyCycle) {
+  RunningExampleParams params;
+  params.uniform_one_bit = true;
+  params.color_anchor_spacing = 600;
+  params.orientation_anchor_spacing = 600;
+  const Graph g = make_cycle(6000, IdMode::kRandomDense, 7);
+  const auto enc = encode_running_example(g, params);
+  ASSERT_FALSE(enc.uniform_bits.empty());
+  const auto dec =
+      decode_running_example_one_bit(g, enc.uniform_bits, enc.uniform_max_payload_bits, params);
+  EXPECT_TRUE(is_splitting(g, dec.edge_color));
+}
+
+class RunningExampleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RunningExampleSweep, ToriOfManySizes) {
+  const int s = GetParam();
+  round_trip(make_torus(s, s + 2, IdMode::kRandomDense, 100 + s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RunningExampleSweep, ::testing::Values(4, 6, 8, 12));
+
+}  // namespace
+}  // namespace lad

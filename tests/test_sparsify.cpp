@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "advice/sparsify.hpp"
+#include "graph/generators.hpp"
+
+namespace lad {
+namespace {
+
+TEST(Sparsify, EncodedLengths) {
+  EXPECT_EQ(encoded_path_length(BitString{}), 9);            // preamble + 0
+  EXPECT_EQ(encoded_path_length(BitString::parse("0")), 12); // + 110
+  EXPECT_EQ(encoded_path_length(BitString::parse("1")), 13); // + 1110
+  EXPECT_LE(encoded_path_length(BitString::parse("1111")), max_encoded_path_length(4));
+}
+
+TEST(Sparsify, SingleAnchorRoundTripOnPath) {
+  const Graph g = make_path(200, IdMode::kRandomDense, 5);
+  std::map<int, BitString> anchors = {{10, BitString::parse("1011001")}};
+  const auto enc = encode_paths_one_bit(g, anchors);
+  const auto decoded = decode_paths_one_bit(g, enc.bits, 7);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded.begin()->first, 10);
+  EXPECT_EQ(decoded.begin()->second, BitString::parse("1011001"));
+}
+
+TEST(Sparsify, NoFalseAnchors) {
+  const Graph g = make_path(200, IdMode::kRandomDense, 6);
+  std::map<int, BitString> anchors = {{30, BitString::parse("01")}, {160, BitString::parse("1")}};
+  const auto enc = encode_paths_one_bit(g, anchors);
+  const auto decoded = decode_paths_one_bit(g, enc.bits, 2);
+  std::set<int> found;
+  for (const auto& [v, payload] : decoded) {
+    (void)payload;
+    found.insert(v);
+  }
+  EXPECT_EQ(found, (std::set<int>{30, 160}));
+}
+
+TEST(Sparsify, EmptyPayload) {
+  const Graph g = make_cycle(120);
+  std::map<int, BitString> anchors = {{0, BitString{}}};
+  const auto enc = encode_paths_one_bit(g, anchors);
+  const auto got = decode_anchor_at(g, 0, enc.bits, 0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(Sparsify, WorksOnGrid) {
+  const Graph g = make_grid(30, 30, IdMode::kRandomDense, 9);
+  std::map<int, BitString> anchors = {{g.index_of(1), BitString::parse("110")}};
+  const auto enc = encode_paths_one_bit(g, anchors);
+  const auto decoded = decode_paths_one_bit(g, enc.bits, 3);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded.begin()->second, BitString::parse("110"));
+}
+
+TEST(Sparsify, SeparationViolationRejected) {
+  const Graph g = make_path(300);
+  std::map<int, BitString> anchors = {{50, BitString::parse("1")}, {60, BitString::parse("0")}};
+  EXPECT_THROW(encode_paths_one_bit(g, anchors), ContractViolation);
+}
+
+TEST(Sparsify, InsufficientEccentricityRejected) {
+  const Graph g = make_path(5);
+  std::map<int, BitString> anchors = {{2, BitString::parse("101")}};
+  EXPECT_THROW(encode_paths_one_bit(g, anchors), ContractViolation);
+}
+
+TEST(Sparsify, MaskedEncoding) {
+  const Graph g = make_path(300);
+  NodeMask mask(300, 0);
+  for (int v = 0; v < 150; ++v) mask[v] = 1;
+  std::map<int, BitString> anchors = {{20, BitString::parse("11")}};
+  const auto enc = encode_paths_one_bit(g, anchors, mask);
+  for (int v = 150; v < 300; ++v) EXPECT_EQ(enc.bits[v], 0);
+  const auto got = decode_anchor_at(g, 20, enc.bits, 2, mask);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, BitString::parse("11"));
+}
+
+TEST(Sparsify, InteriorNodesAreNotAnchors) {
+  const Graph g = make_path(200);
+  std::map<int, BitString> anchors = {{40, BitString::parse("101")}};
+  const auto enc = encode_paths_one_bit(g, anchors);
+  int count = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    if (decode_anchor_at(g, v, enc.bits, 3)) ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+class SparsifyPayloadSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SparsifyPayloadSweep, RoundTrip) {
+  const Graph g = make_cycle(400, IdMode::kRandomSparse, 77);
+  const auto payload = BitString::parse(GetParam());
+  std::map<int, BitString> anchors = {{0, payload}, {200, payload}};
+  const auto enc = encode_paths_one_bit(g, anchors);
+  const auto decoded = decode_paths_one_bit(g, enc.bits, payload.size());
+  ASSERT_EQ(decoded.size(), 2u);
+  for (const auto& [v, got] : decoded) {
+    (void)v;
+    EXPECT_EQ(got, payload);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Payloads, SparsifyPayloadSweep,
+                         ::testing::Values("", "0", "1", "01", "111", "000111000",
+                                           "101010101010"));
+
+TEST(Sparsify, SeparationFunctionConsistent) {
+  // required separation must exceed twice the worst encoded length.
+  for (const int bits : {0, 1, 5, 20}) {
+    EXPECT_GT(required_anchor_separation(bits), 2 * max_encoded_path_length(bits));
+  }
+  EXPECT_LE(encoded_path_length(BitString::parse("1111")), max_encoded_path_length(4));
+}
+
+TEST(Sparsify, DecodeRespectsMask) {
+  const Graph g = make_path(300);
+  std::map<int, BitString> anchors = {{50, BitString::parse("10")}};
+  const auto enc = encode_paths_one_bit(g, anchors);
+  // A mask that removes a written path node makes the anchor undecodable —
+  // a detected failure rather than a wrong payload.
+  int on_path = -1;
+  for (int v = 0; v < g.n() && on_path < 0; ++v) {
+    if (v != 50 && enc.bits[static_cast<std::size_t>(v)]) on_path = v;
+  }
+  ASSERT_GE(on_path, 0);
+  NodeMask mask(300, 1);
+  mask[static_cast<std::size_t>(on_path)] = 0;
+  EXPECT_FALSE(decode_anchor_at(g, 50, enc.bits, 2, mask).has_value());
+}
+
+}  // namespace
+}  // namespace lad

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "advice/advice.hpp"
+#include "core/subexp_lcl.hpp"
+#include "graph/checkers.hpp"
+#include "graph/generators.hpp"
+#include "lcl/problems.hpp"
+#include "lcl/solver.hpp"
+
+namespace lad {
+namespace {
+
+SubexpLclParams small_params() {
+  SubexpLclParams p;
+  p.x = 100;
+  return p;
+}
+
+void round_trip(const Graph& g, const LclProblem& p, const SubexpLclParams& params) {
+  const auto enc = encode_subexp_lcl_advice(g, p, params);
+  const auto dec = decode_subexp_lcl(g, p, enc.bits, params);
+  EXPECT_TRUE(is_valid_labeling(g, p, dec.labeling)) << p.name();
+}
+
+TEST(SubexpLcl, ThreeColoringOnLongCycle) {
+  const Graph g = make_cycle(2500, IdMode::kRandomDense, 1);
+  VertexColoringLcl p(3);
+  round_trip(g, p, small_params());
+}
+
+TEST(SubexpLcl, ThreeColoringOnLongPath) {
+  const Graph g = make_path(2500, IdMode::kRandomDense, 2);
+  VertexColoringLcl p(3);
+  round_trip(g, p, small_params());
+}
+
+TEST(SubexpLcl, MisOnCycle) {
+  const Graph g = make_cycle(2000, IdMode::kRandomDense, 3);
+  MisLcl p;
+  round_trip(g, p, small_params());
+}
+
+TEST(SubexpLcl, MaximalMatchingOnCycle) {
+  const Graph g = make_cycle(2000, IdMode::kRandomDense, 4);
+  MaximalMatchingLcl p;
+  round_trip(g, p, small_params());
+}
+
+TEST(SubexpLcl, EdgeColoringOnPath) {
+  const Graph g = make_path(2000, IdMode::kRandomDense, 5);
+  EdgeColoringLcl p(3);
+  round_trip(g, p, small_params());
+}
+
+TEST(SubexpLcl, SmallGraphNeedsNoClusters) {
+  // A graph whose diameter is below 2x produces no clusters; the decoder
+  // completes everything as one residual component.
+  const Graph g = make_cycle(40, IdMode::kRandomDense, 6);
+  VertexColoringLcl p(3);
+  const auto enc = encode_subexp_lcl_advice(g, p, small_params());
+  EXPECT_EQ(enc.num_clusters, 0);
+  const auto dec = decode_subexp_lcl(g, p, enc.bits, small_params());
+  EXPECT_TRUE(is_valid_labeling(g, p, dec.labeling));
+}
+
+TEST(SubexpLcl, AdviceIsOneBitUniform) {
+  const Graph g = make_cycle(2200, IdMode::kRandomDense, 7);
+  VertexColoringLcl p(3);
+  const auto enc = encode_subexp_lcl_advice(g, p, small_params());
+  const auto stats = advice_stats(advice_from_bits(enc.bits));
+  EXPECT_TRUE(stats.uniform_one_bit);
+  EXPECT_GT(stats.ones, 0);
+}
+
+TEST(SubexpLcl, SparsityGrowsWithX) {
+  VertexColoringLcl p(3);
+  SubexpLclParams dense;
+  dense.x = 100;
+  SubexpLclParams sparse;
+  sparse.x = 200;
+  const Graph g = make_cycle(6000, IdMode::kRandomDense, 8);
+  const auto ed = encode_subexp_lcl_advice(g, p, dense);
+  const auto es = encode_subexp_lcl_advice(g, p, sparse);
+  const auto sd = advice_stats(advice_from_bits(ed.bits));
+  const auto ss = advice_stats(advice_from_bits(es.bits));
+  EXPECT_LT(ss.ones_ratio, sd.ones_ratio);
+}
+
+TEST(SubexpLcl, RoundsIndependentOfN) {
+  VertexColoringLcl p(3);
+  const auto params = small_params();
+  const Graph a = make_cycle(1500, IdMode::kRandomDense, 9);
+  const Graph b = make_cycle(5000, IdMode::kRandomDense, 10);
+  const auto ea = encode_subexp_lcl_advice(a, p, params);
+  const auto eb = encode_subexp_lcl_advice(b, p, params);
+  EXPECT_EQ(decode_subexp_lcl(a, p, ea.bits, params).rounds,
+            decode_subexp_lcl(b, p, eb.bits, params).rounds);
+}
+
+TEST(SubexpLcl, WitnessIsRespectedOnRings) {
+  const Graph g = make_cycle(1800, IdMode::kRandomDense, 11);
+  VertexColoringLcl p(3);
+  const auto params = small_params();
+  auto witness = solve_lcl(g, p);
+  ASSERT_TRUE(witness.has_value());
+  const auto enc = encode_subexp_lcl_advice(g, p, params, &*witness);
+  const auto dec = decode_subexp_lcl(g, p, enc.bits, params);
+  EXPECT_TRUE(is_valid_labeling(g, p, dec.labeling));
+}
+
+TEST(SubexpLcl, MisOnCaterpillar) {
+  // Caterpillars have linear growth (two nodes per BFS layer), so the §4
+  // machinery applies with a slightly larger scale: the phase palette is
+  // about twice a path's, so the color code needs a longer path budget.
+  const auto pc = make_planted_caterpillar(1200, 13);
+  MisLcl p;
+  SubexpLclParams params;
+  params.x = 130;
+  round_trip(pc.graph, p, params);
+}
+
+class SubexpSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SubexpSweep, CycleSeeds) {
+  const Graph g = make_cycle(2000, IdMode::kRandomSparse, GetParam());
+  VertexColoringLcl p(3);
+  round_trip(g, p, small_params());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubexpSweep, ::testing::Values(51, 52, 53));
+
+}  // namespace
+}  // namespace lad

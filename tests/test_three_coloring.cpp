@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "advice/advice.hpp"
+#include "core/three_coloring.hpp"
+#include "graph/checkers.hpp"
+#include "graph/generators.hpp"
+#include "lcl/problems.hpp"
+#include "lcl/solver.hpp"
+
+namespace lad {
+namespace {
+
+void round_trip(const Graph& g, const std::vector<int>& witness,
+                const ThreeColoringParams& params = {}) {
+  const auto enc = encode_three_coloring_advice(g, witness, params);
+  ASSERT_EQ(static_cast<int>(enc.bits.size()), g.n());
+  const auto dec = decode_three_coloring(g, enc.bits, params);
+  EXPECT_TRUE(is_proper_coloring(g, dec.coloring, 3));
+}
+
+std::vector<int> two_coloring_of_even_cycle(int n) {
+  std::vector<int> c(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) c[v] = 1 + v % 2;
+  return c;
+}
+
+TEST(ThreeColoring, NormalizeToGreedy) {
+  const Graph g = make_path(5);
+  // Proper but wasteful: {2, 3, 2, 3, 2} -> greedy must pull colors down.
+  const auto greedy = normalize_to_greedy(g, {2, 3, 2, 3, 2});
+  EXPECT_TRUE(is_greedy_coloring(g, greedy));
+  EXPECT_TRUE(is_proper_coloring(g, greedy, 2));
+}
+
+TEST(ThreeColoring, NormalizeRejectsImproper) {
+  const Graph g = make_path(3);
+  EXPECT_THROW(normalize_to_greedy(g, {1, 1, 2}), ContractViolation);
+}
+
+TEST(ThreeColoring, EvenCycleSmall) {
+  const Graph g = make_cycle(40, IdMode::kRandomDense, 1);
+  round_trip(g, two_coloring_of_even_cycle(40));
+}
+
+TEST(ThreeColoring, OddCycle) {
+  const int n = 901;
+  const Graph g = make_cycle(n, IdMode::kRandomDense, 2);
+  std::vector<int> witness(static_cast<std::size_t>(n));
+  for (int v = 0; v + 1 < n; ++v) witness[v] = 1 + v % 2;
+  witness[n - 1] = 3;
+  round_trip(g, witness);
+}
+
+TEST(ThreeColoring, PlantedSmallDegree) {
+  const auto pc = make_planted_colorable(800, 3, 2.2, 4, 7);
+  round_trip(pc.graph, pc.coloring);
+}
+
+TEST(ThreeColoring, PlantedDenser) {
+  const auto pc = make_planted_colorable(600, 3, 3.0, 6, 8);
+  round_trip(pc.graph, pc.coloring);
+}
+
+TEST(ThreeColoring, GridWithWitness) {
+  const Graph g = make_grid(25, 25, IdMode::kRandomDense, 9);
+  std::vector<int> witness(static_cast<std::size_t>(g.n()));
+  // The generator assigns index (y*w + x); recover coordinates via index.
+  for (int v = 0; v < g.n(); ++v) witness[v] = 1 + ((v % 25) + (v / 25)) % 2;
+  round_trip(g, witness);
+}
+
+TEST(ThreeColoring, LongPath) {
+  const int n = 1500;
+  const Graph g = make_path(n, IdMode::kRandomDense, 10);
+  std::vector<int> witness(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) witness[v] = 1 + v % 2;
+  round_trip(g, witness);
+}
+
+TEST(ThreeColoring, AdviceIsOneBitUniform) {
+  const auto pc = make_planted_colorable(500, 3, 2.5, 5, 11);
+  const auto enc = encode_three_coloring_advice(pc.graph, pc.coloring);
+  const auto stats = advice_stats(advice_from_bits(enc.bits));
+  EXPECT_TRUE(stats.uniform_one_bit);
+}
+
+TEST(ThreeColoring, DisjointComponents) {
+  const Graph g =
+      disjoint_union({make_cycle(300), make_cycle(8), make_path(40)}, IdMode::kRandomDense, 12);
+  std::vector<int> witness(static_cast<std::size_t>(g.n()));
+  // Cycle(300): alternate; cycle(8): alternate; path: alternate.
+  for (int v = 0; v < 300; ++v) witness[v] = 1 + v % 2;
+  for (int v = 300; v < 308; ++v) witness[v] = 1 + v % 2;
+  for (int v = 308; v < g.n(); ++v) witness[v] = 1 + v % 2;
+  round_trip(g, witness);
+}
+
+TEST(ThreeColoring, RejectsBadWitness) {
+  const Graph g = make_cycle(10);
+  std::vector<int> bad(10, 1);
+  EXPECT_THROW(encode_three_coloring_advice(g, bad), ContractViolation);
+}
+
+// The caterpillar family's G_{2,3} is one long path, which forces the
+// encoder through the full §7 machinery (ruling sets, Lemma 7.2 halves,
+// parity groups, one-vs-two component decoding).
+TEST(ThreeColoring, LargeTwoThreeComponentUsesParityGroups) {
+  const auto pc = make_planted_caterpillar(700, 41);
+  const Graph& g = pc.graph;
+  const auto& witness = pc.coloring;
+  (void)witness;
+  const auto enc = encode_three_coloring_advice(g, witness);
+  EXPECT_GT(enc.num_groups, 0);  // the parity machinery actually engaged
+  const auto dec = decode_three_coloring(g, enc.bits);
+  EXPECT_TRUE(is_proper_coloring(g, dec.coloring, 3));
+  // The decoded coloring must reproduce the greedy witness on the large
+  // component (groups pin the parity, so this is not just "any" coloring).
+  for (int v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(dec.coloring[v], enc.greedy_phi[v]);
+  }
+}
+
+TEST(ThreeColoring, CaterpillarSeeds) {
+  for (const std::uint64_t seed : {101u, 102u, 103u}) {
+    const auto pc = make_planted_caterpillar(500, seed);
+    round_trip(pc.graph, pc.coloring);
+  }
+}
+
+TEST(ThreeColoring, CircularLadderBipartiteWitness) {
+  const int m = 400;
+  const Graph g = make_circular_ladder(m, IdMode::kRandomDense, 61);
+  std::vector<int> witness(static_cast<std::size_t>(g.n()));
+  for (int i = 0; i < m; ++i) {
+    witness[i] = 1 + i % 2;
+    witness[m + i] = 2 - i % 2;
+  }
+  round_trip(g, witness);
+}
+
+TEST(ThreeColoring, BandedRandomWithSolverWitness) {
+  // 3-colorable by construction? Banded randoms are not planted — use the
+  // exact solver as the (unbounded) prover on a small instance.
+  const Graph g = make_banded_random(140, 4, 2.2, 4, 62);
+  VertexColoringLcl p(3);
+  const auto witness = solve_lcl(g, p);
+  if (!witness.has_value()) GTEST_SKIP() << "instance not 3-colorable";
+  round_trip(g, witness->node_labels);
+}
+
+class ThreeColoringSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ThreeColoringSweep, PlantedSeeds) {
+  const auto pc = make_planted_colorable(500, 3, 2.4, 5, GetParam());
+  round_trip(pc.graph, pc.coloring);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreeColoringSweep, ::testing::Values(21, 22, 23, 24, 25));
+
+}  // namespace
+}  // namespace lad

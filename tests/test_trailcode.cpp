@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "advice/trailcode.hpp"
+#include "graph/generators.hpp"
+
+namespace lad {
+namespace {
+
+std::vector<Trail> trails_of(const Graph& g) { return euler_partition(g); }
+
+TEST(TrailCode, MarkerLengths) {
+  EXPECT_EQ(trail_marker_length(BitString{}), 9);
+  EXPECT_EQ(trail_marker_length(BitString::parse("0")), 12);
+  EXPECT_EQ(trail_marker_length(BitString::parse("1")), 13);
+}
+
+TEST(TrailCode, DecodeFromEveryPositionOfCycle) {
+  const Graph g = make_cycle(300, IdMode::kRandomDense, 3);
+  const auto trails = trails_of(g);
+  ASSERT_EQ(trails.size(), 1u);
+  std::vector<char> needs = {1};
+  std::vector<BitString> payloads = {BitString::parse("10")};
+  const auto code = encode_trail_marks(g, trails, needs, payloads);
+  for (int pos = 0; pos < trails[0].length(); ++pos) {
+    const auto d = decode_trail_mark(g, trails[0], pos, code.bits, code.walk_limit);
+    ASSERT_TRUE(d.has_value()) << "pos " << pos;
+    EXPECT_EQ(d->direction, +1);
+    EXPECT_EQ(d->payload, BitString::parse("10"));
+    EXPECT_LE(d->steps, code.walk_limit);
+  }
+}
+
+TEST(TrailCode, ReversedTrailDecodesReversedDirection) {
+  const Graph g = make_cycle(260, IdMode::kRandomDense, 8);
+  auto trails = trails_of(g);
+  ASSERT_EQ(trails.size(), 1u);
+  const auto code = encode_trail_marks(g, trails, {1}, {BitString{}});
+
+  // A decoder that reconstructed the trail in the opposite direction must
+  // read the marker as direction -1 (same orientation of the cycle).
+  Trail rev = trails[0];
+  const int L = trails[0].length();
+  for (int i = 0; i < L; ++i) {
+    rev.nodes[static_cast<std::size_t>(i)] = trails[0].nodes[static_cast<std::size_t>(L - 1 - i)];
+    // edges[i] must join nodes[i] and nodes[i+1 mod L].
+    rev.edges[static_cast<std::size_t>(i)] =
+        trails[0].edges[static_cast<std::size_t>(((L - 2 - i) % L + L) % L)];
+  }
+  const auto d = decode_trail_mark(g, rev, 0, code.bits, code.walk_limit);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->direction, -1);
+}
+
+TEST(TrailCode, OpenTrailCovered) {
+  const Graph g = make_path(350, IdMode::kRandomDense, 4);
+  const auto trails = trails_of(g);
+  ASSERT_EQ(trails.size(), 1u);
+  const auto code = encode_trail_marks(g, trails, {1}, {BitString::parse("1")});
+  const int P = static_cast<int>(trails[0].nodes.size());
+  for (int pos = 0; pos < P; pos += 7) {
+    const auto d = decode_trail_mark(g, trails[0], pos, code.bits, code.walk_limit);
+    ASSERT_TRUE(d.has_value()) << "pos " << pos;
+    EXPECT_EQ(d->direction, +1);
+  }
+}
+
+TEST(TrailCode, PerSegmentPayloads) {
+  const Graph g = make_cycle(500, IdMode::kRandomDense, 6);
+  const auto trails = trails_of(g);
+  // Payload = parity of the start position's node index.
+  auto payload_fn = [&](int t, int start) {
+    BitString b;
+    const int node = trails[static_cast<std::size_t>(t)]
+                         .nodes[static_cast<std::size_t>(start % trails[0].length())];
+    b.append(node % 2 == 1);
+    return b;
+  };
+  const auto code =
+      encode_trail_marks(g, trails, {1}, payload_fn, 1, TrailCodeParams{});
+  for (int pos = 0; pos < trails[0].length(); pos += 11) {
+    const auto d = decode_trail_mark(g, trails[0], pos, code.bits, code.walk_limit);
+    ASSERT_TRUE(d.has_value());
+    const int node =
+        trails[0].nodes[static_cast<std::size_t>(d->marker_start % trails[0].length())];
+    EXPECT_EQ(d->payload.bit(0), node % 2 == 1);
+  }
+}
+
+TEST(TrailCode, MultipleTrailsNoCrosstalk) {
+  // Two disjoint cycles share no nodes, but the encoder must still keep the
+  // invariants with both marked.
+  const Graph g = disjoint_union({make_cycle(150), make_cycle(180)}, IdMode::kRandomDense, 12);
+  const auto trails = trails_of(g);
+  ASSERT_EQ(trails.size(), 2u);
+  std::vector<BitString> payloads = {BitString::parse("0"), BitString::parse("1")};
+  const auto code = encode_trail_marks(g, trails, {1, 1}, payloads);
+  for (int t = 0; t < 2; ++t) {
+    const auto d = decode_trail_mark(g, trails[static_cast<std::size_t>(t)], 0, code.bits,
+                                     code.walk_limit);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->payload, payloads[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(TrailCode, SharedNodesResampled) {
+  // A 4-regular random graph: every node appears on two trail positions, so
+  // naive placement would pollute other trails; the re-sampling loop must
+  // still deliver a clean encoding.
+  const Graph g = make_random_regular(400, 4, 2024);
+  const auto trails = trails_of(g);
+  std::vector<char> needs(trails.size(), 0);
+  std::vector<BitString> payloads(trails.size());
+  bool any = false;
+  for (std::size_t t = 0; t < trails.size(); ++t) {
+    if (trails[t].length() > 60) {
+      needs[t] = 1;
+      any = true;
+    }
+  }
+  if (!any) GTEST_SKIP() << "no long trails in this instance";
+  const auto code = encode_trail_marks(g, trails, needs, payloads);
+  for (std::size_t t = 0; t < trails.size(); ++t) {
+    if (!needs[t]) continue;
+    for (int pos = 0; pos < trails[t].length(); pos += 13) {
+      const auto d = decode_trail_mark(g, trails[t], pos, code.bits, code.walk_limit);
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->direction, +1);
+    }
+  }
+}
+
+TEST(TrailCode, UnmarkedTrailsUntouched) {
+  const Graph g = disjoint_union({make_cycle(150), make_cycle(20)}, IdMode::kSequential, 1);
+  const auto trails = trails_of(g);
+  ASSERT_EQ(trails.size(), 2u);
+  const std::size_t longer = trails[0].length() > trails[1].length() ? 0 : 1;
+  std::vector<char> needs(2, 0);
+  needs[longer] = 1;
+  const auto code = encode_trail_marks(g, trails, needs, std::vector<BitString>(2));
+  // The short cycle's nodes carry no bits.
+  for (const int v : trails[1 - longer].nodes) EXPECT_EQ(code.bits[v], 0);
+}
+
+TEST(TrailCode, TooShortTrailRejected) {
+  const Graph g = make_cycle(10);
+  const auto trails = trails_of(g);
+  EXPECT_THROW(
+      encode_trail_marks(g, trails, {1}, {BitString::parse("10101010")}),
+      ContractViolation);
+}
+
+TEST(TrailCode, WalkLimitFormula) {
+  TrailCodeParams p;
+  p.spacing = 40;
+  p.jitter = 10;
+  // Effective spacing = max(40, 2*(len+4+20)); monotone in marker length.
+  EXPECT_LT(trail_walk_limit(p, 9), trail_walk_limit(p, 25));
+  EXPECT_GE(trail_walk_limit(p, 9), p.spacing);
+}
+
+TEST(TrailCode, DegreeScaledSpacing) {
+  EXPECT_EQ(degree_scaled_spacing(40, 2), 40);   // one occurrence: no strays
+  EXPECT_EQ(degree_scaled_spacing(40, 4), 150);  // two occurrences
+  EXPECT_EQ(degree_scaled_spacing(40, 8), 450);  // four occurrences
+  EXPECT_EQ(degree_scaled_spacing(999, 4), 999);  // base dominates
+}
+
+TEST(TrailCode, EveryPositionDecodesWithPayloads) {
+  // Exhaustive per-position check with a non-empty payload.
+  const Graph g = make_cycle(400, IdMode::kRandomSparse, 21);
+  const auto trails = euler_partition(g);
+  const auto code = encode_trail_marks(g, trails, {1}, {BitString::parse("1101")});
+  for (int pos = 0; pos < trails[0].length(); ++pos) {
+    const auto d = decode_trail_mark(g, trails[0], pos, code.bits, code.walk_limit);
+    ASSERT_TRUE(d.has_value()) << pos;
+    EXPECT_EQ(d->direction, +1);
+    EXPECT_EQ(d->payload, BitString::parse("1101"));
+  }
+}
+
+TEST(TrailCode, NoMarkerMeansNoDecode) {
+  const Graph g = make_cycle(100);
+  const auto trails = euler_partition(g);
+  const std::vector<char> zeros(static_cast<std::size_t>(g.n()), 0);
+  EXPECT_FALSE(decode_trail_mark(g, trails[0], 0, zeros, 100).has_value());
+}
+
+TEST(TrailCode, ResampleRoundsReported) {
+  const Graph g = make_random_regular(800, 4, 31);
+  const auto trails = euler_partition(g);
+  std::vector<char> needs(trails.size(), 0);
+  for (std::size_t t = 0; t < trails.size(); ++t) needs[t] = trails[t].length() > 60 ? 1 : 0;
+  const auto code = encode_trail_marks(g, trails, needs, std::vector<BitString>(trails.size()));
+  EXPECT_GE(code.resample_rounds, 0);
+  EXPECT_LT(code.resample_rounds, 50000);
+}
+
+}  // namespace
+}  // namespace lad

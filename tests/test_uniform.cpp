@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "advice/uniform.hpp"
+#include "graph/generators.hpp"
+
+namespace lad {
+namespace {
+
+VarAdvice sample_schema(const Graph& g, const std::vector<int>& storage_nodes) {
+  VarAdvice a;
+  for (std::size_t i = 0; i < storage_nodes.size(); ++i) {
+    SchemaEntry e;
+    e.schema_id = static_cast<int>(i % 3);
+    e.anchor_id = g.id(storage_nodes[i]);
+    e.payload = BitString::fixed_width(i % 16, 4);
+    a[storage_nodes[i]].push_back(std::move(e));
+  }
+  return a;
+}
+
+void expect_same_entries(const VarAdvice& a, const VarAdvice& b) {
+  // Entries are compared irrespective of where they are stored.
+  std::vector<SchemaEntry> ea, eb;
+  for (const auto& [n, es] : a)
+    for (const auto& e : es) ea.push_back(e);
+  for (const auto& [n, es] : b)
+    for (const auto& e : es) eb.push_back(e);
+  auto key = [](const SchemaEntry& e) {
+    return std::make_tuple(e.schema_id, e.anchor_id, e.payload.to_string());
+  };
+  std::sort(ea.begin(), ea.end(),
+            [&](const SchemaEntry& x, const SchemaEntry& y) { return key(x) < key(y); });
+  std::sort(eb.begin(), eb.end(),
+            [&](const SchemaEntry& x, const SchemaEntry& y) { return key(x) < key(y); });
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+}
+
+TEST(Uniform, RoundTripOnCycle) {
+  const Graph g = make_cycle(4000, IdMode::kRandomDense, 1);
+  const auto schema = sample_schema(g, {0, 500, 1100, 1800, 2600, 3400});
+  const auto enc = encode_var_advice_one_bit(g, schema);
+  const auto back = decode_var_advice_one_bit(g, enc.bits, enc.max_payload_bits);
+  expect_same_entries(schema, back);
+}
+
+TEST(Uniform, RoundTripOnLadder) {
+  const Graph g = make_circular_ladder(1500, IdMode::kRandomDense, 2);
+  const auto schema = sample_schema(g, {0, 700, 1400, 2100, 2800});
+  const auto enc = encode_var_advice_one_bit(g, schema);
+  const auto back = decode_var_advice_one_bit(g, enc.bits, enc.max_payload_bits);
+  expect_same_entries(schema, back);
+}
+
+TEST(Uniform, RoundTripOnBandedRandom) {
+  const Graph g = make_banded_random(3000, 6, 3.0, 6, 3);
+  const auto schema = sample_schema(g, {10, 800, 1500, 2300});
+  const auto enc = encode_var_advice_one_bit(g, schema);
+  const auto back = decode_var_advice_one_bit(g, enc.bits, enc.max_payload_bits);
+  expect_same_entries(schema, back);
+}
+
+TEST(Uniform, RelocatesCloseStorageNodes) {
+  const Graph g = make_cycle(4000, IdMode::kRandomDense, 4);
+  // Two storage nodes 3 apart: the fixpoint composition must merge them,
+  // and decoding must still recover both entries via their anchor IDs.
+  const auto schema = sample_schema(g, {100, 103});
+  const auto enc = encode_var_advice_one_bit(g, schema);
+  EXPECT_EQ(enc.num_anchors, 1);
+  const auto back = decode_var_advice_one_bit(g, enc.bits, enc.max_payload_bits);
+  expect_same_entries(schema, back);
+}
+
+TEST(Uniform, InfeasibleOnTinyGraph) {
+  const Graph g = make_cycle(12);
+  const auto schema = sample_schema(g, {0});
+  EXPECT_THROW(encode_var_advice_one_bit(g, schema), ContractViolation);
+}
+
+TEST(Uniform, EmptySchema) {
+  const Graph g = make_cycle(50);
+  const auto enc = encode_var_advice_one_bit(g, {});
+  EXPECT_EQ(enc.num_anchors, 0);
+  for (const char b : enc.bits) EXPECT_EQ(b, 0);
+  EXPECT_TRUE(decode_var_advice_one_bit(g, enc.bits, enc.max_payload_bits).empty());
+}
+
+}  // namespace
+}  // namespace lad
