@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_subexp_lcl.dir/bench_e1_subexp_lcl.cpp.o"
+  "CMakeFiles/bench_e1_subexp_lcl.dir/bench_e1_subexp_lcl.cpp.o.d"
+  "bench_e1_subexp_lcl"
+  "bench_e1_subexp_lcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_subexp_lcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_orientation.dir/bench_e2_orientation.cpp.o"
+  "CMakeFiles/bench_e2_orientation.dir/bench_e2_orientation.cpp.o.d"
+  "bench_e2_orientation"
+  "bench_e2_orientation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_decompress.dir/bench_e3_decompress.cpp.o"
+  "CMakeFiles/bench_e3_decompress.dir/bench_e3_decompress.cpp.o.d"
+  "bench_e3_decompress"
+  "bench_e3_decompress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_decompress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_delta_coloring.dir/bench_e4_delta_coloring.cpp.o"
+  "CMakeFiles/bench_e4_delta_coloring.dir/bench_e4_delta_coloring.cpp.o.d"
+  "bench_e4_delta_coloring"
+  "bench_e4_delta_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_delta_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

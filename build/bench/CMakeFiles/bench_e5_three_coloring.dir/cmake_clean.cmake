@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_three_coloring.dir/bench_e5_three_coloring.cpp.o"
+  "CMakeFiles/bench_e5_three_coloring.dir/bench_e5_three_coloring.cpp.o.d"
+  "bench_e5_three_coloring"
+  "bench_e5_three_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_three_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

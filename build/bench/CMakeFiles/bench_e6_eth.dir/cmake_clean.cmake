@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_eth.dir/bench_e6_eth.cpp.o"
+  "CMakeFiles/bench_e6_eth.dir/bench_e6_eth.cpp.o.d"
+  "bench_e6_eth"
+  "bench_e6_eth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_eth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_splitting.dir/bench_e7_splitting.cpp.o"
+  "CMakeFiles/bench_e7_splitting.dir/bench_e7_splitting.cpp.o.d"
+  "bench_e7_splitting"
+  "bench_e7_splitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

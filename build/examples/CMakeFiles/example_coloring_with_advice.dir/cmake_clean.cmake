@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_coloring_with_advice.dir/coloring_with_advice.cpp.o"
+  "CMakeFiles/example_coloring_with_advice.dir/coloring_with_advice.cpp.o.d"
+  "example_coloring_with_advice"
+  "example_coloring_with_advice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_coloring_with_advice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_coloring_with_advice.
+# This may be replaced when dependencies are built.

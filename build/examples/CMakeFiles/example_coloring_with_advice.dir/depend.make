@@ -1,0 +1,2 @@
+# Empty dependencies file for example_coloring_with_advice.
+# This may be replaced when dependencies are built.

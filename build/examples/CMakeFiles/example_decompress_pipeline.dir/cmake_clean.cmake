@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_decompress_pipeline.dir/decompress_pipeline.cpp.o"
+  "CMakeFiles/example_decompress_pipeline.dir/decompress_pipeline.cpp.o.d"
+  "example_decompress_pipeline"
+  "example_decompress_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_decompress_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_local_proofs.dir/local_proofs.cpp.o"
+  "CMakeFiles/example_local_proofs.dir/local_proofs.cpp.o.d"
+  "example_local_proofs"
+  "example_local_proofs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_local_proofs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advice/advice.cpp" "src/CMakeFiles/lad_advice.dir/advice/advice.cpp.o" "gcc" "src/CMakeFiles/lad_advice.dir/advice/advice.cpp.o.d"
+  "/root/repo/src/advice/bitstring.cpp" "src/CMakeFiles/lad_advice.dir/advice/bitstring.cpp.o" "gcc" "src/CMakeFiles/lad_advice.dir/advice/bitstring.cpp.o.d"
+  "/root/repo/src/advice/schema.cpp" "src/CMakeFiles/lad_advice.dir/advice/schema.cpp.o" "gcc" "src/CMakeFiles/lad_advice.dir/advice/schema.cpp.o.d"
+  "/root/repo/src/advice/sparsify.cpp" "src/CMakeFiles/lad_advice.dir/advice/sparsify.cpp.o" "gcc" "src/CMakeFiles/lad_advice.dir/advice/sparsify.cpp.o.d"
+  "/root/repo/src/advice/trailcode.cpp" "src/CMakeFiles/lad_advice.dir/advice/trailcode.cpp.o" "gcc" "src/CMakeFiles/lad_advice.dir/advice/trailcode.cpp.o.d"
+  "/root/repo/src/advice/uniform.cpp" "src/CMakeFiles/lad_advice.dir/advice/uniform.cpp.o" "gcc" "src/CMakeFiles/lad_advice.dir/advice/uniform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lad_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

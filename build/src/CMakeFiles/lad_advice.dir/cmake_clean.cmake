@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lad_advice.dir/advice/advice.cpp.o"
+  "CMakeFiles/lad_advice.dir/advice/advice.cpp.o.d"
+  "CMakeFiles/lad_advice.dir/advice/bitstring.cpp.o"
+  "CMakeFiles/lad_advice.dir/advice/bitstring.cpp.o.d"
+  "CMakeFiles/lad_advice.dir/advice/schema.cpp.o"
+  "CMakeFiles/lad_advice.dir/advice/schema.cpp.o.d"
+  "CMakeFiles/lad_advice.dir/advice/sparsify.cpp.o"
+  "CMakeFiles/lad_advice.dir/advice/sparsify.cpp.o.d"
+  "CMakeFiles/lad_advice.dir/advice/trailcode.cpp.o"
+  "CMakeFiles/lad_advice.dir/advice/trailcode.cpp.o.d"
+  "CMakeFiles/lad_advice.dir/advice/uniform.cpp.o"
+  "CMakeFiles/lad_advice.dir/advice/uniform.cpp.o.d"
+  "liblad_advice.a"
+  "liblad_advice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lad_advice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblad_advice.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cole_vishkin.cpp" "src/CMakeFiles/lad_baselines.dir/baselines/cole_vishkin.cpp.o" "gcc" "src/CMakeFiles/lad_baselines.dir/baselines/cole_vishkin.cpp.o.d"
+  "/root/repo/src/baselines/global_orientation.cpp" "src/CMakeFiles/lad_baselines.dir/baselines/global_orientation.cpp.o" "gcc" "src/CMakeFiles/lad_baselines.dir/baselines/global_orientation.cpp.o.d"
+  "/root/repo/src/baselines/linial.cpp" "src/CMakeFiles/lad_baselines.dir/baselines/linial.cpp.o" "gcc" "src/CMakeFiles/lad_baselines.dir/baselines/linial.cpp.o.d"
+  "/root/repo/src/baselines/trivial_advice.cpp" "src/CMakeFiles/lad_baselines.dir/baselines/trivial_advice.cpp.o" "gcc" "src/CMakeFiles/lad_baselines.dir/baselines/trivial_advice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lad_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lad_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lad_advice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lad_lcl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lad_baselines.dir/baselines/cole_vishkin.cpp.o"
+  "CMakeFiles/lad_baselines.dir/baselines/cole_vishkin.cpp.o.d"
+  "CMakeFiles/lad_baselines.dir/baselines/global_orientation.cpp.o"
+  "CMakeFiles/lad_baselines.dir/baselines/global_orientation.cpp.o.d"
+  "CMakeFiles/lad_baselines.dir/baselines/linial.cpp.o"
+  "CMakeFiles/lad_baselines.dir/baselines/linial.cpp.o.d"
+  "CMakeFiles/lad_baselines.dir/baselines/trivial_advice.cpp.o"
+  "CMakeFiles/lad_baselines.dir/baselines/trivial_advice.cpp.o.d"
+  "liblad_baselines.a"
+  "liblad_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lad_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

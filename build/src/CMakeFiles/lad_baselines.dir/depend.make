@@ -1,0 +1,2 @@
+# Empty dependencies file for lad_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_coloring.cpp" "src/CMakeFiles/lad_core.dir/core/cluster_coloring.cpp.o" "gcc" "src/CMakeFiles/lad_core.dir/core/cluster_coloring.cpp.o.d"
+  "/root/repo/src/core/decompress.cpp" "src/CMakeFiles/lad_core.dir/core/decompress.cpp.o" "gcc" "src/CMakeFiles/lad_core.dir/core/decompress.cpp.o.d"
+  "/root/repo/src/core/delta_coloring.cpp" "src/CMakeFiles/lad_core.dir/core/delta_coloring.cpp.o" "gcc" "src/CMakeFiles/lad_core.dir/core/delta_coloring.cpp.o.d"
+  "/root/repo/src/core/eth.cpp" "src/CMakeFiles/lad_core.dir/core/eth.cpp.o" "gcc" "src/CMakeFiles/lad_core.dir/core/eth.cpp.o.d"
+  "/root/repo/src/core/orientation.cpp" "src/CMakeFiles/lad_core.dir/core/orientation.cpp.o" "gcc" "src/CMakeFiles/lad_core.dir/core/orientation.cpp.o.d"
+  "/root/repo/src/core/proofs.cpp" "src/CMakeFiles/lad_core.dir/core/proofs.cpp.o" "gcc" "src/CMakeFiles/lad_core.dir/core/proofs.cpp.o.d"
+  "/root/repo/src/core/running_example.cpp" "src/CMakeFiles/lad_core.dir/core/running_example.cpp.o" "gcc" "src/CMakeFiles/lad_core.dir/core/running_example.cpp.o.d"
+  "/root/repo/src/core/splitting.cpp" "src/CMakeFiles/lad_core.dir/core/splitting.cpp.o" "gcc" "src/CMakeFiles/lad_core.dir/core/splitting.cpp.o.d"
+  "/root/repo/src/core/subexp_lcl.cpp" "src/CMakeFiles/lad_core.dir/core/subexp_lcl.cpp.o" "gcc" "src/CMakeFiles/lad_core.dir/core/subexp_lcl.cpp.o.d"
+  "/root/repo/src/core/three_coloring.cpp" "src/CMakeFiles/lad_core.dir/core/three_coloring.cpp.o" "gcc" "src/CMakeFiles/lad_core.dir/core/three_coloring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lad_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lad_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lad_advice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lad_lcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lad_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lad_core.dir/core/cluster_coloring.cpp.o"
+  "CMakeFiles/lad_core.dir/core/cluster_coloring.cpp.o.d"
+  "CMakeFiles/lad_core.dir/core/decompress.cpp.o"
+  "CMakeFiles/lad_core.dir/core/decompress.cpp.o.d"
+  "CMakeFiles/lad_core.dir/core/delta_coloring.cpp.o"
+  "CMakeFiles/lad_core.dir/core/delta_coloring.cpp.o.d"
+  "CMakeFiles/lad_core.dir/core/eth.cpp.o"
+  "CMakeFiles/lad_core.dir/core/eth.cpp.o.d"
+  "CMakeFiles/lad_core.dir/core/orientation.cpp.o"
+  "CMakeFiles/lad_core.dir/core/orientation.cpp.o.d"
+  "CMakeFiles/lad_core.dir/core/proofs.cpp.o"
+  "CMakeFiles/lad_core.dir/core/proofs.cpp.o.d"
+  "CMakeFiles/lad_core.dir/core/running_example.cpp.o"
+  "CMakeFiles/lad_core.dir/core/running_example.cpp.o.d"
+  "CMakeFiles/lad_core.dir/core/splitting.cpp.o"
+  "CMakeFiles/lad_core.dir/core/splitting.cpp.o.d"
+  "CMakeFiles/lad_core.dir/core/subexp_lcl.cpp.o"
+  "CMakeFiles/lad_core.dir/core/subexp_lcl.cpp.o.d"
+  "CMakeFiles/lad_core.dir/core/three_coloring.cpp.o"
+  "CMakeFiles/lad_core.dir/core/three_coloring.cpp.o.d"
+  "liblad_core.a"
+  "liblad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/canonical.cpp" "src/CMakeFiles/lad_graph.dir/graph/canonical.cpp.o" "gcc" "src/CMakeFiles/lad_graph.dir/graph/canonical.cpp.o.d"
+  "/root/repo/src/graph/checkers.cpp" "src/CMakeFiles/lad_graph.dir/graph/checkers.cpp.o" "gcc" "src/CMakeFiles/lad_graph.dir/graph/checkers.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/lad_graph.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/lad_graph.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/distance.cpp" "src/CMakeFiles/lad_graph.dir/graph/distance.cpp.o" "gcc" "src/CMakeFiles/lad_graph.dir/graph/distance.cpp.o.d"
+  "/root/repo/src/graph/distance_coloring.cpp" "src/CMakeFiles/lad_graph.dir/graph/distance_coloring.cpp.o" "gcc" "src/CMakeFiles/lad_graph.dir/graph/distance_coloring.cpp.o.d"
+  "/root/repo/src/graph/euler.cpp" "src/CMakeFiles/lad_graph.dir/graph/euler.cpp.o" "gcc" "src/CMakeFiles/lad_graph.dir/graph/euler.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/lad_graph.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/lad_graph.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/lad_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/lad_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/lad_graph.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/lad_graph.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/rng.cpp" "src/CMakeFiles/lad_graph.dir/graph/rng.cpp.o" "gcc" "src/CMakeFiles/lad_graph.dir/graph/rng.cpp.o.d"
+  "/root/repo/src/graph/ruling_set.cpp" "src/CMakeFiles/lad_graph.dir/graph/ruling_set.cpp.o" "gcc" "src/CMakeFiles/lad_graph.dir/graph/ruling_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

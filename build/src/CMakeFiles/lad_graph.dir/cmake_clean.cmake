@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lad_graph.dir/graph/canonical.cpp.o"
+  "CMakeFiles/lad_graph.dir/graph/canonical.cpp.o.d"
+  "CMakeFiles/lad_graph.dir/graph/checkers.cpp.o"
+  "CMakeFiles/lad_graph.dir/graph/checkers.cpp.o.d"
+  "CMakeFiles/lad_graph.dir/graph/components.cpp.o"
+  "CMakeFiles/lad_graph.dir/graph/components.cpp.o.d"
+  "CMakeFiles/lad_graph.dir/graph/distance.cpp.o"
+  "CMakeFiles/lad_graph.dir/graph/distance.cpp.o.d"
+  "CMakeFiles/lad_graph.dir/graph/distance_coloring.cpp.o"
+  "CMakeFiles/lad_graph.dir/graph/distance_coloring.cpp.o.d"
+  "CMakeFiles/lad_graph.dir/graph/euler.cpp.o"
+  "CMakeFiles/lad_graph.dir/graph/euler.cpp.o.d"
+  "CMakeFiles/lad_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/lad_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/lad_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/lad_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/lad_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/lad_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/lad_graph.dir/graph/rng.cpp.o"
+  "CMakeFiles/lad_graph.dir/graph/rng.cpp.o.d"
+  "CMakeFiles/lad_graph.dir/graph/ruling_set.cpp.o"
+  "CMakeFiles/lad_graph.dir/graph/ruling_set.cpp.o.d"
+  "liblad_graph.a"
+  "liblad_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lad_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

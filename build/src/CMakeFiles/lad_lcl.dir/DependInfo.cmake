@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lcl/checker.cpp" "src/CMakeFiles/lad_lcl.dir/lcl/checker.cpp.o" "gcc" "src/CMakeFiles/lad_lcl.dir/lcl/checker.cpp.o.d"
+  "/root/repo/src/lcl/lcl.cpp" "src/CMakeFiles/lad_lcl.dir/lcl/lcl.cpp.o" "gcc" "src/CMakeFiles/lad_lcl.dir/lcl/lcl.cpp.o.d"
+  "/root/repo/src/lcl/problems.cpp" "src/CMakeFiles/lad_lcl.dir/lcl/problems.cpp.o" "gcc" "src/CMakeFiles/lad_lcl.dir/lcl/problems.cpp.o.d"
+  "/root/repo/src/lcl/solver.cpp" "src/CMakeFiles/lad_lcl.dir/lcl/solver.cpp.o" "gcc" "src/CMakeFiles/lad_lcl.dir/lcl/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lad_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lad_local.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lad_lcl.dir/lcl/checker.cpp.o"
+  "CMakeFiles/lad_lcl.dir/lcl/checker.cpp.o.d"
+  "CMakeFiles/lad_lcl.dir/lcl/lcl.cpp.o"
+  "CMakeFiles/lad_lcl.dir/lcl/lcl.cpp.o.d"
+  "CMakeFiles/lad_lcl.dir/lcl/problems.cpp.o"
+  "CMakeFiles/lad_lcl.dir/lcl/problems.cpp.o.d"
+  "CMakeFiles/lad_lcl.dir/lcl/solver.cpp.o"
+  "CMakeFiles/lad_lcl.dir/lcl/solver.cpp.o.d"
+  "liblad_lcl.a"
+  "liblad_lcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lad_lcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/local/ball.cpp" "src/CMakeFiles/lad_local.dir/local/ball.cpp.o" "gcc" "src/CMakeFiles/lad_local.dir/local/ball.cpp.o.d"
+  "/root/repo/src/local/engine.cpp" "src/CMakeFiles/lad_local.dir/local/engine.cpp.o" "gcc" "src/CMakeFiles/lad_local.dir/local/engine.cpp.o.d"
+  "/root/repo/src/local/gather.cpp" "src/CMakeFiles/lad_local.dir/local/gather.cpp.o" "gcc" "src/CMakeFiles/lad_local.dir/local/gather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lad_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

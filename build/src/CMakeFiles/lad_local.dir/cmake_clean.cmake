@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lad_local.dir/local/ball.cpp.o"
+  "CMakeFiles/lad_local.dir/local/ball.cpp.o.d"
+  "CMakeFiles/lad_local.dir/local/engine.cpp.o"
+  "CMakeFiles/lad_local.dir/local/engine.cpp.o.d"
+  "CMakeFiles/lad_local.dir/local/gather.cpp.o"
+  "CMakeFiles/lad_local.dir/local/gather.cpp.o.d"
+  "liblad_local.a"
+  "liblad_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lad_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advice.dir/test_advice.cpp.o"
+  "CMakeFiles/test_advice.dir/test_advice.cpp.o.d"
+  "test_advice"
+  "test_advice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_canonical.dir/test_canonical.cpp.o"
+  "CMakeFiles/test_canonical.dir/test_canonical.cpp.o.d"
+  "test_canonical"
+  "test_canonical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_canonical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_coloring.dir/test_cluster_coloring.cpp.o"
+  "CMakeFiles/test_cluster_coloring.dir/test_cluster_coloring.cpp.o.d"
+  "test_cluster_coloring"
+  "test_cluster_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decompress.dir/test_decompress.cpp.o"
+  "CMakeFiles/test_decompress.dir/test_decompress.cpp.o.d"
+  "test_decompress"
+  "test_decompress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decompress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distance_coloring.dir/test_distance_coloring.cpp.o"
+  "CMakeFiles/test_distance_coloring.dir/test_distance_coloring.cpp.o.d"
+  "test_distance_coloring"
+  "test_distance_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distance_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eth.dir/test_eth.cpp.o"
+  "CMakeFiles/test_eth.dir/test_eth.cpp.o.d"
+  "test_eth"
+  "test_eth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

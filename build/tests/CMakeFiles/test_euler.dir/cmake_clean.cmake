@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_euler.dir/test_euler.cpp.o"
+  "CMakeFiles/test_euler.dir/test_euler.cpp.o.d"
+  "test_euler"
+  "test_euler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_euler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

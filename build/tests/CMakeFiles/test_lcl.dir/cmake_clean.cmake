@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lcl.dir/test_lcl.cpp.o"
+  "CMakeFiles/test_lcl.dir/test_lcl.cpp.o.d"
+  "test_lcl"
+  "test_lcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

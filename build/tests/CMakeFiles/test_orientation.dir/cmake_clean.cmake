@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orientation.dir/test_orientation.cpp.o"
+  "CMakeFiles/test_orientation.dir/test_orientation.cpp.o.d"
+  "test_orientation"
+  "test_orientation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

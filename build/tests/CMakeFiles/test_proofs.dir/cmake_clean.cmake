@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proofs.dir/test_proofs.cpp.o"
+  "CMakeFiles/test_proofs.dir/test_proofs.cpp.o.d"
+  "test_proofs"
+  "test_proofs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proofs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ruling_set.dir/test_ruling_set.cpp.o"
+  "CMakeFiles/test_ruling_set.dir/test_ruling_set.cpp.o.d"
+  "test_ruling_set"
+  "test_ruling_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ruling_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

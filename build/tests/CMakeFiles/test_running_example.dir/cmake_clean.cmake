@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_running_example.dir/test_running_example.cpp.o"
+  "CMakeFiles/test_running_example.dir/test_running_example.cpp.o.d"
+  "test_running_example"
+  "test_running_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_running_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

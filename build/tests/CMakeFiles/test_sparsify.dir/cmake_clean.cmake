@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparsify.dir/test_sparsify.cpp.o"
+  "CMakeFiles/test_sparsify.dir/test_sparsify.cpp.o.d"
+  "test_sparsify"
+  "test_sparsify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparsify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_splitting.dir/test_splitting.cpp.o"
+  "CMakeFiles/test_splitting.dir/test_splitting.cpp.o.d"
+  "test_splitting"
+  "test_splitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

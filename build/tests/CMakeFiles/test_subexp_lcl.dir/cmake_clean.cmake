@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subexp_lcl.dir/test_subexp_lcl.cpp.o"
+  "CMakeFiles/test_subexp_lcl.dir/test_subexp_lcl.cpp.o.d"
+  "test_subexp_lcl"
+  "test_subexp_lcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subexp_lcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

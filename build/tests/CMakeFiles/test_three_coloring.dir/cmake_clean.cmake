@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_three_coloring.dir/test_three_coloring.cpp.o"
+  "CMakeFiles/test_three_coloring.dir/test_three_coloring.cpp.o.d"
+  "test_three_coloring"
+  "test_three_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_three_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trailcode.dir/test_trailcode.cpp.o"
+  "CMakeFiles/test_trailcode.dir/test_trailcode.cpp.o.d"
+  "test_trailcode"
+  "test_trailcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trailcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

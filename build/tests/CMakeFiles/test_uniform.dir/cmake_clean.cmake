@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uniform.dir/test_uniform.cpp.o"
+  "CMakeFiles/test_uniform.dir/test_uniform.cpp.o.d"
+  "test_uniform"
+  "test_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

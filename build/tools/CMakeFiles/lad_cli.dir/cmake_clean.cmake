@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lad_cli.dir/lad_cli.cpp.o"
+  "CMakeFiles/lad_cli.dir/lad_cli.cpp.o.d"
+  "lad"
+  "lad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lad_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
