@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "graph/common.hpp"
+#include "util/contracts.hpp"
 
 namespace lad {
 
@@ -24,7 +24,10 @@ class BitString {
 
   int size() const { return static_cast<int>(bits_.size()); }
   bool empty() const { return bits_.empty(); }
-  bool bit(int i) const { return bits_[static_cast<std::size_t>(i)] != 0; }
+  bool bit(int i) const {
+    LAD_ASSERT(i >= 0 && i < size());
+    return bits_[static_cast<std::size_t>(i)] != 0;
+  }
 
   void append(bool b) { bits_.push_back(b ? 1 : 0); }
   void append(const BitString& other);

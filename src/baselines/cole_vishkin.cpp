@@ -131,12 +131,15 @@ std::vector<int> cycle_successors(const Graph& g) {
   return succ;
 }
 
-ColeVishkinResult cole_vishkin_cycle(const Graph& g, const std::vector<int>& successor) {
+ColeVishkinResult cole_vishkin_cycle(const Graph& g, const std::vector<int>& successor,
+                                     EngineAuditLog* audit) {
   ColeVishkinResult res;
   res.colors.assign(static_cast<std::size_t>(g.n()), 0);
   CvAlgorithm alg(successor, res.colors);
   Engine eng(g);
+  if (audit != nullptr) eng.enable_audit();
   const auto run = eng.run(alg, 1000);
+  if (audit != nullptr) *audit = eng.audit_log();
   LAD_CHECK_MSG(run.all_halted, "Cole-Vishkin did not terminate");
   res.rounds = run.rounds;
   LAD_CHECK(is_proper_coloring(g, res.colors, 3));

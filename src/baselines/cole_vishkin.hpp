@@ -21,8 +21,11 @@ struct ColeVishkinResult {
 
 /// 3-colors a cycle. `successor[v]` gives the consistent orientation (the
 /// standard model assumption for Cole–Vishkin; the cycle generator provides
-/// it). Runs as a real message-passing algorithm on the Engine.
-ColeVishkinResult cole_vishkin_cycle(const Graph& g, const std::vector<int>& successor);
+/// it). Runs as a real message-passing algorithm on the Engine. When
+/// `audit` is non-null the run executes under the provenance auditor
+/// (engine.hpp) and the log is written there.
+ColeVishkinResult cole_vishkin_cycle(const Graph& g, const std::vector<int>& successor,
+                                     EngineAuditLog* audit = nullptr);
 
 /// Convenience: builds the successor map of make_cycle-style graphs by
 /// walking the cycle from node 0.

@@ -1,43 +1,7 @@
-// Common utilities shared across the library: error checking and basic types.
+// Back-compat shim: the contract macros moved to util/contracts.hpp.
+// Include that header directly in new code.
 #pragma once
 
 #include <cstdint>
-#include <sstream>
-#include <stdexcept>
-#include <string>
 
-namespace lad {
-
-/// Thrown when a precondition or internal invariant is violated.
-class ContractViolation : public std::logic_error {
- public:
-  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
-};
-
-namespace detail {
-[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
-                                      const std::string& msg) {
-  std::ostringstream os;
-  os << "LAD_CHECK failed: " << expr << " at " << file << ":" << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw ContractViolation(os.str());
-}
-}  // namespace detail
-
-}  // namespace lad
-
-/// Precondition / invariant check that is always on (used on cold paths:
-/// construction, encoding, validation). Throws lad::ContractViolation.
-#define LAD_CHECK(expr)                                                  \
-  do {                                                                   \
-    if (!(expr)) ::lad::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
-  } while (0)
-
-#define LAD_CHECK_MSG(expr, msg)                                            \
-  do {                                                                      \
-    if (!(expr)) {                                                          \
-      std::ostringstream os_;                                               \
-      os_ << msg;                                                           \
-      ::lad::detail::check_failed(#expr, __FILE__, __LINE__, os_.str());    \
-    }                                                                       \
-  } while (0)
+#include "util/contracts.hpp"

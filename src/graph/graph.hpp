@@ -16,7 +16,7 @@
 #include <utility>
 #include <vector>
 
-#include "graph/common.hpp"
+#include "util/contracts.hpp"
 
 namespace lad {
 
@@ -50,21 +50,29 @@ class Graph {
   int n() const { return static_cast<int>(ids_.size()); }
   int m() const { return static_cast<int>(edge_u_.size()); }
 
-  int degree(int v) const { return adj_off_[v + 1] - adj_off_[v]; }
+  int degree(int v) const {
+    LAD_ASSERT(v >= 0 && v < n());
+    return adj_off_[v + 1] - adj_off_[v];
+  }
   int max_degree() const { return max_degree_; }
 
   /// Neighbors of v, sorted by their IDs (deterministic port order).
   std::span<const int> neighbors(int v) const {
+    LAD_ASSERT(v >= 0 && v < n());
     return {adj_.data() + adj_off_[v], adj_.data() + adj_off_[v + 1]};
   }
 
   /// Incident edge indices of v, aligned with `neighbors(v)`:
   /// incident_edges(v)[p] is the edge {v, neighbors(v)[p]}.
   std::span<const int> incident_edges(int v) const {
+    LAD_ASSERT(v >= 0 && v < n());
     return {inc_.data() + adj_off_[v], inc_.data() + adj_off_[v + 1]};
   }
 
-  NodeId id(int v) const { return ids_[v]; }
+  NodeId id(int v) const {
+    LAD_ASSERT(v >= 0 && v < n());
+    return ids_[v];
+  }
 
   /// Dense index of the node with the given ID; throws if absent.
   int index_of(NodeId id) const;
@@ -73,8 +81,14 @@ class Graph {
   bool has_id(NodeId id) const { return id_to_ix_.count(id) > 0; }
 
   /// Endpoints of edge e, with endpoint_u(e) < endpoint_v(e) as indices.
-  int edge_u(int e) const { return edge_u_[e]; }
-  int edge_v(int e) const { return edge_v_[e]; }
+  int edge_u(int e) const {
+    LAD_ASSERT(e >= 0 && e < m());
+    return edge_u_[e];
+  }
+  int edge_v(int e) const {
+    LAD_ASSERT(e >= 0 && e < m());
+    return edge_v_[e];
+  }
 
   /// The endpoint of edge e that is not w.
   int other_endpoint(int e, int w) const {

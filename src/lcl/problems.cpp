@@ -11,6 +11,7 @@ std::string VertexColoringLcl::name() const {
 }
 
 bool VertexColoringLcl::valid_at(const Graph& g, const Labeling& lab, int v) const {
+  LAD_ASSERT(v >= 0 && v < g.n());
   const int c = lab.node_labels[v];
   if (c < 1 || c > k_) return false;
   for (const int u : g.neighbors(v)) {
@@ -20,6 +21,7 @@ bool VertexColoringLcl::valid_at(const Graph& g, const Labeling& lab, int v) con
 }
 
 bool MisLcl::valid_at(const Graph& g, const Labeling& lab, int v) const {
+  LAD_ASSERT(v >= 0 && v < g.n());
   const int c = lab.node_labels[v];
   if (c != 1 && c != 2) return false;
   bool has_in_neighbor = false;
@@ -31,6 +33,7 @@ bool MisLcl::valid_at(const Graph& g, const Labeling& lab, int v) const {
 }
 
 bool MaximalMatchingLcl::valid_at(const Graph& g, const Labeling& lab, int v) const {
+  LAD_ASSERT(v >= 0 && v < g.n());
   int incident_in = 0;
   for (const int e : g.incident_edges(v)) {
     const int c = lab.edge_labels[e];
@@ -58,6 +61,7 @@ std::string EdgeColoringLcl::name() const {
 }
 
 bool EdgeColoringLcl::valid_at(const Graph& g, const Labeling& lab, int v) const {
+  LAD_ASSERT(v >= 0 && v < g.n());
   std::vector<char> seen(static_cast<std::size_t>(k_) + 1, 0);
   for (const int e : g.incident_edges(v)) {
     const int c = lab.edge_labels[e];
@@ -75,6 +79,7 @@ std::string WeakColoringLcl::name() const {
 }
 
 bool WeakColoringLcl::valid_at(const Graph& g, const Labeling& lab, int v) const {
+  LAD_ASSERT(v >= 0 && v < g.n());
   const int c = lab.node_labels[v];
   if (c < 1 || c > c_) return false;
   if (g.degree(v) == 0) return true;

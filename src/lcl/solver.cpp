@@ -25,7 +25,7 @@ class Search {
   }
 
   std::optional<Labeling> run() {
-    if (!assign(0)) return std::nullopt;
+    if (!search()) return std::nullopt;
     // Every check node must now have a fully labeled region.
     for (int v = 0; v < g_.n(); ++v) {
       if (check_[v]) {
@@ -97,27 +97,59 @@ class Search {
     return out;
   }
 
-  bool assign(std::size_t i) {
-    LAD_CHECK_MSG(++steps_ <= max_steps_, "solve_lcl: step budget exhausted");
-    if (i == order_.size()) return true;
-    const Var& var = order_[i];
-    const int num_labels = var.is_node ? p_.num_node_labels() : p_.num_edge_labels();
-    int& slot = var.is_node ? lab_.node_labels[var.index] : lab_.edge_labels[var.index];
-    LAD_CHECK_MSG(slot == -1, "free variable already pinned");
-    const auto affected = affected_checks(var);
-    for (int label = 1; label <= num_labels; ++label) {
-      slot = label;
-      bool ok = true;
-      for (const int v : affected) {
-        if (region_fully_labeled(v) && !p_.valid_at(g_, lab_, v)) {
-          ok = false;
+  int& slot_of(const Var& var) {
+    return var.is_node ? lab_.node_labels[var.index] : lab_.edge_labels[var.index];
+  }
+
+  // Backtracking over `order_` with an explicit stack (the search depth is
+  // one level per free variable, far too deep for the call stack on large
+  // instances). Each frame remembers the affected check nodes and the next
+  // label to try; frames are dropped on backtrack and rebuilt on re-entry,
+  // exactly like the activation records of the recursive formulation.
+  struct Frame {
+    std::vector<int> affected;
+    int next_label = 1;
+  };
+
+  bool search() {
+    std::vector<Frame> stack;
+    std::size_t i = 0;
+    while (i < order_.size()) {
+      const Var& var = order_[i];
+      if (stack.size() == i) {
+        LAD_CHECK_MSG(++steps_ <= max_steps_, "solve_lcl: step budget exhausted");
+        LAD_CHECK_MSG(slot_of(var) == -1, "free variable already pinned");
+        stack.push_back({affected_checks(var), 1});
+      }
+      Frame& f = stack.back();
+      const int num_labels = var.is_node ? p_.num_node_labels() : p_.num_edge_labels();
+      int& slot = slot_of(var);
+      bool advanced = false;
+      while (f.next_label <= num_labels) {
+        slot = f.next_label++;
+        bool ok = true;
+        for (const int v : f.affected) {
+          if (region_fully_labeled(v) && !p_.valid_at(g_, lab_, v)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          advanced = true;
           break;
         }
       }
-      if (ok && assign(i + 1)) return true;
+      if (advanced) {
+        ++i;
+        continue;
+      }
+      slot = -1;  // exhausted every label: backtrack
+      stack.pop_back();
+      if (i == 0) return false;
+      --i;
     }
-    slot = -1;
-    return false;
+    LAD_CHECK_MSG(++steps_ <= max_steps_, "solve_lcl: step budget exhausted");
+    return true;
   }
 
   const Graph& g_;

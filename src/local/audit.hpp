@@ -1,0 +1,105 @@
+// Locality-conformance auditing for LOCAL-model algorithms.
+//
+// The paper's claims are all of the form "this decoder works in T rounds of
+// the LOCAL model": node v's output must be a function of its radius-T view
+// (topology, IDs and advice within distance T). Nothing in a centralized
+// simulation *enforces* that — a buggy solver could peek at global state and
+// every benchmark would still pass. This header provides two complementary
+// mechanical checks:
+//
+// 1. Provenance tracking (engine.hpp, enable_audit): every message carries
+//    the set of origin nodes its content can depend on; the engine asserts
+//    after each round that no node's provenance escapes its radius-`round`
+//    ball. This validates information flow through the sanctioned NodeCtx
+//    API (and the engine's own routing), and yields per-round provenance
+//    statistics.
+//
+// 2. Indistinguishability auditing (this header): the classical LOCAL-model
+//    lower-bound argument run as a test oracle. Execute an algorithm (or
+//    advice decoder) on two instances; every node whose radius-T view is
+//    IDENTICAL in both instances must produce the identical output. A node
+//    with an identical view but a different output provably used
+//    information from outside its ball — the violation is reported with the
+//    node, the audited radius, and the nearest out-of-ball difference (the
+//    "offending origin"). This catches algorithms that bypass the NodeCtx
+//    API entirely (shared state, captured Graph references, global advice
+//    reads), which no cooperative instrumentation can see.
+//
+// The audit is sound: an honest T-round algorithm can never be flagged.
+// Coverage depends on the chosen perturbation — nodes whose views differ
+// between the two instances are skipped (reported as nodes_skipped). Tests
+// should assert nodes_checked > 0 to guard against vacuous passes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/engine.hpp"
+
+namespace lad {
+
+/// Same shape as the engine's provenance violations: `round` is the audited
+/// radius, `origin` the nearest instance difference outside the ball.
+using LocalityViolation = ProvenanceViolation;
+
+struct LocalityAuditReport {
+  /// Nodes whose views matched between the instances (verdict rendered).
+  int nodes_checked = 0;
+  /// Nodes whose views differed (no verdict possible for them).
+  int nodes_skipped = 0;
+  std::vector<LocalityViolation> violations;
+  /// Per-round provenance log of the base run (audit_sync_algorithm only).
+  EngineAuditLog provenance;
+
+  bool clean() const { return violations.empty(); }
+};
+
+/// One run of a LOCAL algorithm or advice decoder, in algorithm-agnostic
+/// form: what every node was given and what it produced.
+struct DecodedInstance {
+  const Graph* g = nullptr;
+  /// Per-node advice rendering ("" = no advice). Empty vector = no advice
+  /// anywhere. Any injective serialization works; the audit only compares
+  /// strings for equality.
+  std::vector<std::string> advice;
+  /// Per-node outputs (the claim under audit).
+  std::vector<std::string> outputs;
+  /// Per-node LOCAL radius; empty means `rounds` applies to every node.
+  std::vector<int> rounds_per_node;
+  /// Declared LOCAL radius of the run.
+  int rounds = 0;
+};
+
+/// True iff the radius-`radius` views of node index v agree between the two
+/// instances: same ball node set (by index), same IDs, same advice strings,
+/// and same induced edges. Graphs must have equal n.
+bool views_identical(const DecodedInstance& a, const DecodedInstance& b, int v, int radius);
+
+/// Indistinguishability audit over a pair of decoded runs: every node whose
+/// declared-radius view matches must have matching output.
+LocalityAuditReport audit_decoded_pair(const DecodedInstance& base, const DecodedInstance& alt);
+
+using AlgFactory = std::function<std::unique_ptr<SyncAlgorithm>(const Graph&)>;
+
+/// Runs `make(g)` under the provenance-audited engine and `make(alt)` under
+/// a plain engine, then cross-checks outputs and halting rounds of every
+/// node whose view (at its own halting radius) is identical in g and alt.
+LocalityAuditReport audit_sync_algorithm(const Graph& g, const Graph& alt, const AlgFactory& make,
+                                         int max_rounds);
+
+/// Rebuilds g with the same topology (by node index) but new IDs.
+Graph with_ids(const Graph& g, const std::vector<NodeId>& ids);
+
+/// The standard perturbation: rotates the IDs of all nodes at distance
+/// > radius from `center` among themselves (identity if fewer than two such
+/// nodes exist). Views within distance `radius - r` of the center are
+/// untouched for radius-r observers.
+Graph rotate_ids_outside_ball(const Graph& g, int center, int radius);
+
+/// Renders uniform 1-bit advice as per-node strings for DecodedInstance.
+std::vector<std::string> advice_strings_from_bits(const std::vector<char>& bits);
+
+}  // namespace lad

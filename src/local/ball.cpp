@@ -4,6 +4,7 @@ namespace lad {
 
 Ball extract_ball(const Graph& g, int center, int radius, const NodeMask& mask) {
   LAD_CHECK(radius >= 0);
+  LAD_CHECK(center >= 0 && center < g.n());
   Ball b;
   b.radius = radius;
   const auto nodes = ball_nodes(g, center, radius, mask);

@@ -1,8 +1,23 @@
 #include "local/engine.hpp"
 
 #include <algorithm>
+#include <sstream>
+
+#include "graph/distance.hpp"
 
 namespace lad {
+namespace {
+
+// Sorted-set union of `add` into `into`.
+void merge_sorted(std::vector<int>& into, const std::vector<int>& add) {
+  if (add.empty()) return;
+  std::vector<int> merged;
+  merged.reserve(into.size() + add.size());
+  std::set_union(into.begin(), into.end(), add.begin(), add.end(), std::back_inserter(merged));
+  into.swap(merged);
+}
+
+}  // namespace
 
 NodeId NodeCtx::id() const { return eng_.g_.id(v_); }
 int NodeCtx::degree() const { return eng_.g_.degree(v_); }
@@ -18,15 +33,26 @@ NodeId NodeCtx::neighbor_id(int port) const {
 const std::string& NodeCtx::received(int port) const {
   static const std::string kEmpty;
   const int s = eng_.slot(v_, port);
+  if (eng_.audit_ && eng_.inbox_present_[s]) {
+    eng_.merge_provenance(v_, eng_.inbox_prov_[s]);
+  }
   return eng_.inbox_present_[s] ? eng_.inbox_[s] : kEmpty;
 }
 
-bool NodeCtx::has_message(int port) const { return eng_.inbox_present_[eng_.slot(v_, port)]; }
+bool NodeCtx::has_message(int port) const {
+  const int s = eng_.slot(v_, port);
+  // The presence bit is information originating at the sender; taint it too.
+  if (eng_.audit_ && eng_.inbox_present_[s]) {
+    eng_.merge_provenance(v_, eng_.inbox_prov_[s]);
+  }
+  return eng_.inbox_present_[s] != 0;
+}
 
 void NodeCtx::send(int port, std::string payload) {
   const int s = eng_.slot(v_, port);
   eng_.outbox_[s] = std::move(payload);
   eng_.outbox_present_[s] = 1;
+  if (eng_.audit_) eng_.outbox_prov_[s] = eng_.prov_[v_];
 }
 
 void NodeCtx::broadcast(const std::string& payload) {
@@ -36,6 +62,54 @@ void NodeCtx::broadcast(const std::string& payload) {
 void NodeCtx::halt(std::string output) {
   eng_.halted_[v_] = 1;
   eng_.outputs_[v_] = std::move(output);
+  eng_.halt_round_[v_] = round_;
+}
+
+void Engine::merge_provenance(int v, const std::vector<int>& origins) {
+  merge_sorted(prov_[static_cast<std::size_t>(v)], origins);
+}
+
+void Engine::audit_round(int round) {
+  ProvenanceRoundStats stats;
+  stats.round = round;
+  long long total = 0;
+  for (int v = 0; v < g_.n(); ++v) {
+    // Nodes halted in an earlier round have frozen (already-checked) sets.
+    if (halt_round_[static_cast<std::size_t>(v)] >= 0 &&
+        halt_round_[static_cast<std::size_t>(v)] < round) {
+      continue;
+    }
+    const auto& pv = prov_[static_cast<std::size_t>(v)];
+    ++stats.active_nodes;
+    total += static_cast<long long>(pv.size());
+    stats.max_set_size = std::max(stats.max_set_size, static_cast<int>(pv.size()));
+    const auto& dv = dist_[static_cast<std::size_t>(v)];
+    for (const int o : pv) {
+      const int d = dv[static_cast<std::size_t>(o)];
+      LAD_ASSERT_MSG(d != kUnreachable, "provenance crossed a component boundary");
+      stats.max_radius = std::max(stats.max_radius, d);
+      if (d > round) {
+        ProvenanceViolation viol;
+        viol.node = v;
+        viol.node_id = g_.id(v);
+        viol.round = round;
+        viol.origin = o;
+        viol.origin_id = g_.id(o);
+        viol.origin_distance = d;
+        std::ostringstream os;
+        os << "node " << g_.id(v) << " depends on origin " << g_.id(o) << " at distance " << d
+           << " after round " << round;
+        viol.detail = os.str();
+        audit_log_.violations.push_back(viol);
+        if (audit_fail_fast_) {
+          LAD_CHECK_MSG(false, "locality violation: " << viol.detail);
+        }
+      }
+    }
+  }
+  stats.avg_set_size =
+      stats.active_nodes > 0 ? static_cast<double>(total) / stats.active_nodes : 0.0;
+  audit_log_.per_round.push_back(stats);
 }
 
 RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
@@ -53,6 +127,27 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
   outbox_present_.assign(static_cast<std::size_t>(total_ports), 0);
   halted_.assign(static_cast<std::size_t>(n), 0);
   outputs_.assign(static_cast<std::size_t>(n), "");
+  halt_round_.assign(static_cast<std::size_t>(n), -1);
+
+  if (audit_) {
+    audit_log_ = {};
+    // Initial knowledge: own ID/input plus the IDs of the port-ordered
+    // neighbors — exactly the radius-1 ball.
+    prov_.assign(static_cast<std::size_t>(n), {});
+    for (int v = 0; v < n; ++v) {
+      auto& pv = prov_[static_cast<std::size_t>(v)];
+      const auto nb = g_.neighbors(v);
+      pv.assign(nb.begin(), nb.end());
+      pv.push_back(v);
+      std::sort(pv.begin(), pv.end());
+    }
+    inbox_prov_.assign(static_cast<std::size_t>(total_ports), {});
+    outbox_prov_.assign(static_cast<std::size_t>(total_ports), {});
+    dist_.assign(static_cast<std::size_t>(n), {});
+    for (int v = 0; v < n; ++v) {
+      dist_[static_cast<std::size_t>(v)] = bfs_distances(g_, v);
+    }
+  }
 
   alg.init(g_);
 
@@ -67,6 +162,7 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
     }
     if (!any_active) break;
     res.rounds = round;
+    if (audit_) audit_round(round);
 
     // Deliver: a message sent by v on port p arrives at u = nb(v)[p] on
     // u's port q = port_of(u, v).
@@ -78,6 +174,7 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
         if (!outbox_present_[s]) continue;
         const int u = nb[p];
         const int q = g_.port_of(u, v);
+        LAD_ASSERT_MSG(q >= 0, "delivery to a non-neighbor port");
         const int t = offsets[u] + q;
         res.messages += 1;
         res.bytes += static_cast<long long>(outbox_[s].size());
@@ -85,12 +182,18 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
         inbox_present_[t] = 1;
         outbox_present_[s] = 0;
         outbox_[s].clear();
+        if (audit_) {
+          inbox_prov_[static_cast<std::size_t>(t)] =
+              std::move(outbox_prov_[static_cast<std::size_t>(s)]);
+          outbox_prov_[static_cast<std::size_t>(s)].clear();
+        }
       }
     }
   }
 
   res.all_halted = std::all_of(halted_.begin(), halted_.end(), [](char h) { return h != 0; });
   res.outputs = outputs_;
+  res.halt_round = halt_round_;
   return res;
 }
 

@@ -9,6 +9,15 @@
 //
 // Nodes initially know: their own ID, their degree, their neighbors' IDs
 // (port-numbered with ID-sorted ports), the maximum degree Delta, and n.
+//
+// Audit mode (enable_audit) additionally tracks per-node information
+// provenance: the set of origin nodes whose initial state (ID, input,
+// advice) the node's view can depend on. Every message is tagged with its
+// sender's provenance at send time; reading a message merges the tag into
+// the reader's set. After every round the engine asserts that each node's
+// provenance lies inside its radius-`round` ball — the LOCAL-model analogue
+// of a race detector. See local/audit.hpp for the complementary
+// indistinguishability audit that catches algorithms bypassing this API.
 #pragma once
 
 #include <functional>
@@ -16,6 +25,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/contracts.hpp"
 
 namespace lad {
 
@@ -72,20 +82,61 @@ struct RunResult {
   bool all_halted = false;
   /// Output string each node halted with ("" if it never halted).
   std::vector<std::string> outputs;
+  /// Round in which each node halted (-1 if it never halted).
+  std::vector<int> halt_round;
   /// Message complexity: messages delivered and their total payload bytes.
   long long messages = 0;
   long long bytes = 0;
+};
+
+/// Per-round provenance accounting of an audited run.
+struct ProvenanceRoundStats {
+  int round = 0;
+  int active_nodes = 0;      // nodes that executed this round
+  int max_set_size = 0;      // largest provenance set
+  double avg_set_size = 0.0; // mean provenance set size over active nodes
+  int max_radius = 0;        // max dist(v, origin) over all tracked pairs
+};
+
+/// A node whose provenance escaped its radius-`round` ball.
+struct ProvenanceViolation {
+  int node = -1;
+  NodeId node_id = 0;
+  int round = 0;
+  int origin = -1;          // offending origin (node index)
+  NodeId origin_id = 0;
+  int origin_distance = 0;  // dist(node, origin) > round
+  std::string detail;
+};
+
+struct EngineAuditLog {
+  std::vector<ProvenanceRoundStats> per_round;
+  std::vector<ProvenanceViolation> violations;
+  bool clean() const { return violations.empty(); }
 };
 
 class Engine {
  public:
   explicit Engine(const Graph& g) : g_(g) {}
 
+  /// Turns on provenance tracking for subsequent run() calls. With
+  /// `fail_fast` (the default) a ball-containment violation throws
+  /// ContractViolation; otherwise it is recorded in audit_log().
+  void enable_audit(bool fail_fast = true) {
+    audit_ = true;
+    audit_fail_fast_ = fail_fast;
+  }
+
+  const EngineAuditLog& audit_log() const { return audit_log_; }
+
   /// Runs `alg` until all nodes halt or `max_rounds` elapse.
   RunResult run(SyncAlgorithm& alg, int max_rounds);
 
  private:
   friend class NodeCtx;
+  void merge_provenance(int v, const std::vector<int>& origins);
+  void audit_round(int round);
+
   const Graph& g_;
   std::vector<std::string> inbox_;      // flattened: adj offset indexing
   std::vector<char> inbox_present_;
@@ -93,8 +144,22 @@ class Engine {
   std::vector<char> outbox_present_;
   std::vector<char> halted_;
   std::vector<std::string> outputs_;
+  std::vector<int> halt_round_;
   std::vector<int> offsets_;  // CSR port offsets, size n+1
-  int slot(int v, int port) const { return offsets_[v] + port; }
+
+  bool audit_ = false;
+  bool audit_fail_fast_ = true;
+  EngineAuditLog audit_log_;
+  std::vector<std::vector<int>> prov_;        // per node, sorted origin sets
+  std::vector<std::vector<int>> inbox_prov_;  // per slot, provenance tags
+  std::vector<std::vector<int>> outbox_prov_;
+  std::vector<std::vector<int>> dist_;  // all-pairs distances (audit only)
+
+  int slot(int v, int port) const {
+    LAD_ASSERT(v >= 0 && v < static_cast<int>(offsets_.size()) - 1);
+    LAD_ASSERT(port >= 0 && offsets_[v] + port < offsets_[v + 1]);
+    return offsets_[v] + port;
+  }
 };
 
 }  // namespace lad

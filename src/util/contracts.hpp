@@ -1,0 +1,89 @@
+// Contract macros used throughout the library.
+//
+// Three tiers, by cost and intent:
+//
+//   LAD_CHECK(expr) / LAD_CHECK_MSG(expr, msg)
+//       Always on, in every build type. Used on cold paths — construction,
+//       encoding, validation, I/O — and for every property the paper states
+//       as a theorem (proper coloring, balanced orientation, ...). Throws
+//       lad::ContractViolation so callers and tests can observe the failure.
+//
+//   LAD_ASSERT(expr) / LAD_ASSERT_MSG(expr, msg)
+//       Hot-path invariants (per-message, per-port, per-bit). Compiled out
+//       under NDEBUG unless LAD_FORCE_ASSERTS is defined; Debug and
+//       sanitizer builds keep them. Same failure behavior as LAD_CHECK when
+//       enabled.
+//
+//   LAD_UNREACHABLE(msg)
+//       Marks control flow that must never execute. Throws when asserts are
+//       enabled; tells the optimizer the path is dead otherwise.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lad {
+
+/// Thrown when a precondition or internal invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "LAD_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+[[noreturn]] inline void unreachable_reached(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LAD_UNREACHABLE reached at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace lad
+
+#define LAD_CHECK(expr)                                                       \
+  do {                                                                        \
+    if (!(expr)) ::lad::detail::check_failed(#expr, __FILE__, __LINE__, "");  \
+  } while (0)
+
+#define LAD_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream os_;                                               \
+      os_ << msg;                                                           \
+      ::lad::detail::check_failed(#expr, __FILE__, __LINE__, os_.str());    \
+    }                                                                       \
+  } while (0)
+
+#if !defined(NDEBUG) || defined(LAD_FORCE_ASSERTS)
+#define LAD_ASSERTS_ENABLED 1
+#else
+#define LAD_ASSERTS_ENABLED 0
+#endif
+
+#if LAD_ASSERTS_ENABLED
+#define LAD_ASSERT(expr) LAD_CHECK(expr)
+#define LAD_ASSERT_MSG(expr, msg) LAD_CHECK_MSG(expr, msg)
+#define LAD_UNREACHABLE(msg) ::lad::detail::unreachable_reached(__FILE__, __LINE__, msg)
+#else
+#define LAD_ASSERT(expr) \
+  do {                   \
+  } while (0)
+#define LAD_ASSERT_MSG(expr, msg) \
+  do {                            \
+  } while (0)
+#if defined(__GNUC__) || defined(__clang__)
+#define LAD_UNREACHABLE(msg) __builtin_unreachable()
+#else
+#define LAD_UNREACHABLE(msg) ::lad::detail::unreachable_reached(__FILE__, __LINE__, msg)
+#endif
+#endif

@@ -92,7 +92,9 @@ TEST(Eth, ParityDecoderRuns) {
   // must stay within budget and keep a bounded table.
   EXPECT_LE(res.assignments_tried, 1LL << 6);
   EXPECT_GT(res.table_size, 0);
-  if (res.found) EXPECT_TRUE(is_proper_coloring(g, res.labels, 3));
+  if (res.found) {
+    EXPECT_TRUE(is_proper_coloring(g, res.labels, 3));
+  }
 }
 
 TEST(Eth, OrderInvarianceCheckerPassesForInvariantRules) {

@@ -6,26 +6,34 @@
 //   lad compress <graph.txt> <p>      # §1.5: compress a random p-subset
 //   lad color3   <graph.txt>          # §7: solve witness + 1-bit schema
 //   lad proof    <graph.txt> <mis|matching|3col>   # §1.2 certificate demo
+//   lad audit    <graph.txt> <alg>    # locality-conformance audit
 //   lad dot      <graph.txt>          # Graphviz export
 //
 // Graphs are in the edge-list format of graph/io.hpp.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "advice/advice.hpp"
+#include "baselines/cole_vishkin.hpp"
 #include "core/decompress.hpp"
 #include "core/orientation.hpp"
 #include "core/proofs.hpp"
+#include "core/splitting.hpp"
 #include "core/three_coloring.hpp"
+#include "graph/distance.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/rng.hpp"
 #include "lcl/problems.hpp"
 #include "lcl/solver.hpp"
+#include "local/audit.hpp"
+#include "local/engine.hpp"
 
 namespace {
 
@@ -37,10 +45,14 @@ int usage() {
                "  lad gen cycle <n> [seed] | path <n> [seed] | grid <w> <h> [seed]\n"
                "          | ladder <m> [seed] | regular <n> <d> [seed]\n"
                "          | banded <n> <band> <avgdeg> <maxdeg> [seed]\n"
+               "          | twocycles <n1> <n2> [seed]   # audit-friendly disjoint union\n"
                "  lad orient <graph.txt>\n"
                "  lad compress <graph.txt> <density>\n"
                "  lad color3 <graph.txt>\n"
                "  lad proof <graph.txt> <mis|matching|3col>\n"
+               "  lad audit <graph.txt> gather [radius]   # engine provenance stats\n"
+               "  lad audit <graph.txt> cv                # Cole-Vishkin under the auditor\n"
+               "  lad audit <graph.txt> orient|compress|split  # decoder locality audit\n"
                "  lad dot <graph.txt>\n");
   return 2;
 }
@@ -70,6 +82,12 @@ int cmd_gen(int argc, char** argv) {
   } else if (family == "regular") {
     g = make_random_regular(static_cast<int>(arg(1, 100)), static_cast<int>(arg(2, 4)),
                             static_cast<std::uint64_t>(arg(3, 1)));
+  } else if (family == "twocycles") {
+    // Disjoint union of two cycles: the second component is the probe for
+    // `lad audit` (its IDs get rotated; the first component is audited).
+    g = disjoint_union({make_cycle(static_cast<int>(arg(1, 400))),
+                        make_cycle(static_cast<int>(arg(2, 24)))},
+                       IdMode::kRandomDense, arg(3, 1));
   } else if (family == "banded") {
     g = make_banded_random(static_cast<int>(arg(1, 500)), static_cast<int>(arg(2, 5)),
                            static_cast<double>(arg(3, 3)), static_cast<int>(arg(4, 6)),
@@ -154,6 +172,176 @@ int cmd_proof(const std::string& path, const std::string& which) {
   return res.accepted ? 0 : 1;
 }
 
+void print_provenance(const EngineAuditLog& log) {
+  std::printf("%6s %8s %12s %12s %10s\n", "round", "active", "max |prov|", "avg |prov|",
+              "max radius");
+  for (const auto& s : log.per_round) {
+    std::printf("%6d %8d %12d %12.2f %10d\n", s.round, s.active_nodes, s.max_set_size,
+                s.avg_set_size, s.max_radius);
+  }
+  if (log.clean()) {
+    std::printf("provenance: clean (every node's information stayed inside its ball)\n");
+  } else {
+    for (const auto& v : log.violations) std::printf("VIOLATION: %s\n", v.detail.c_str());
+  }
+}
+
+int print_report(const LocalityAuditReport& report, int declared_rounds) {
+  std::printf("decoder declared radius: %d rounds\n", declared_rounds);
+  std::printf("indistinguishability audit: %d nodes checked, %d skipped (views differ)\n",
+              report.nodes_checked, report.nodes_skipped);
+  if (report.nodes_checked == 0) {
+    std::printf("note: no node had an unchanged radius-%d view; use an instance with "
+                "diameter well above the decoder radius for real coverage\n",
+                declared_rounds);
+  }
+  if (report.clean()) {
+    std::printf("audit: CLEAN\n");
+    return 0;
+  }
+  for (const auto& v : report.violations) std::printf("VIOLATION: %s\n", v.detail.c_str());
+  return 1;
+}
+
+// Flooding for `radius` rounds under the provenance auditor: the canonical
+// audit-clean engine algorithm (provenance grows exactly one hop per round).
+class AuditFlooder : public SyncAlgorithm {
+ public:
+  explicit AuditFlooder(int radius) : radius_(radius) {}
+  void init(const Graph& g) override {
+    known_.assign(static_cast<std::size_t>(g.n()), "");
+    for (int v = 0; v < g.n(); ++v) known_[static_cast<std::size_t>(v)] = std::to_string(g.id(v));
+  }
+  void round(NodeCtx& ctx) override {
+    auto& k = known_[static_cast<std::size_t>(ctx.node())];
+    for (int p = 0; p < ctx.degree(); ++p) {
+      if (ctx.has_message(p)) k += "|" + ctx.received(p);
+    }
+    if (ctx.round_number() > radius_) {
+      ctx.halt(k);
+      return;
+    }
+    ctx.broadcast(k);
+  }
+
+ private:
+  int radius_;
+  std::vector<std::string> known_;
+};
+
+int cmd_audit(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const Graph g = load(argv[0]);
+  const std::string which = argv[1];
+
+  if (which == "gather") {
+    const int radius = argc >= 3 ? std::atoi(argv[2]) : 3;
+    if (radius < 0) return usage();
+    AuditFlooder alg(radius);
+    Engine eng(g);
+    eng.enable_audit(/*fail_fast=*/false);
+    const auto run = eng.run(alg, radius + 2);
+    std::printf("flooding gather, radius %d, on n=%d m=%d\n", radius, g.n(), g.m());
+    print_provenance(eng.audit_log());
+    return run.all_halted && eng.audit_log().clean() ? 0 : 1;
+  }
+
+  if (which == "cv") {
+    EngineAuditLog log;
+    const auto res = cole_vishkin_cycle(g, cycle_successors(g), &log);
+    std::printf("Cole-Vishkin 3-coloring, %d rounds, on n=%d\n", res.rounds, g.n());
+    print_provenance(log);
+    return log.clean() ? 0 : 1;
+  }
+
+  // Decoder audits: re-encode and re-decode on a perturbed instance; any
+  // node whose radius-T view is unchanged must produce the same output.
+  // On a disconnected graph the perturbation rotates the IDs of every
+  // component except node 0's, so that whole component is auditable (gen
+  // twocycles produces such instances); on a connected graph it rotates
+  // outside ball(0, 3) and coverage depends on how far the encoder's
+  // advice shifts under the relabeling — it is reported, not assumed.
+  const auto dist0 = bfs_distances(g, 0);
+  const bool connected =
+      std::none_of(dist0.begin(), dist0.end(), [](int d) { return d == kUnreachable; });
+  const Graph alt = rotate_ids_outside_ball(g, 0, connected ? 3 : g.n());
+
+  if (which == "orient") {
+    auto instance = [](const Graph& gr) {
+      const auto enc = encode_orientation_advice(gr);
+      const auto dec = decode_orientation(gr, enc.bits);
+      DecodedInstance inst;
+      inst.g = &gr;
+      inst.advice = advice_strings_from_bits(enc.bits);
+      inst.rounds = dec.rounds;
+      for (int v = 0; v < gr.n(); ++v) {
+        std::string s;
+        for (const int e : gr.incident_edges(v)) {
+          const bool tail =
+              (dec.orientation[static_cast<std::size_t>(e)] == EdgeDir::kForward) ==
+              (gr.edge_u(e) == v);
+          s += tail ? '>' : '<';
+        }
+        inst.outputs.push_back(s);
+      }
+      return inst;
+    };
+    const auto base = instance(g);
+    return print_report(audit_decoded_pair(base, instance(alt)), base.rounds);
+  }
+
+  if (which == "compress") {
+    // Input-flip perturbation: the advice for X must not let a node learn
+    // about membership changes far outside its decoding radius.
+    auto instance = [&g](int flip_edge) {
+      std::vector<char> x(static_cast<std::size_t>(g.m()));
+      for (int e = 0; e < g.m(); ++e) x[static_cast<std::size_t>(e)] = e % 3 == 0;
+      if (flip_edge >= 0) x[static_cast<std::size_t>(flip_edge)] ^= 1;
+      const auto c = compress_edge_set(g, x);
+      const auto r = decompress_edge_set(g, c);
+      DecodedInstance inst;
+      inst.g = &g;
+      for (int v = 0; v < g.n(); ++v) {
+        inst.advice.push_back(c.labels[static_cast<std::size_t>(v)].to_string());
+      }
+      inst.rounds = r.rounds;
+      for (int v = 0; v < g.n(); ++v) {
+        std::string s;
+        for (const int e : g.incident_edges(v)) {
+          s += r.in_x[static_cast<std::size_t>(e)] ? '1' : '0';
+        }
+        inst.outputs.push_back(s);
+      }
+      return inst;
+    };
+    const auto base = instance(-1);
+    return print_report(audit_decoded_pair(base, instance(g.m() / 2)), base.rounds);
+  }
+
+  if (which == "split") {
+    auto instance = [](const Graph& gr) {
+      const auto enc = encode_splitting_advice(gr);
+      const auto dec = decode_splitting(gr, enc.bits);
+      DecodedInstance inst;
+      inst.g = &gr;
+      inst.advice = advice_strings_from_bits(enc.bits);
+      inst.rounds = dec.rounds;
+      for (int v = 0; v < gr.n(); ++v) {
+        std::string s = std::to_string(dec.node_color[static_cast<std::size_t>(v)]) + ":";
+        for (const int e : gr.incident_edges(v)) {
+          s += std::to_string(dec.edge_color[static_cast<std::size_t>(e)]);
+        }
+        inst.outputs.push_back(s);
+      }
+      return inst;
+    };
+    const auto base = instance(g);
+    return print_report(audit_decoded_pair(base, instance(alt)), base.rounds);
+  }
+
+  return usage();
+}
+
 int cmd_dot(const std::string& path) {
   const Graph g = load(path);
   std::cout << to_dot(g);
@@ -171,6 +359,7 @@ int main(int argc, char** argv) {
     if (cmd == "compress" && argc >= 4) return cmd_compress(argv[2], std::atof(argv[3]));
     if (cmd == "color3" && argc >= 3) return cmd_color3(argv[2]);
     if (cmd == "proof" && argc >= 4) return cmd_proof(argv[2], argv[3]);
+    if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
     if (cmd == "dot" && argc >= 3) return cmd_dot(argv[2]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
