@@ -32,6 +32,19 @@ class BitString {
   void append(bool b) { bits_.push_back(b ? 1 : 0); }
   void append(const BitString& other);
 
+  /// Overwrites bit i (bounds-checked even in release builds: callers are
+  /// typically fault injectors working on untrusted positions).
+  void set_bit(int i, bool b) {
+    LAD_CHECK(i >= 0 && i < size());
+    bits_[static_cast<std::size_t>(i)] = b ? 1 : 0;
+  }
+
+  /// Keeps only the first `count` bits.
+  void truncate(int count) {
+    LAD_CHECK(count >= 0 && count <= size());
+    bits_.resize(static_cast<std::size_t>(count));
+  }
+
   /// Appends Elias gamma code of value >= 1 (self-delimiting).
   void append_gamma(std::uint64_t value);
 

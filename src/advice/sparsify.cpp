@@ -158,6 +158,8 @@ std::optional<BitString> decode_anchor_at(const Graph& g, int v, const std::vect
 
 std::map<int, BitString> decode_paths_one_bit(const Graph& g, const std::vector<char>& bits,
                                               int max_payload_bits, const NodeMask& mask) {
+  LAD_CHECK_MSG(static_cast<int>(bits.size()) == g.n(),
+                "one-bit advice has " << bits.size() << " bits for n = " << g.n());
   std::map<int, BitString> out;
   for (int v = 0; v < g.n(); ++v) {
     if (!mask.empty() && !mask[v]) continue;

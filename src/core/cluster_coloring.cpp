@@ -159,7 +159,10 @@ ClusterColoringDecodeResult decode_cluster_coloring(const Graph& g, const VarAdv
       if (e.schema_id != params.schema_id) continue;
       centers.push_back(g.index_of(e.anchor_id));
       int pos = 0;
-      color_of[e.anchor_id] = static_cast<int>(e.payload.read_gamma(pos));
+      const std::uint64_t color = e.payload.read_gamma(pos);
+      LAD_CHECK_MSG(color <= static_cast<std::uint64_t>(g.n()) + 1,
+                    "cluster color " << color << " out of range at anchor " << e.anchor_id);
+      color_of[e.anchor_id] = static_cast<int>(color);
     }
   }
   const auto clustering = assign_clusters(g, centers);

@@ -47,7 +47,9 @@ DecompressResult decompress_edge_set(const Graph& g, const CompressedEdgeSet& c)
   LAD_CHECK(static_cast<int>(c.labels.size()) == g.n());
   std::vector<char> advice_bits(static_cast<std::size_t>(g.n()), 0);
   for (int v = 0; v < g.n(); ++v) {
-    advice_bits[static_cast<std::size_t>(v)] = c.labels[static_cast<std::size_t>(v)].bit(0);
+    const BitString& label = c.labels[static_cast<std::size_t>(v)];
+    LAD_CHECK_MSG(!label.empty(), "empty compressed label at node " << g.id(v));
+    advice_bits[static_cast<std::size_t>(v)] = label.bit(0);
   }
   const auto dec = decode_orientation(g, advice_bits, c.orientation_params);
 

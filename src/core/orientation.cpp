@@ -53,6 +53,8 @@ OrientationEncoding encode_orientation_advice(const Graph& g, const OrientationP
 
 OrientationDecodeResult decode_orientation(const Graph& g, const std::vector<char>& bits,
                                            const OrientationParams& params) {
+  LAD_CHECK_MSG(static_cast<int>(bits.size()) == g.n(),
+                "orientation advice has " << bits.size() << " bits for n = " << g.n());
   TrailCodeParams tp;
   tp.spacing = degree_scaled_spacing(params.marker_spacing, g.max_degree());
   tp.jitter = params.marker_jitter;

@@ -75,6 +75,8 @@ SplittingEncoding encode_splitting_advice(const Graph& g, const SplittingParams&
 
 SplittingDecodeResult decode_splitting(const Graph& g, const std::vector<char>& bits,
                                        const SplittingParams& params) {
+  LAD_CHECK_MSG(static_cast<int>(bits.size()) == g.n(),
+                "splitting advice has " << bits.size() << " bits for n = " << g.n());
   TrailCodeParams tp;
   tp.spacing = degree_scaled_spacing(params.orientation.marker_spacing, g.max_degree());
   tp.jitter = params.orientation.marker_jitter;
@@ -101,6 +103,7 @@ SplittingDecodeResult decode_splitting(const Graph& g, const std::vector<char>& 
       dir = d->direction;
       rounds = std::max(rounds, walk_limit);
       // Color every node of the trail by parity from the marker start.
+      LAD_CHECK_MSG(!d->payload.empty(), "splitting marker carries no base-color payload");
       const int base = d->payload.bit(0) ? 2 : 1;
       for (int pos = 0; pos < L; ++pos) {
         const int parity = ((pos - d->marker_start) % 2 + 2) % 2;

@@ -450,9 +450,19 @@ SubexpLclEncoding encode_subexp_lcl_advice(const Graph& g, const LclProblem& p,
   return enc;
 }
 
-SubexpLclDecodeResult decode_subexp_lcl(const Graph& g, const LclProblem& p,
-                                        const std::vector<char>& bits,
-                                        const SubexpLclParams& params) {
+namespace {
+
+// Shared decode body. With `failed == nullptr` any locally-detected
+// inconsistency throws (strict mode). With a non-null `failed`, failures
+// are contained to their natural scope — the cluster whose ring pin or
+// interior completion went wrong, or the residual region — whose nodes
+// stay unlabeled (-1) and are marked for the caller's repair pass.
+SubexpLclDecodeResult decode_subexp_lcl_impl(const Graph& g, const LclProblem& p,
+                                             const std::vector<char>& bits,
+                                             const SubexpLclParams& params,
+                                             std::vector<char>* failed) {
+  LAD_CHECK_MSG(static_cast<int>(bits.size()) == g.n(),
+                "subexp advice has " << bits.size() << " bits for n = " << g.n());
   const int x = params.x;
   const int r = params.growth_r;
   const int rbar = p.radius();
@@ -461,16 +471,37 @@ SubexpLclDecodeResult decode_subexp_lcl(const Graph& g, const LclProblem& p,
   const auto bitp = nonisolated_ones(g, bits);
   const auto clusters = recover_clusters(g, bitp, params, max_colors);
 
-  // Pin ℓ on all rings.
+  const auto contain = [&](const std::vector<int>& scope, auto&& body) -> bool {
+    if (failed == nullptr) {
+      body();
+      return true;
+    }
+    try {
+      body();
+      return true;
+    } catch (const ContractViolation&) {
+      for (const int v : scope) (*failed)[static_cast<std::size_t>(v)] = 1;
+      return false;
+    }
+  };
+
+  // Pin ℓ on all rings. A cluster whose pin fails is poisoned: without its
+  // ring there is no safe boundary to complete against, so its interior is
+  // skipped as well.
   Labeling lab = Labeling::empty(g);
-  for (const auto& c : clusters) {
-    const auto ring = ring_of(g, c.members, 2 * rbar);
-    const int len = ring_code_length(g, p, ring);
-    const auto slots = solution_slots(g, c, bitp);
-    LAD_CHECK_MSG(len <= static_cast<int>(slots.size()), "not enough slots while decoding");
-    std::vector<char> code(static_cast<std::size_t>(len));
-    for (int j = 0; j < len; ++j) code[static_cast<std::size_t>(j)] = bits[slots[j]];
-    ring_code_apply(g, p, ring, code, lab);
+  std::vector<char> cluster_poisoned(clusters.size(), 0);
+  for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+    const auto& c = clusters[ci];
+    const bool ok = contain(c.members, [&] {
+      const auto ring = ring_of(g, c.members, 2 * rbar);
+      const int len = ring_code_length(g, p, ring);
+      const auto slots = solution_slots(g, c, bitp);
+      LAD_CHECK_MSG(len <= static_cast<int>(slots.size()), "not enough slots while decoding");
+      std::vector<char> code(static_cast<std::size_t>(len));
+      for (int j = 0; j < len; ++j) code[static_cast<std::size_t>(j)] = bits[slots[j]];
+      ring_code_apply(g, p, ring, code, lab);
+    });
+    if (!ok) cluster_poisoned[ci] = 1;
   }
 
   // Complete each cluster interior.
@@ -515,8 +546,11 @@ SubexpLclDecodeResult decode_subexp_lcl(const Graph& g, const LclProblem& p,
   };
 
   int max_cluster_diam = 0;
-  for (const auto& c : clusters) {
-    complete_region(c.members);
+  for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+    const auto& c = clusters[ci];
+    if (!cluster_poisoned[ci]) {
+      contain(c.members, [&] { complete_region(c.members); });
+    }
     max_cluster_diam = std::max(max_cluster_diam, 2 * (c.alpha + r));
   }
 
@@ -526,12 +560,28 @@ SubexpLclDecodeResult decode_subexp_lcl(const Graph& g, const LclProblem& p,
   for (int v = 0; v < g.n(); ++v) {
     if (!in_cluster[v]) residual_nodes.push_back(v);
   }
-  complete_region(residual_nodes);
+  contain(residual_nodes, [&] { complete_region(residual_nodes); });
 
   SubexpLclDecodeResult res;
   res.labeling = std::move(lab);
   res.rounds = max_colors * (2 * x + 2) + max_cluster_diam + 2 * x + rbar + 2;
   return res;
+}
+
+}  // namespace
+
+SubexpLclDecodeResult decode_subexp_lcl(const Graph& g, const LclProblem& p,
+                                        const std::vector<char>& bits,
+                                        const SubexpLclParams& params) {
+  return decode_subexp_lcl_impl(g, p, bits, params, nullptr);
+}
+
+SubexpLclDecodeResult decode_subexp_lcl_tolerant(const Graph& g, const LclProblem& p,
+                                                 const std::vector<char>& bits,
+                                                 std::vector<char>& failed,
+                                                 const SubexpLclParams& params) {
+  failed.assign(static_cast<std::size_t>(g.n()), 0);
+  return decode_subexp_lcl_impl(g, p, bits, params, &failed);
 }
 
 }  // namespace lad

@@ -64,9 +64,20 @@ struct SubexpLclDecodeResult {
 };
 
 /// LOCAL decoder: recovers clustering and pinned rings from the bits, then
-/// completes each cluster / residual component by brute force.
+/// completes each cluster / residual component by brute force. Throws
+/// ContractViolation on advice that is locally detectably inconsistent.
 SubexpLclDecodeResult decode_subexp_lcl(const Graph& g, const LclProblem& p,
                                         const std::vector<char>& bits,
                                         const SubexpLclParams& params = {});
+
+/// Fault-tolerant decoder: a cluster whose ring pin or interior completion
+/// fails — or an infeasible residual region — is contained instead of
+/// aborting the run. Affected nodes stay unlabeled (-1) and are marked in
+/// `failed` (resized to n) for a later repair pass; a wrong-sized bit
+/// vector still throws, as no per-node containment exists.
+SubexpLclDecodeResult decode_subexp_lcl_tolerant(const Graph& g, const LclProblem& p,
+                                                 const std::vector<char>& bits,
+                                                 std::vector<char>& failed,
+                                                 const SubexpLclParams& params = {});
 
 }  // namespace lad

@@ -225,8 +225,19 @@ ThreeColoringEncoding encode_three_coloring_advice(const Graph& g,
   return enc;
 }
 
-ThreeColoringDecodeResult decode_three_coloring(const Graph& g, const std::vector<char>& bits,
-                                                const ThreeColoringParams& params) {
+namespace {
+
+// Shared decode body. With `failed == nullptr` any locally-detected
+// inconsistency throws (strict mode). With a non-null `failed`, the failure
+// is contained to its natural scope — the component for the canonical
+// branch, the single node for the group-parity branch — which stays
+// uncolored (0) and is marked in `failed` for the caller's repair pass.
+ThreeColoringDecodeResult decode_three_coloring_impl(const Graph& g,
+                                                     const std::vector<char>& bits,
+                                                     const ThreeColoringParams& params,
+                                                     std::vector<char>* failed) {
+  LAD_CHECK_MSG(static_cast<int>(bits.size()) == g.n(),
+                "three-coloring advice has " << bits.size() << " bits for n = " << g.n());
   const auto d = derive_three_coloring_radii(g, params);
   const auto type = classify_bits(g, bits);
 
@@ -244,6 +255,23 @@ ThreeColoringDecodeResult decode_three_coloring(const Graph& g, const std::vecto
     }
   }
 
+  // Runs `body`; in tolerant mode a ContractViolation is contained to
+  // `scope`, which is left uncolored and marked failed.
+  const auto contain = [&](const std::vector<int>& scope, auto&& body) {
+    if (failed == nullptr) {
+      body();
+      return;
+    }
+    try {
+      body();
+    } catch (const ContractViolation&) {
+      for (const int v : scope) {
+        res.coloring[v] = 0;
+        (*failed)[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  };
+
   const auto comps = connected_components(g, mask23);
   const int collect_radius = 2 * d.group_radius;
   for (int c = 0; c < comps.count(); ++c) {
@@ -259,18 +287,20 @@ ThreeColoringDecodeResult decode_three_coloring(const Graph& g, const std::vecto
     if (group_nodes.empty()) {
       // Small component: canonical 2-coloring, side of the smallest ID gets
       // color 2. Each node gathers the whole component.
-      const int root = *std::min_element(members.begin(), members.end(), [&](int a, int b) {
-        return g.id(a) < g.id(b);
+      contain(members, [&] {
+        const int root = *std::min_element(members.begin(), members.end(), [&](int a, int b) {
+          return g.id(a) < g.id(b);
+        });
+        const auto dist = bfs_distances(g, root, cmask);
+        int ecc = 0;
+        for (const int v : members) {
+          LAD_CHECK_MSG(dist[v] != kUnreachable, "component disconnected under mask");
+          res.coloring[v] = dist[v] % 2 == 0 ? 2 : 3;
+          ecc = std::max(ecc, dist[v]);
+        }
+        LAD_CHECK_MSG(is_bipartite(g, cmask), "advice inconsistent: G_{2,3} not bipartite");
+        rounds = std::max(rounds, 2 * ecc + 1);
       });
-      const auto dist = bfs_distances(g, root, cmask);
-      int ecc = 0;
-      for (const int v : members) {
-        LAD_CHECK_MSG(dist[v] != kUnreachable, "component disconnected under mask");
-        res.coloring[v] = dist[v] % 2 == 0 ? 2 : 3;
-        ecc = std::max(ecc, dist[v]);
-      }
-      LAD_CHECK_MSG(is_bipartite(g, cmask), "advice inconsistent: G_{2,3} not bipartite");
-      rounds = std::max(rounds, 2 * ecc + 1);
       continue;
     }
 
@@ -279,6 +309,7 @@ ThreeColoringDecodeResult decode_three_coloring(const Graph& g, const std::vecto
     // smallest-ID visible node s.
     const auto gdist = bfs_distances_multi(g, group_nodes, cmask);
     for (const int v : members) {
+      contain({v}, [&] {
       LAD_CHECK_MSG(gdist[v] != kUnreachable && gdist[v] <= d.reach + collect_radius,
                     "node " << g.id(v) << " cannot reach a parity group");
       // Nearest group node t0.
@@ -332,10 +363,26 @@ ThreeColoringDecodeResult decode_three_coloring(const Graph& g, const std::vecto
       LAD_CHECK(dvs != kUnreachable);
       res.coloring[v] = dvs % 2 == 0 ? phi_s : 5 - phi_s;
       rounds = std::max(rounds, gdist[v] + 2 * collect_radius + 1);
+      });
     }
   }
   res.rounds = rounds;
   return res;
+}
+
+}  // namespace
+
+ThreeColoringDecodeResult decode_three_coloring(const Graph& g, const std::vector<char>& bits,
+                                                const ThreeColoringParams& params) {
+  return decode_three_coloring_impl(g, bits, params, nullptr);
+}
+
+ThreeColoringDecodeResult decode_three_coloring_tolerant(const Graph& g,
+                                                         const std::vector<char>& bits,
+                                                         std::vector<char>& failed,
+                                                         const ThreeColoringParams& params) {
+  failed.assign(static_cast<std::size_t>(g.n()), 0);
+  return decode_three_coloring_impl(g, bits, params, &failed);
 }
 
 }  // namespace lad

@@ -75,9 +75,19 @@ struct ThreeColoringDecodeResult {
   int rounds = 0;
 };
 
-/// LOCAL decoder (poly(Δ) rounds).
+/// LOCAL decoder (poly(Δ) rounds). Throws ContractViolation on advice that
+/// is locally detectably inconsistent.
 ThreeColoringDecodeResult decode_three_coloring(const Graph& g, const std::vector<char>& bits,
                                                 const ThreeColoringParams& params = {});
+
+/// Fault-tolerant decoder: inconsistencies are contained to their natural
+/// scope (the component for canonical 2-coloring, the node for parity
+/// lookup) instead of aborting the run. Affected nodes stay uncolored (0)
+/// and are marked in `failed` (resized to n) for a later repair pass; a
+/// wrong-sized bit vector still throws, as no per-node containment exists.
+ThreeColoringDecodeResult decode_three_coloring_tolerant(
+    const Graph& g, const std::vector<char>& bits, std::vector<char>& failed,
+    const ThreeColoringParams& params = {});
 
 /// Rewrites a proper coloring into a greedy one (colors only decrease).
 std::vector<int> normalize_to_greedy(const Graph& g, std::vector<int> coloring);

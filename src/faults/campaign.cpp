@@ -1,0 +1,437 @@
+#include "faults/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "core/decompress.hpp"
+#include "core/delta_coloring.hpp"
+#include "core/orientation.hpp"
+#include "core/splitting.hpp"
+#include "core/three_coloring.hpp"
+#include "graph/checkers.hpp"
+#include "graph/components.hpp"
+#include "graph/distance.hpp"
+#include "graph/generators.hpp"
+#include "lcl/problems.hpp"
+#include "local/engine.hpp"
+#include "util/contracts.hpp"
+
+namespace lad::faults {
+namespace {
+
+constexpr std::uint64_t kTagTrial = 0x7a1;
+constexpr std::uint64_t kTagMembership = 0xed6e;
+constexpr std::uint64_t kGraphShapeSeed = 7;
+
+void merge_sorted_unique(std::vector<int>& into, const std::vector<int>& add) {
+  into.insert(into.end(), add.begin(), add.end());
+  std::sort(into.begin(), into.end());
+  into.erase(std::unique(into.begin(), into.end()), into.end());
+}
+
+struct GridDims {
+  int w = 0;
+  int h = 0;
+};
+
+// Even dimensions >= 4 (keeps grid/torus bipartite, torus 4-regular).
+GridDims grid_dims(int n) {
+  GridDims d;
+  d.w = static_cast<int>(std::sqrt(static_cast<double>(std::max(16, n))));
+  if (d.w % 2 != 0) --d.w;
+  d.w = std::max(d.w, 4);
+  d.h = (std::max(16, n) + d.w - 1) / d.w;
+  if (d.h % 2 != 0) ++d.h;
+  d.h = std::max(d.h, 4);
+  return d;
+}
+
+Graph build_graph(DecoderKind decoder, GraphFamily& family, int n) {
+  if (decoder == DecoderKind::kSplitting && family == GraphFamily::kGrid) {
+    family = GraphFamily::kTorus;  // splitting needs even degrees
+  }
+  switch (family) {
+    case GraphFamily::kCycle: {
+      int len = std::max(8, n);
+      if (len % 2 != 0) ++len;  // even: bipartite, feasible for splitting
+      return make_cycle(len, IdMode::kRandomDense, kGraphShapeSeed);
+    }
+    case GraphFamily::kGrid: {
+      const auto d = grid_dims(n);
+      return make_grid(d.w, d.h, IdMode::kRandomDense, kGraphShapeSeed);
+    }
+    case GraphFamily::kTorus: {
+      const auto d = grid_dims(n);
+      return make_torus(d.w, d.h, IdMode::kRandomDense, kGraphShapeSeed);
+    }
+  }
+  LAD_UNREACHABLE("unknown GraphFamily");
+}
+
+// Proper 2-coloring by BFS parity; all campaign families are bipartite.
+std::vector<int> parity_witness(const Graph& g) {
+  std::vector<int> col(static_cast<std::size_t>(g.n()), 0);
+  for (const auto& members : connected_components(g).members) {
+    const int root = *std::min_element(members.begin(), members.end());
+    const auto dist = bfs_distances(g, root);
+    for (const int v : members) {
+      col[static_cast<std::size_t>(v)] = 1 + dist[static_cast<std::size_t>(v)] % 2;
+    }
+  }
+  LAD_CHECK_MSG(is_proper_coloring(g, col, 2), "campaign family is not bipartite");
+  return col;
+}
+
+// Distributed verification echo: every node broadcasts its output digest
+// for `rounds` rounds; a receiver that misses a copy (drop / crashed
+// neighbor) or sees differing copies (corruption) cannot certify and
+// outputs "unverified". Crashed nodes never halt at all.
+class EchoVerify final : public SyncAlgorithm {
+ public:
+  EchoVerify(std::vector<std::string> digests, int rounds)
+      : digests_(std::move(digests)), rounds_(rounds) {}
+
+  void init(const Graph& g) override {
+    first_.assign(static_cast<std::size_t>(g.n()), {});
+    copies_.assign(static_cast<std::size_t>(g.n()), {});
+    ok_.assign(static_cast<std::size_t>(g.n()), 1);
+    for (int v = 0; v < g.n(); ++v) {
+      first_[static_cast<std::size_t>(v)].assign(static_cast<std::size_t>(g.degree(v)), "");
+      copies_[static_cast<std::size_t>(v)].assign(static_cast<std::size_t>(g.degree(v)), 0);
+    }
+  }
+
+  void round(NodeCtx& ctx) override {
+    const int v = ctx.node();
+    const int r = ctx.round_number();
+    if (r <= rounds_) ctx.broadcast(digests_[static_cast<std::size_t>(v)]);
+    if (r >= 2) {
+      for (int p = 0; p < ctx.degree(); ++p) {
+        if (!ctx.has_message(p)) continue;
+        const std::string& m = ctx.received(p);
+        auto& cnt = copies_[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)];
+        auto& ref = first_[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)];
+        if (cnt == 0) {
+          ref = m;
+        } else if (m != ref) {
+          ok_[static_cast<std::size_t>(v)] = 0;  // corrupted copy
+        }
+        ++cnt;
+      }
+    }
+    if (r == rounds_ + 1) {
+      for (int p = 0; p < ctx.degree(); ++p) {
+        if (copies_[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)] != rounds_) {
+          ok_[static_cast<std::size_t>(v)] = 0;  // missing copy
+        }
+      }
+      ctx.halt(ok_[static_cast<std::size_t>(v)] != 0 ? "ok" : "unverified");
+    }
+  }
+
+ private:
+  std::vector<std::string> digests_;
+  int rounds_;
+  std::vector<std::vector<std::string>> first_;
+  std::vector<std::vector<int>> copies_;
+  std::vector<char> ok_;
+};
+
+std::string edge_digest(const Graph& g, int v, const std::vector<int>& edge_labels) {
+  std::string s;
+  for (const int e : g.incident_edges(v)) {
+    s += std::to_string(edge_labels[static_cast<std::size_t>(e)]);
+    s += ',';
+  }
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(DecoderKind kind) {
+  switch (kind) {
+    case DecoderKind::kOrientation:
+      return "orientation";
+    case DecoderKind::kSplitting:
+      return "splitting";
+    case DecoderKind::kThreeColoring:
+      return "three_coloring";
+    case DecoderKind::kDeltaColoring:
+      return "delta_coloring";
+    case DecoderKind::kSubexpLcl:
+      return "subexp_lcl";
+    case DecoderKind::kDecompress:
+      return "decompress";
+  }
+  LAD_UNREACHABLE("unknown DecoderKind");
+}
+
+std::optional<DecoderKind> parse_decoder(std::string_view name) {
+  for (const DecoderKind kind : all_decoders()) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<DecoderKind> all_decoders() {
+  return {DecoderKind::kOrientation,   DecoderKind::kSplitting,
+          DecoderKind::kThreeColoring, DecoderKind::kDeltaColoring,
+          DecoderKind::kSubexpLcl,     DecoderKind::kDecompress};
+}
+
+const char* to_string(GraphFamily family) {
+  switch (family) {
+    case GraphFamily::kCycle:
+      return "cycle";
+    case GraphFamily::kGrid:
+      return "grid";
+    case GraphFamily::kTorus:
+      return "torus";
+  }
+  LAD_UNREACHABLE("unknown GraphFamily");
+}
+
+std::optional<GraphFamily> parse_family(std::string_view name) {
+  for (const GraphFamily f : {GraphFamily::kCycle, GraphFamily::kGrid, GraphFamily::kTorus}) {
+    if (name == to_string(f)) return f;
+  }
+  return std::nullopt;
+}
+
+FaultPlan default_mixed_plan() {
+  FaultPlan plan;
+  plan.advice.node_fraction = 0.02;
+  plan.advice.kinds = {AdviceFaultKind::kBitFlip, AdviceFaultKind::kErasure,
+                       AdviceFaultKind::kByzantine, AdviceFaultKind::kTruncate};
+  plan.engine.message_drop_prob = 0.01;
+  plan.engine.message_corrupt_prob = 0.01;
+  plan.engine.crash_fraction = 0.005;
+  plan.graph.edge_delete_fraction = 0.004;
+  return plan;
+}
+
+std::string CampaignSummary::to_string() const {
+  std::ostringstream os;
+  os << "CampaignSummary{decoder=" << lad::faults::to_string(decoder)
+     << " family=" << lad::faults::to_string(family) << " n=" << n << " m=" << m
+     << " trials=" << trials << "\n"
+     << "  faults_injected=" << faults_injected << " degraded=" << trials_degraded
+     << " output_valid=" << trials_output_valid << " flagged=" << trials_flagged
+     << " residual=" << trials_residual << "\n"
+     << "  silent_corruptions=" << silent_corruptions << " max_blast_radius=" << max_blast_radius
+     << " detected=" << total_detected << " repaired_nodes=" << total_repaired_nodes
+     << " flagged_nodes=" << total_flagged_nodes << "}";
+  return os.str();
+}
+
+CampaignSummary run_fault_campaign(const CampaignConfig& config) {
+  CampaignSummary sum;
+  GraphFamily family = config.family;
+  const Graph g0 = build_graph(config.decoder, family, config.n);
+  sum.decoder = config.decoder;
+  sum.family = family;
+  sum.n = g0.n();
+  sum.m = g0.m();
+  sum.trials = config.trials;
+
+  // One-time encode on the pristine graph (the prover is centralized and
+  // fault-free; the adversary acts between encode and decode).
+  const OrientationParams oparams;
+  const SplittingParams sparams;
+  const ThreeColoringParams tparams;
+  DeltaColoringParams dparams;
+  // Δ = 2 instances are cramped: recoloring a parity defect on a cycle can
+  // legitimately need a long repair reach, so give the §6 machinery room.
+  dparams.max_repair_radius = 20;
+  const VertexColoringLcl three(3);
+  std::vector<char> base_bits;
+  VarAdvice base_var;
+  CompressedEdgeSet base_c;
+  std::vector<char> truth_in_x;
+  switch (config.decoder) {
+    case DecoderKind::kOrientation:
+      base_bits = encode_orientation_advice(g0, oparams).bits;
+      break;
+    case DecoderKind::kSplitting:
+      base_bits = encode_splitting_advice(g0, sparams).bits;
+      break;
+    case DecoderKind::kThreeColoring:
+      base_bits = encode_three_coloring_advice(g0, parity_witness(g0), tparams).bits;
+      break;
+    case DecoderKind::kDeltaColoring:
+      base_var = encode_delta_coloring_advice(g0, parity_witness(g0), dparams).advice;
+      break;
+    case DecoderKind::kSubexpLcl:
+      base_bits = encode_subexp_lcl_advice(g0, three, config.subexp).bits;
+      break;
+    case DecoderKind::kDecompress: {
+      truth_in_x.assign(static_cast<std::size_t>(g0.m()), 0);
+      for (int e = 0; e < g0.m(); ++e) {
+        const auto a = static_cast<std::uint64_t>(g0.id(g0.edge_u(e)));
+        const auto b = static_cast<std::uint64_t>(g0.id(g0.edge_v(e)));
+        truth_in_x[static_cast<std::size_t>(e)] =
+            static_cast<char>(hash4(config.seed, kTagMembership, std::min(a, b),
+                                    std::max(a, b)) &
+                              1u);
+      }
+      base_c = robust::guarded_compress_edge_set(g0, truth_in_x, oparams);
+      break;
+    }
+  }
+
+  for (int t = 0; t < config.trials; ++t) {
+    FaultPlan plan = config.plan;
+    plan.seed = hash3(config.seed, kTagTrial, static_cast<std::uint64_t>(t));
+    FaultInjector inj(plan);
+
+    std::optional<Graph> faulted;
+    if (plan.any_graph_faults()) faulted = inj.apply_graph_faults(g0);
+    const Graph& g = faulted.has_value() ? *faulted : g0;
+
+    robust::RobustnessReport rep;
+    std::vector<std::string> digests(static_cast<std::size_t>(g.n()));
+    bool silent = false;
+
+    switch (config.decoder) {
+      case DecoderKind::kOrientation: {
+        auto bits = base_bits;
+        if (plan.any_advice_faults()) inj.corrupt_bits(g, bits);
+        auto res = robust::guarded_decode_orientation(g, bits, oparams, config.policy);
+        rep = std::move(res.report);
+        for (int v = 0; v < g.n(); ++v) {
+          std::string s;
+          for (const int e : g.incident_edges(v)) {
+            s += res.orientation[static_cast<std::size_t>(e)] == EdgeDir::kForward ? 'f' : 'b';
+          }
+          digests[static_cast<std::size_t>(v)] = std::move(s);
+        }
+        silent = !rep.output_valid && !rep.degraded();
+        break;
+      }
+      case DecoderKind::kSplitting: {
+        auto bits = base_bits;
+        if (plan.any_advice_faults()) inj.corrupt_bits(g, bits);
+        auto res = robust::guarded_decode_splitting(g, bits, sparams, config.policy);
+        rep = std::move(res.report);
+        for (int v = 0; v < g.n(); ++v) {
+          digests[static_cast<std::size_t>(v)] = edge_digest(g, v, res.edge_color);
+        }
+        silent = !rep.output_valid && !rep.degraded();
+        break;
+      }
+      case DecoderKind::kThreeColoring: {
+        auto bits = base_bits;
+        if (plan.any_advice_faults()) inj.corrupt_bits(g, bits);
+        auto res = robust::guarded_decode_three_coloring(g, bits, tparams, config.policy);
+        rep = std::move(res.report);
+        for (int v = 0; v < g.n(); ++v) {
+          digests[static_cast<std::size_t>(v)] =
+              std::to_string(res.coloring[static_cast<std::size_t>(v)]);
+        }
+        silent = !rep.output_valid && !rep.degraded();
+        break;
+      }
+      case DecoderKind::kDeltaColoring: {
+        auto advice = base_var;
+        if (plan.any_advice_faults()) inj.corrupt_var_advice(g, advice);
+        auto res = robust::guarded_decode_delta_coloring(g, advice, dparams, config.policy);
+        rep = std::move(res.report);
+        for (int v = 0; v < g.n(); ++v) {
+          digests[static_cast<std::size_t>(v)] =
+              std::to_string(res.coloring[static_cast<std::size_t>(v)]);
+        }
+        silent = !rep.output_valid && !rep.degraded();
+        break;
+      }
+      case DecoderKind::kSubexpLcl: {
+        auto bits = base_bits;
+        if (plan.any_advice_faults()) inj.corrupt_bits(g, bits);
+        auto res = robust::guarded_decode_subexp_lcl(g, three, bits, config.subexp,
+                                                     config.policy);
+        rep = std::move(res.report);
+        for (int v = 0; v < g.n(); ++v) {
+          digests[static_cast<std::size_t>(v)] =
+              std::to_string(res.labeling.node_labels[static_cast<std::size_t>(v)]);
+        }
+        silent = !rep.output_valid && !rep.degraded();
+        break;
+      }
+      case DecoderKind::kDecompress: {
+        auto c = base_c;
+        if (plan.any_advice_faults()) inj.corrupt_advice(g, c.labels);
+        auto res = robust::guarded_decompress_edge_set(g, c, config.policy);
+        rep = std::move(res.report);
+        // Ground truth: every guard-verified edge must carry the original
+        // membership bit. A mismatch means the guard passed on a wrong
+        // label — silent corruption by definition, detected or not.
+        for (int e = 0; e < g.m(); ++e) {
+          if (res.edge_known[static_cast<std::size_t>(e)] == 0) continue;
+          const int e0 = g0.edge_between(g.edge_u(e), g.edge_v(e));
+          LAD_CHECK(e0 >= 0);
+          if (res.in_x[static_cast<std::size_t>(e)] != truth_in_x[static_cast<std::size_t>(e0)]) {
+            silent = true;
+          }
+        }
+        for (int v = 0; v < g.n(); ++v) {
+          std::string s;
+          for (const int e : g.incident_edges(v)) {
+            s += res.edge_known[static_cast<std::size_t>(e)] != 0
+                     ? (res.in_x[static_cast<std::size_t>(e)] != 0 ? '1' : '0')
+                     : '?';
+          }
+          digests[static_cast<std::size_t>(v)] = std::move(s);
+        }
+        break;
+      }
+    }
+
+    // Fault accounting from the injector.
+    for (const auto& ev : inj.events()) {
+      if (ev.layer == FaultLayer::kAdvice) ++rep.advice_faults;
+      if (ev.layer == FaultLayer::kGraph) ++rep.graph_faults;
+    }
+    rep.silent_corruption = silent;
+
+    // Engine layer: distributed verification echo under the fault model.
+    // Nodes that crash or cannot certify their digest are detections (the
+    // output itself is unchanged, so no corruption can enter here).
+    if (plan.any_engine_faults()) {
+      Engine eng(g);
+      eng.set_fault_model(&inj.engine_faults());
+      EchoVerify echo(digests, config.echo_rounds);
+      const auto run = eng.run(echo, config.echo_rounds + 2);
+      rep.engine_dropped = eng.fault_stats().dropped;
+      rep.engine_corrupted = eng.fault_stats().corrupted;
+      rep.engine_crashed = eng.fault_stats().crashed_nodes;
+      std::vector<int> unverified;
+      for (int v = 0; v < g.n(); ++v) {
+        if (run.outputs[static_cast<std::size_t>(v)] != "ok") unverified.push_back(v);
+      }
+      rep.detected_violations += static_cast<long long>(unverified.size());
+      merge_sorted_unique(rep.rejecting_nodes, unverified);
+      rep.rounds += run.rounds;
+    }
+
+    // Blast radius: how far from a fault site did repair / flagging reach.
+    std::vector<int> touched = rep.repaired_nodes;
+    merge_sorted_unique(touched, rep.flagged_nodes);
+    rep.blast_radius = robust::blast_radius(g, inj.fault_site_nodes(g), touched);
+
+    sum.faults_injected += rep.faults_injected();
+    if (rep.degraded()) ++sum.trials_degraded;
+    if (rep.output_valid) ++sum.trials_output_valid;
+    if (!rep.flagged_nodes.empty()) ++sum.trials_flagged;
+    if (rep.residual_violations > 0) ++sum.trials_residual;
+    if (rep.silent_corruption) ++sum.silent_corruptions;
+    sum.max_blast_radius = std::max(sum.max_blast_radius, rep.blast_radius);
+    sum.total_detected += rep.detected_violations;
+    sum.total_repaired_nodes += static_cast<long long>(rep.repaired_nodes.size());
+    sum.total_flagged_nodes += static_cast<long long>(rep.flagged_nodes.size());
+    sum.reports.push_back(std::move(rep));
+  }
+  return sum;
+}
+
+}  // namespace lad::faults

@@ -1,0 +1,102 @@
+// Seeded fault campaigns: the experiment harness of the robustness layer.
+//
+// A campaign fixes a decoder, a graph family, and a FaultPlan template, and
+// runs `trials` independent decodes, each under a per-trial derived fault
+// seed mixing all three fault layers:
+//
+//   encode on the pristine graph
+//     -> graph faults   (edge deletions: the advice is now stale)
+//     -> advice faults  (bit flips / erasure / byzantine / truncation)
+//     -> guarded decode + local repair   (src/faults/robust.hpp)
+//     -> engine faults  (a distributed verification echo runs under the
+//        HashedEngineFaults model; nodes that crash or miss messages
+//        cannot certify and are counted as rejecting)
+//     -> central ground-truth check (silent-corruption verdict)
+//
+// Everything is a pure function of (config, trial index): re-running a
+// campaign reproduces every report byte-for-byte, which the determinism
+// regression test and the CLI golden test rely on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/subexp_lcl.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/robust.hpp"
+#include "graph/graph.hpp"
+
+namespace lad::faults {
+
+enum class DecoderKind {
+  kOrientation,    // §5 almost-balanced orientation
+  kSplitting,      // §5-ext degree splitting
+  kThreeColoring,  // §7 3-coloring
+  kDeltaColoring,  // §6 Δ-coloring
+  kSubexpLcl,      // §4 generic LCL under subexponential growth
+  kDecompress,     // §1.5 edge-set decompression
+};
+
+const char* to_string(DecoderKind kind);
+std::optional<DecoderKind> parse_decoder(std::string_view name);
+std::vector<DecoderKind> all_decoders();
+
+enum class GraphFamily { kCycle, kGrid, kTorus };
+
+const char* to_string(GraphFamily family);
+std::optional<GraphFamily> parse_family(std::string_view name);
+
+/// The standard mixed adversary: a little of every fault layer. The plan's
+/// seed field is ignored by campaigns (each trial derives its own).
+FaultPlan default_mixed_plan();
+
+struct CampaignConfig {
+  DecoderKind decoder = DecoderKind::kOrientation;
+  GraphFamily family = GraphFamily::kCycle;
+  int n = 400;       // target node count (rounded to the family's grid)
+  int trials = 100;
+  std::uint64_t seed = 1;
+  FaultPlan plan = default_mixed_plan();
+  robust::RepairPolicy policy;
+  /// §4 scale knob (kSubexpLcl only); campaigns keep x modest.
+  SubexpLclParams subexp;
+  /// Rounds of the engine-layer verification echo (>= 2 so that a single
+  /// corrupted copy is caught by cross-round comparison).
+  int echo_rounds = 3;
+};
+
+struct CampaignSummary {
+  DecoderKind decoder = DecoderKind::kOrientation;
+  /// Family actually used (splitting substitutes torus for grid: it needs
+  /// even degrees).
+  GraphFamily family = GraphFamily::kCycle;
+  int n = 0;
+  int m = 0;
+  int trials = 0;
+
+  long long faults_injected = 0;
+  int trials_degraded = 0;     // at least one detection / repair / flag
+  int trials_output_valid = 0; // final output passed the independent check
+  int trials_flagged = 0;      // at least one node flagged unservable
+  int trials_residual = 0;     // violations outside the flagged scope
+  int silent_corruptions = 0;  // MUST stay 0: the guarantee of the layer
+  int max_blast_radius = 0;
+  long long total_detected = 0;
+  long long total_repaired_nodes = 0;
+  long long total_flagged_nodes = 0;
+
+  /// Per-trial reports, in trial order (trial i used fault seed
+  /// hash2(config.seed, i)).
+  std::vector<robust::RobustnessReport> reports;
+
+  /// Deterministic aggregate rendering (reports excluded).
+  std::string to_string() const;
+};
+
+/// Runs the campaign described by `config`. Deterministic.
+CampaignSummary run_fault_campaign(const CampaignConfig& config);
+
+}  // namespace lad::faults

@@ -1,0 +1,333 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace lad::faults {
+namespace {
+
+// Hash-domain tags: every decision family draws from a disjoint stream.
+constexpr std::uint64_t kTagTarget = 0x01;
+constexpr std::uint64_t kTagKind = 0x02;
+constexpr std::uint64_t kTagFlipCount = 0x03;
+constexpr std::uint64_t kTagFlipPos = 0x04;
+constexpr std::uint64_t kTagByzLen = 0x05;
+constexpr std::uint64_t kTagByzBit = 0x06;
+constexpr std::uint64_t kTagTruncLen = 0x07;
+constexpr std::uint64_t kTagEntryPick = 0x08;
+constexpr std::uint64_t kTagAnchor = 0x09;
+constexpr std::uint64_t kTagCrashSel = 0x0a;
+constexpr std::uint64_t kTagCrashRound = 0x0b;
+constexpr std::uint64_t kTagDrop = 0x0c;
+constexpr std::uint64_t kTagCorruptSel = 0x0d;
+constexpr std::uint64_t kTagCorruptPos = 0x0e;
+constexpr std::uint64_t kTagEdgeDel = 0x0f;
+
+std::uint64_t pack_pair(int a, int b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
+}
+
+BitString garbage_bits(std::uint64_t h, int len) {
+  BitString out;
+  for (int i = 0; i < len; ++i) {
+    out.append((hash2(h, static_cast<std::uint64_t>(i)) & 1) != 0);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(AdviceFaultKind kind) {
+  switch (kind) {
+    case AdviceFaultKind::kBitFlip:
+      return "bitflip";
+    case AdviceFaultKind::kErasure:
+      return "erasure";
+    case AdviceFaultKind::kByzantine:
+      return "byzantine";
+    case AdviceFaultKind::kTruncate:
+      return "truncate";
+  }
+  LAD_UNREACHABLE("bad AdviceFaultKind");
+}
+
+const char* to_string(FaultLayer layer) {
+  switch (layer) {
+    case FaultLayer::kAdvice:
+      return "advice";
+    case FaultLayer::kGraph:
+      return "graph";
+    case FaultLayer::kEngine:
+      return "engine";
+  }
+  LAD_UNREACHABLE("bad FaultLayer");
+}
+
+bool HashedEngineFaults::crash_selected(int v) const {
+  if (spec_.crash_fraction <= 0.0) return false;
+  return unit_from_hash(hash3(seed_, kTagCrashSel, static_cast<std::uint64_t>(v))) <
+         spec_.crash_fraction;
+}
+
+bool HashedEngineFaults::crashed(int round, int v) const {
+  if (!crash_selected(v)) return false;
+  const int window = std::max(1, spec_.crash_round_window);
+  const int crash_round =
+      1 + static_cast<int>(hash3(seed_, kTagCrashRound, static_cast<std::uint64_t>(v)) %
+                           static_cast<std::uint64_t>(window));
+  return round >= crash_round;
+}
+
+bool HashedEngineFaults::drop_message(int round, int from, int to) const {
+  if (spec_.message_drop_prob <= 0.0) return false;
+  const std::uint64_t h =
+      hash4(seed_, kTagDrop, static_cast<std::uint64_t>(round), pack_pair(from, to));
+  return unit_from_hash(h) < spec_.message_drop_prob;
+}
+
+bool HashedEngineFaults::corrupt_message(int round, int from, int to,
+                                         std::string& payload) const {
+  if (spec_.message_corrupt_prob <= 0.0) return false;
+  const std::uint64_t h =
+      hash4(seed_, kTagCorruptSel, static_cast<std::uint64_t>(round), pack_pair(from, to));
+  if (unit_from_hash(h) >= spec_.message_corrupt_prob) return false;
+  const std::uint64_t p =
+      hash4(seed_, kTagCorruptPos, static_cast<std::uint64_t>(round), pack_pair(from, to));
+  if (payload.empty()) {
+    payload.push_back(static_cast<char>(p & 0xff));
+  } else {
+    // XOR with a non-zero mask always changes the byte.
+    const std::size_t pos = static_cast<std::size_t>(p % payload.size());
+    payload[pos] = static_cast<char>(payload[pos] ^ static_cast<char>(1 + (p >> 8) % 255));
+  }
+  return true;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), engine_model_(hash2(plan.seed, 0xE6u), plan.engine) {}
+
+bool FaultInjector::node_targeted(std::uint64_t layer_seed, NodeId id, double fraction) const {
+  if (fraction <= 0.0) return false;
+  return unit_from_hash(hash3(layer_seed, kTagTarget, static_cast<std::uint64_t>(id))) <
+         fraction;
+}
+
+AdviceFaultKind FaultInjector::kind_for(NodeId id) const {
+  const auto& kinds = plan_.advice.kinds;
+  LAD_ASSERT(!kinds.empty());
+  const std::uint64_t h = hash3(advice_seed(), kTagKind, static_cast<std::uint64_t>(id));
+  return kinds[static_cast<std::size_t>(h % kinds.size())];
+}
+
+void FaultInjector::corrupt_advice(const Graph& g, Advice& advice) {
+  LAD_CHECK_MSG(static_cast<int>(advice.size()) == g.n(),
+                "corrupt_advice: advice size " << advice.size() << " != n " << g.n());
+  if (!plan_.any_advice_faults()) return;
+  for (int v = 0; v < g.n(); ++v) {
+    const NodeId id = g.id(v);
+    if (!node_targeted(advice_seed(), id, plan_.advice.node_fraction)) continue;
+    BitString& label = advice[static_cast<std::size_t>(v)];
+    const AdviceFaultKind kind = kind_for(id);
+    FaultEvent ev;
+    ev.layer = FaultLayer::kAdvice;
+    ev.advice_kind = kind;
+    ev.node = v;
+    std::ostringstream detail;
+    switch (kind) {
+      case AdviceFaultKind::kBitFlip: {
+        if (label.empty()) continue;  // nothing to flip
+        const int flips =
+            1 + static_cast<int>(
+                    hash3(advice_seed(), kTagFlipCount, static_cast<std::uint64_t>(id)) %
+                    static_cast<std::uint64_t>(std::max(1, plan_.advice.max_flips_per_label)));
+        for (int i = 0; i < flips; ++i) {
+          const int pos = static_cast<int>(
+              hash4(advice_seed(), kTagFlipPos, static_cast<std::uint64_t>(id),
+                    static_cast<std::uint64_t>(i)) %
+              static_cast<std::uint64_t>(label.size()));
+          label.set_bit(pos, !label.bit(pos));
+        }
+        detail << "flipped " << flips << " bit(s)";
+        break;
+      }
+      case AdviceFaultKind::kErasure: {
+        if (label.empty()) continue;  // already empty
+        detail << "erased " << label.size() << " bit(s)";
+        label = BitString{};
+        break;
+      }
+      case AdviceFaultKind::kByzantine: {
+        const std::uint64_t h =
+            hash3(advice_seed(), kTagByzLen, static_cast<std::uint64_t>(id));
+        const int len =
+            1 + static_cast<int>(h % static_cast<std::uint64_t>(2 * std::max(label.size(), 1) + 4));
+        label = garbage_bits(hash3(advice_seed(), kTagByzBit, static_cast<std::uint64_t>(id)),
+                             len);
+        detail << "rewrote label to " << len << " adversarial bit(s)";
+        break;
+      }
+      case AdviceFaultKind::kTruncate: {
+        if (label.empty()) continue;
+        const int keep = static_cast<int>(
+            hash3(advice_seed(), kTagTruncLen, static_cast<std::uint64_t>(id)) %
+            static_cast<std::uint64_t>(label.size()));
+        detail << "truncated " << label.size() << " -> " << keep << " bit(s)";
+        label.truncate(keep);
+        break;
+      }
+    }
+    ev.detail = detail.str();
+    events_.push_back(std::move(ev));
+  }
+}
+
+void FaultInjector::corrupt_bits(const Graph& g, std::vector<char>& bits) {
+  LAD_CHECK_MSG(static_cast<int>(bits.size()) == g.n(),
+                "corrupt_bits: bit vector size " << bits.size() << " != n " << g.n());
+  if (!plan_.any_advice_faults()) return;
+  for (int v = 0; v < g.n(); ++v) {
+    const NodeId id = g.id(v);
+    if (!node_targeted(advice_seed(), id, plan_.advice.node_fraction)) continue;
+    // A single bit admits only one attack; every kind degenerates to a flip.
+    bits[static_cast<std::size_t>(v)] = bits[static_cast<std::size_t>(v)] ? 0 : 1;
+    FaultEvent ev;
+    ev.layer = FaultLayer::kAdvice;
+    ev.advice_kind = AdviceFaultKind::kBitFlip;
+    ev.node = v;
+    ev.detail = "flipped the 1-bit advice";
+    events_.push_back(std::move(ev));
+  }
+}
+
+void FaultInjector::corrupt_var_advice(const Graph& g, VarAdvice& advice) {
+  if (!plan_.any_advice_faults()) return;
+  std::vector<int> storage_nodes;
+  storage_nodes.reserve(advice.size());
+  for (const auto& [node, entries] : advice) {
+    (void)entries;
+    storage_nodes.push_back(node);
+  }
+  for (const int s : storage_nodes) {
+    LAD_CHECK_MSG(s >= 0 && s < g.n(), "corrupt_var_advice: storage node out of range");
+    const NodeId id = g.id(s);
+    if (!node_targeted(advice_seed(), id, plan_.advice.node_fraction)) continue;
+    auto& entries = advice[s];
+    const AdviceFaultKind kind = kind_for(id);
+    FaultEvent ev;
+    ev.layer = FaultLayer::kAdvice;
+    ev.advice_kind = kind;
+    ev.node = s;
+    std::ostringstream detail;
+    switch (kind) {
+      case AdviceFaultKind::kErasure: {
+        detail << "erased " << entries.size() << " schema entries";
+        advice.erase(s);
+        break;
+      }
+      case AdviceFaultKind::kBitFlip: {
+        if (entries.empty()) continue;
+        auto& entry = entries[static_cast<std::size_t>(
+            hash3(advice_seed(), kTagEntryPick, static_cast<std::uint64_t>(id)) %
+            entries.size())];
+        if (entry.payload.empty()) continue;
+        const int pos = static_cast<int>(
+            hash3(advice_seed(), kTagFlipPos, static_cast<std::uint64_t>(id)) %
+            static_cast<std::uint64_t>(entry.payload.size()));
+        entry.payload.set_bit(pos, !entry.payload.bit(pos));
+        detail << "flipped payload bit " << pos << " of one entry";
+        break;
+      }
+      case AdviceFaultKind::kByzantine: {
+        if (entries.empty()) continue;
+        auto& entry = entries[static_cast<std::size_t>(
+            hash3(advice_seed(), kTagEntryPick, static_cast<std::uint64_t>(id)) %
+            entries.size())];
+        const std::uint64_t h =
+            hash3(advice_seed(), kTagAnchor, static_cast<std::uint64_t>(id));
+        if ((h & 1) != 0) {
+          // Re-anchor to a valid-but-wrong node: the nastiest rewrite,
+          // because every field still parses.
+          entry.anchor_id = g.id(static_cast<int>((h >> 1) % static_cast<std::uint64_t>(g.n())));
+          detail << "re-anchored one entry to node id " << entry.anchor_id;
+        } else {
+          const int len = 1 + static_cast<int>((h >> 1) % 9);
+          entry.payload =
+              garbage_bits(hash3(advice_seed(), kTagByzBit, static_cast<std::uint64_t>(id)), len);
+          detail << "rewrote one payload to " << len << " adversarial bit(s)";
+        }
+        break;
+      }
+      case AdviceFaultKind::kTruncate: {
+        if (entries.empty()) continue;
+        const std::uint64_t h =
+            hash3(advice_seed(), kTagTruncLen, static_cast<std::uint64_t>(id));
+        if (entries.size() > 1) {
+          const std::size_t keep = static_cast<std::size_t>(h % entries.size());
+          detail << "dropped " << (entries.size() - keep) << " of " << entries.size()
+                 << " entries";
+          entries.resize(keep);
+          if (entries.empty()) advice.erase(s);
+        } else {
+          auto& payload = entries.front().payload;
+          if (payload.empty()) continue;
+          const int keep = static_cast<int>(h % static_cast<std::uint64_t>(payload.size()));
+          detail << "truncated payload " << payload.size() << " -> " << keep << " bit(s)";
+          payload.truncate(keep);
+        }
+        break;
+      }
+    }
+    ev.detail = detail.str();
+    events_.push_back(std::move(ev));
+  }
+}
+
+Graph FaultInjector::apply_graph_faults(const Graph& g) {
+  if (!plan_.any_graph_faults()) return g;
+  Graph::Builder builder;
+  for (int v = 0; v < g.n(); ++v) builder.add_node(g.id(v));
+  for (int e = 0; e < g.m(); ++e) {
+    const int u = g.edge_u(e);
+    const int v = g.edge_v(e);
+    // Keyed on the unordered ID pair, not the edge index, so the decision
+    // is stable under any edge renumbering.
+    const NodeId a = std::min(g.id(u), g.id(v));
+    const NodeId b = std::max(g.id(u), g.id(v));
+    const std::uint64_t h = hash4(graph_seed(), kTagEdgeDel, static_cast<std::uint64_t>(a),
+                                  static_cast<std::uint64_t>(b));
+    if (unit_from_hash(h) < plan_.graph.edge_delete_fraction) {
+      FaultEvent ev;
+      ev.layer = FaultLayer::kGraph;
+      ev.node = u;
+      ev.other = v;
+      std::ostringstream detail;
+      detail << "deleted edge {" << a << ", " << b << "} after encoding";
+      ev.detail = detail.str();
+      events_.push_back(std::move(ev));
+      continue;
+    }
+    builder.add_edge(u, v);
+  }
+  return std::move(builder).build();
+}
+
+std::vector<int> FaultInjector::fault_site_nodes(const Graph& g) const {
+  std::vector<int> sites;
+  for (const FaultEvent& ev : events_) {
+    if (ev.node >= 0 && ev.node < g.n()) sites.push_back(ev.node);
+    if (ev.other >= 0 && ev.other < g.n()) sites.push_back(ev.other);
+  }
+  if (plan_.engine.crash_fraction > 0.0) {
+    for (int v = 0; v < g.n(); ++v) {
+      if (engine_model_.crash_selected(v)) sites.push_back(v);
+    }
+  }
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  return sites;
+}
+
+}  // namespace lad::faults

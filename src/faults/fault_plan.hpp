@@ -1,0 +1,195 @@
+// Deterministic, seed-driven fault injection (the adversary of the
+// robustness story).
+//
+// The paper's §1.2 corollary turns any advice schema into a locally
+// checkable one: corrupted advice is rejected by some node inspecting only
+// a constant-radius ball. This header supplies the *faults* side of that
+// contract — a FaultPlan describes an adversary at three layers:
+//
+//   * advice faults  — per-node bit flips, erasure to the empty string,
+//     byzantine rewrites, variable-length truncation (Definition 2 schemas
+//     and VarAdvice schema entries alike);
+//   * graph faults   — edge deletions between encode and decode, i.e. the
+//     advice is *stale* for the graph being decoded;
+//   * engine faults  — per-(round, directed edge) message drop and payload
+//     corruption plus node crash-stop, applied inside Engine::run behind
+//     the EngineFaultModel hook.
+//
+// Every decision is a pure function of (seed, site): two runs with the same
+// FaultPlan inject byte-identical faults regardless of iteration order, so
+// fault campaigns are exactly reproducible. All randomness is derived from
+// per-layer sub-seeds (splitmix64) — layers cannot perturb each other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "advice/advice.hpp"
+#include "advice/schema.hpp"
+#include "graph/graph.hpp"
+#include "local/engine.hpp"
+
+namespace lad::faults {
+
+/// splitmix64 finalizer: the one-instruction-wide PRNG we key all fault
+/// decisions on. Statelessness (decision = hash of site) is what makes the
+/// injector immune to iteration-order bugs.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hash2(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(splitmix64(a) ^ (b + 0x9e3779b97f4a7c15ULL));
+}
+
+constexpr std::uint64_t hash3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return hash2(hash2(a, b), c);
+}
+
+constexpr std::uint64_t hash4(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                              std::uint64_t d) {
+  return hash2(hash3(a, b, c), d);
+}
+
+/// Uniform double in [0, 1) from a hash value.
+constexpr double unit_from_hash(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^-53
+}
+
+enum class AdviceFaultKind {
+  kBitFlip,    // flip a few bits of the label in place
+  kErasure,    // replace the label with the empty string
+  kByzantine,  // replace the label with adversarial garbage
+  kTruncate,   // keep only a strict prefix of the label
+};
+
+const char* to_string(AdviceFaultKind kind);
+
+struct AdviceFaultSpec {
+  /// Fraction of nodes whose advice is attacked (selected by hash).
+  double node_fraction = 0.0;
+  /// Kinds mixed into the attack; a target node's kind is chosen by hash.
+  /// Empty means the advice layer is fault-free.
+  std::vector<AdviceFaultKind> kinds;
+  /// Upper bound on flipped bits per label for kBitFlip.
+  int max_flips_per_label = 3;
+};
+
+struct EngineFaultSpec {
+  /// Per-(round, directed edge) probability a sent message is dropped.
+  double message_drop_prob = 0.0;
+  /// Per delivered message probability the payload is corrupted in place.
+  double message_corrupt_prob = 0.0;
+  /// Fraction of nodes that crash-stop during the run.
+  double crash_fraction = 0.0;
+  /// Crash rounds are drawn from [1, crash_round_window].
+  int crash_round_window = 4;
+};
+
+struct GraphFaultSpec {
+  /// Fraction of edges deleted between encode and decode (stale advice).
+  double edge_delete_fraction = 0.0;
+};
+
+/// A complete, self-describing adversary. Same plan => same faults.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  AdviceFaultSpec advice;
+  EngineFaultSpec engine;
+  GraphFaultSpec graph;
+
+  bool any_advice_faults() const {
+    return advice.node_fraction > 0.0 && !advice.kinds.empty();
+  }
+  bool any_engine_faults() const {
+    return engine.message_drop_prob > 0.0 || engine.message_corrupt_prob > 0.0 ||
+           engine.crash_fraction > 0.0;
+  }
+  bool any_graph_faults() const { return graph.edge_delete_fraction > 0.0; }
+};
+
+enum class FaultLayer { kAdvice, kGraph, kEngine };
+
+const char* to_string(FaultLayer layer);
+
+/// One injected fault, for the report and for blast-radius accounting.
+struct FaultEvent {
+  FaultLayer layer = FaultLayer::kAdvice;
+  AdviceFaultKind advice_kind = AdviceFaultKind::kBitFlip;  // kAdvice only
+  int node = -1;   // primary site (node index); edge_u for graph faults
+  int other = -1;  // secondary site (edge_v for graph faults)
+  std::string detail;
+};
+
+/// Stateless EngineFaultModel driven by an EngineFaultSpec and a sub-seed.
+/// Crash decisions are monotone in the round: once `crashed` answers true
+/// for (r, v) it answers true for every r' >= r, matching crash-stop.
+class HashedEngineFaults final : public EngineFaultModel {
+ public:
+  HashedEngineFaults() = default;
+  HashedEngineFaults(std::uint64_t seed, EngineFaultSpec spec) : seed_(seed), spec_(spec) {}
+
+  bool crashed(int round, int v) const override;
+  bool drop_message(int round, int from, int to) const override;
+  bool corrupt_message(int round, int from, int to, std::string& payload) const override;
+
+  /// True if node v is a crash victim (it will crash at some round >= 1).
+  bool crash_selected(int v) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  EngineFaultSpec spec_;
+};
+
+/// Applies a FaultPlan. Each layer draws from its own derived sub-seed, so
+/// e.g. enabling engine faults never changes which advice bits get flipped.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Attacks per-node labels in place (Definition 2 advice).
+  void corrupt_advice(const Graph& g, Advice& advice);
+
+  /// Attacks uniform 1-bit advice given as a raw bit vector: targeted nodes
+  /// get their bit flipped (the only meaningful attack on one bit).
+  void corrupt_bits(const Graph& g, std::vector<char>& bits);
+
+  /// Attacks a variable-length schema: erases, rewrites, or truncates the
+  /// schema entries stored at targeted storage nodes.
+  void corrupt_var_advice(const Graph& g, VarAdvice& advice);
+
+  /// Deletes a hashed subset of edges; node set and dense-index order are
+  /// preserved so that per-node advice still lines up by index.
+  Graph apply_graph_faults(const Graph& g);
+
+  /// The engine-layer adversary for Engine::set_fault_model.
+  const HashedEngineFaults& engine_faults() const { return engine_model_; }
+
+  /// Everything injected so far through this injector.
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Distinct node indices touched by injected faults, plus the crash
+  /// victims the engine model would select on g — the sources for
+  /// blast-radius BFS. Sorted ascending.
+  std::vector<int> fault_site_nodes(const Graph& g) const;
+
+ private:
+  std::uint64_t advice_seed() const { return hash2(plan_.seed, 0xADu); }
+  std::uint64_t graph_seed() const { return hash2(plan_.seed, 0x6EAFu); }
+  std::uint64_t engine_seed() const { return hash2(plan_.seed, 0xE6u); }
+
+  bool node_targeted(std::uint64_t layer_seed, NodeId id, double fraction) const;
+  AdviceFaultKind kind_for(NodeId id) const;
+
+  FaultPlan plan_;
+  HashedEngineFaults engine_model_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace lad::faults

@@ -1,0 +1,864 @@
+#include "faults/robust.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "advice/trailcode.hpp"
+#include "faults/fault_plan.hpp"
+#include "graph/components.hpp"
+#include "graph/distance.hpp"
+#include "graph/euler.hpp"
+#include "lcl/problems.hpp"
+#include "lcl/solver.hpp"
+#include "util/contracts.hpp"
+
+namespace lad::robust {
+namespace {
+
+void sort_unique(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+// --- trail helpers (mirroring the §5 decoders) -----------------------------
+
+int num_trail_positions(const Trail& t) { return static_cast<int>(t.nodes.size()); }
+
+int node_on_trail(const Trail& t, int pos) {
+  const int sz = static_cast<int>(t.nodes.size());
+  return t.nodes[static_cast<std::size_t>(t.closed ? ((pos % sz) + sz) % sz : pos)];
+}
+
+void orient_trail(const Graph& g, const Trail& t, int direction, Orientation& o) {
+  for (int i = 0; i < t.length(); ++i) {
+    const int a = node_on_trail(t, i);
+    const int b = node_on_trail(t, i + 1);
+    const int e = t.edges[static_cast<std::size_t>(i)];
+    const int from = direction > 0 ? a : b;
+    o[static_cast<std::size_t>(e)] =
+        g.edge_u(e) == from ? EdgeDir::kForward : EdgeDir::kBackward;
+  }
+}
+
+// Consensus decode of one long trail: markers are sampled along the trail
+// and vote on the direction (and on the base-color payload bit when
+// present). Positions whose own nearest marker is missing or out-voted are
+// the *repaired* positions — in the LOCAL model these are exactly the nodes
+// whose ball was hit, so their count bounds the blast radius.
+struct TrailRecovery {
+  int direction = 0;       // resolved direction (+1 / -1)
+  int base_bit = -1;       // majority payload bit; -1 when no payload seen
+  int anchor_start = -1;   // marker_start of a consensus marker (parity anchor)
+  bool fallback = false;   // no marker decoded anywhere -> canonical direction
+  bool disagreement = false;
+  std::vector<int> bad_positions;
+};
+
+TrailRecovery recover_trail(const Graph& g, const Trail& t, const std::vector<char>& bits,
+                            int walk_limit, int samples) {
+  TrailRecovery rec;
+  const int positions = num_trail_positions(t);
+  const int step = std::max(1, positions / std::max(1, samples));
+
+  int votes_fwd = 0;
+  int votes_bwd = 0;
+  int payload_one = 0;
+  int payload_zero = 0;
+  for (int pos = 0; pos < positions; pos += step) {
+    const auto d = decode_trail_mark(g, t, pos, bits, walk_limit);
+    if (!d.has_value()) continue;
+    (d->direction > 0 ? votes_fwd : votes_bwd) += 1;
+    if (!d->payload.empty()) (d->payload.bit(0) ? payload_one : payload_zero) += 1;
+  }
+
+  if (votes_fwd == 0 && votes_bwd == 0) {
+    rec.fallback = true;
+    rec.direction = canonical_trail_direction(g, t) ? +1 : -1;
+    for (int pos = 0; pos < positions; ++pos) rec.bad_positions.push_back(pos);
+    return rec;
+  }
+  rec.disagreement = votes_fwd > 0 && votes_bwd > 0;
+  if (votes_fwd == votes_bwd) {
+    rec.direction = canonical_trail_direction(g, t) ? +1 : -1;  // deterministic tie-break
+  } else {
+    rec.direction = votes_fwd > votes_bwd ? +1 : -1;
+  }
+  if (payload_one + payload_zero > 0) rec.base_bit = payload_one > payload_zero ? 1 : 0;
+
+  // Per-position audit against the consensus.
+  for (int pos = 0; pos < positions; ++pos) {
+    const auto d = decode_trail_mark(g, t, pos, bits, walk_limit);
+    const bool agrees = d.has_value() && d->direction == rec.direction &&
+                        (rec.base_bit < 0 || d->payload.empty() ||
+                         (d->payload.bit(0) ? 1 : 0) == rec.base_bit);
+    if (!agrees) {
+      rec.bad_positions.push_back(pos);
+      continue;
+    }
+    if (rec.anchor_start < 0) rec.anchor_start = d->marker_start;
+  }
+  return rec;
+}
+
+// Normalizes an advice bit vector to length n, counting a wrong size as one
+// detected violation (there is no per-node containment for it).
+std::vector<char> normalize_bits(const Graph& g, const std::vector<char>& bits,
+                                 RobustnessReport& report) {
+  if (static_cast<int>(bits.size()) == g.n()) return bits;
+  ++report.detected_violations;
+  std::vector<char> b = bits;
+  b.resize(static_cast<std::size_t>(g.n()), 0);
+  return b;
+}
+
+// --- generic local verification --------------------------------------------
+
+// Nodes whose radius-r constraint region is fully labeled but invalid, or
+// touches an unassigned/out-of-range label (conservative: such nodes cannot
+// certify their constraint, so they reject).
+std::vector<int> lcl_rejecting_nodes(const Graph& g, const LclProblem& p, const Labeling& lab) {
+  std::vector<int> rejecting;
+  for (int v = 0; v < g.n(); ++v) {
+    bool complete = true;
+    for (const int u : ball_nodes(g, v, p.radius())) {
+      if (p.num_node_labels() > 0) {
+        const int l = lab.node_labels[static_cast<std::size_t>(u)];
+        if (l < 1 || l > p.num_node_labels()) complete = false;
+      }
+      if (p.num_edge_labels() > 0) {
+        for (const int e : g.incident_edges(u)) {
+          const int l = lab.edge_labels[static_cast<std::size_t>(e)];
+          if (l < 1 || l > p.num_edge_labels()) complete = false;
+        }
+      }
+      if (!complete) break;
+    }
+    if (!complete || !p.valid_at(g, lab, v)) rejecting.push_back(v);
+  }
+  return rejecting;
+}
+
+// Scope covered by a flagged node: lcl_rejecting_nodes treats an edge as
+// part of v's region when either endpoint is within p.radius() of v, so a
+// cleared edge reaches one hop beyond the node-ball radius.
+int flag_scope_radius(const LclProblem& p) {
+  return p.radius() + (p.num_edge_labels() > 0 ? 1 : 0);
+}
+
+// Groups seed nodes whose pairwise distance is <= join into repair clusters.
+std::vector<std::vector<int>> group_by_distance(const Graph& g, std::vector<int> seeds,
+                                                int join) {
+  sort_unique(seeds);
+  const int k = static_cast<int>(seeds.size());
+  std::vector<int> seed_ix(static_cast<std::size_t>(g.n()), -1);
+  for (int i = 0; i < k; ++i) seed_ix[static_cast<std::size_t>(seeds[i])] = i;
+  std::vector<int> parent(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) parent[static_cast<std::size_t>(i)] = i;
+  std::function<int(int)> find = [&](int a) {
+    while (parent[static_cast<std::size_t>(a)] != a) {
+      parent[static_cast<std::size_t>(a)] = parent[static_cast<std::size_t>(parent[a])];
+      a = parent[static_cast<std::size_t>(a)];
+    }
+    return a;
+  };
+  for (int i = 0; i < k; ++i) {
+    for (const int u : ball_nodes(g, seeds[static_cast<std::size_t>(i)], join)) {
+      const int j = seed_ix[static_cast<std::size_t>(u)];
+      if (j >= 0 && find(i) != find(j)) parent[static_cast<std::size_t>(find(i))] = find(j);
+    }
+  }
+  std::map<int, std::vector<int>> grouped;
+  for (int i = 0; i < k; ++i) grouped[find(i)].push_back(seeds[static_cast<std::size_t>(i)]);
+  std::vector<std::vector<int>> out;
+  out.reserve(grouped.size());
+  for (auto& [root, members] : grouped) {
+    (void)root;
+    out.push_back(std::move(members));
+  }
+  return out;
+}
+
+}  // namespace
+
+int blast_radius(const Graph& g, const std::vector<int>& sites,
+                 const std::vector<int>& touched) {
+  if (sites.empty() || touched.empty()) return 0;
+  const auto dist = bfs_distances_multi(g, sites);
+  int radius = 0;
+  for (const int v : touched) {
+    const int d = dist[static_cast<std::size_t>(v)];
+    if (d != kUnreachable) radius = std::max(radius, d);
+  }
+  return radius;
+}
+
+void repair_labeling_locally(const Graph& g, const LclProblem& p, Labeling& lab,
+                             const std::vector<int>& bad_nodes, const RepairPolicy& policy,
+                             RobustnessReport& report) {
+  if (bad_nodes.empty()) return;
+  std::vector<int> bad = bad_nodes;
+  sort_unique(bad);
+
+  // Untrusted labels are cleared up front: repair must re-derive them.
+  for (const int v : bad) {
+    if (p.num_node_labels() > 0) lab.node_labels[static_cast<std::size_t>(v)] = -1;
+    if (p.num_edge_labels() > 0) {
+      for (const int e : g.incident_edges(v)) {
+        lab.edge_labels[static_cast<std::size_t>(e)] = -1;
+      }
+    }
+  }
+
+  const int rbar = p.radius();
+  for (const auto& group : group_by_distance(g, bad, 2 * policy.repair_radius + 1)) {
+    bool repaired = false;
+    RepairRegion region_out;
+    for (int rad = policy.repair_radius; rad <= policy.max_repair_radius; ++rad) {
+      auto region = ball_nodes(g, group.front(), 0);  // placeholder, rebuilt below
+      {
+        const auto dist = bfs_distances_multi(g, group, {}, rad);
+        region.clear();
+        for (int v = 0; v < g.n(); ++v) {
+          if (dist[static_cast<std::size_t>(v)] != kUnreachable) region.push_back(v);
+        }
+      }
+      std::vector<char> in_region(static_cast<std::size_t>(g.n()), 0);
+      for (const int v : region) in_region[static_cast<std::size_t>(v)] = 1;
+
+      std::vector<int> free_nodes;
+      std::vector<int> free_edges;
+      if (p.num_node_labels() > 0) free_nodes = region;
+      if (p.num_edge_labels() > 0) {
+        for (const int v : region) {
+          for (const int e : g.incident_edges(v)) {
+            if (in_region[static_cast<std::size_t>(g.edge_u(e))] &&
+                in_region[static_cast<std::size_t>(g.edge_v(e))]) {
+              free_edges.push_back(e);
+            }
+          }
+        }
+        sort_unique(free_edges);
+      }
+
+      // The solve works on a copy where the free labels are cleared; only a
+      // successful completion is adopted.
+      Labeling pinned = lab;
+      for (const int v : free_nodes) pinned.node_labels[static_cast<std::size_t>(v)] = -1;
+      for (const int e : free_edges) pinned.edge_labels[static_cast<std::size_t>(e)] = -1;
+
+      // Check nodes: every node whose constraint region meets the free set
+      // AND will be fully labeled once the free set is assigned (regions
+      // touching other unassigned labels cannot be certified here; the
+      // caller's post-repair verification picks them up).
+      std::vector<int> check_nodes;
+      {
+        std::vector<int> touched = free_nodes;
+        for (const int e : free_edges) {
+          touched.push_back(g.edge_u(e));
+          touched.push_back(g.edge_v(e));
+        }
+        sort_unique(touched);
+        const auto dist = bfs_distances_multi(g, touched, {}, rbar);
+        for (int v = 0; v < g.n(); ++v) {
+          if (dist[static_cast<std::size_t>(v)] == kUnreachable) continue;
+          bool certifiable = true;
+          for (const int u : ball_nodes(g, v, rbar)) {
+            if (p.num_node_labels() > 0 &&
+                pinned.node_labels[static_cast<std::size_t>(u)] == -1 &&
+                std::find(free_nodes.begin(), free_nodes.end(), u) == free_nodes.end()) {
+              certifiable = false;
+            }
+            if (certifiable && p.num_edge_labels() > 0) {
+              for (const int e : g.incident_edges(u)) {
+                if (pinned.edge_labels[static_cast<std::size_t>(e)] == -1 &&
+                    std::find(free_edges.begin(), free_edges.end(), e) == free_edges.end()) {
+                  certifiable = false;
+                  break;
+                }
+              }
+            }
+            if (!certifiable) break;
+          }
+          if (certifiable) check_nodes.push_back(v);
+        }
+      }
+
+      std::optional<Labeling> solved;
+      try {
+        solved = solve_lcl(g, p, pinned, free_nodes, free_edges, check_nodes,
+                           policy.solver_budget);
+      } catch (const ContractViolation&) {
+        solved = std::nullopt;  // budget exhausted: treat like infeasible, escalate
+      }
+      region_out.nodes = region;
+      region_out.radius = rad;
+      if (solved.has_value()) {
+        lab = std::move(*solved);
+        repaired = true;
+        break;
+      }
+    }
+    region_out.repaired = repaired;
+    if (repaired) {
+      for (const int v : region_out.nodes) report.repaired_nodes.push_back(v);
+    } else {
+      for (const int v : group) report.flagged_nodes.push_back(v);
+    }
+    report.regions.push_back(std::move(region_out));
+  }
+  sort_unique(report.repaired_nodes);
+  sort_unique(report.flagged_nodes);
+}
+
+std::string RobustnessReport::to_string() const {
+  std::ostringstream os;
+  os << "RobustnessReport{decoder=" << decoder << "\n"
+     << "  faults: advice=" << advice_faults << " graph=" << graph_faults
+     << " engine{dropped=" << engine_dropped << " corrupted=" << engine_corrupted
+     << " crashed=" << engine_crashed << "} total=" << faults_injected() << "\n"
+     << "  detection: violations=" << detected_violations
+     << " rejecting=" << rejecting_nodes.size() << "\n"
+     << "  repair: repaired=" << repaired_nodes.size() << " flagged=" << flagged_nodes.size()
+     << " regions=" << regions.size() << "\n"
+     << "  outcome: valid=" << (output_valid ? 1 : 0)
+     << " residual=" << residual_violations << " blast=" << blast_radius
+     << " silent=" << (silent_corruption ? 1 : 0) << " rounds=" << rounds << "}";
+  return os.str();
+}
+
+// --- orientation ------------------------------------------------------------
+
+GuardedOrientation guarded_decode_orientation(const Graph& g, const std::vector<char>& bits,
+                                              const OrientationParams& params,
+                                              const RepairPolicy& policy) {
+  GuardedOrientation out;
+  out.report.decoder = "orientation";
+  const auto b = normalize_bits(g, bits, out.report);
+
+  TrailCodeParams tp;
+  tp.spacing = degree_scaled_spacing(params.marker_spacing, g.max_degree());
+  tp.jitter = params.marker_jitter;
+  const int walk_limit = trail_walk_limit(tp, trail_marker_length(BitString{}));
+
+  out.orientation.assign(static_cast<std::size_t>(g.m()), EdgeDir::kUnset);
+  int rounds = 0;
+  for (const auto& t : euler_partition(g)) {
+    if (t.length() <= params.short_trail_threshold) {
+      orient_trail(g, t, canonical_trail_direction(g, t) ? +1 : -1, out.orientation);
+      rounds = std::max(rounds, t.length());
+      continue;
+    }
+    const auto rec = recover_trail(g, t, b, walk_limit, policy.trail_samples);
+    if (rec.fallback || rec.disagreement) ++out.report.detected_violations;
+    orient_trail(g, t, rec.direction, out.orientation);
+    for (const int pos : rec.bad_positions) {
+      out.report.repaired_nodes.push_back(node_on_trail(t, pos));
+    }
+    rounds = std::max(rounds, rec.fallback ? num_trail_positions(t) : walk_limit);
+  }
+  sort_unique(out.report.repaired_nodes);
+
+  for (int v = 0; v < g.n(); ++v) {
+    if (std::abs(out_degree(g, out.orientation, v) - in_degree(g, out.orientation, v)) > 1) {
+      out.report.rejecting_nodes.push_back(v);
+    }
+  }
+  out.report.residual_violations = static_cast<int>(out.report.rejecting_nodes.size());
+  out.report.output_valid = is_balanced_orientation(g, out.orientation, 1);
+  out.report.rounds = rounds;
+  return out;
+}
+
+// --- splitting --------------------------------------------------------------
+
+namespace {
+
+/// Degree splitting as an LCL for local repair: incident red/blue edge
+/// counts equal at every node (degrees must be even for feasibility).
+class SplittingLcl final : public LclProblem {
+ public:
+  std::string name() const override { return "splitting"; }
+  int radius() const override { return 1; }
+  int num_node_labels() const override { return 0; }
+  int num_edge_labels() const override { return 2; }
+  bool valid_at(const Graph& g, const Labeling& lab, int v) const override {
+    int red = 0;
+    int blue = 0;
+    for (const int e : g.incident_edges(v)) {
+      (lab.edge_labels[static_cast<std::size_t>(e)] == 1 ? red : blue) += 1;
+    }
+    return red == blue;
+  }
+};
+
+}  // namespace
+
+GuardedSplitting guarded_decode_splitting(const Graph& g, const std::vector<char>& bits,
+                                          const SplittingParams& params,
+                                          const RepairPolicy& policy) {
+  GuardedSplitting out;
+  out.report.decoder = "splitting";
+  const auto b = normalize_bits(g, bits, out.report);
+
+  TrailCodeParams tp;
+  tp.spacing = degree_scaled_spacing(params.orientation.marker_spacing, g.max_degree());
+  tp.jitter = params.orientation.marker_jitter;
+  BitString one_bit;
+  one_bit.append(true);
+  const int walk_limit = trail_walk_limit(tp, trail_marker_length(one_bit));
+
+  const auto trails = euler_partition(g);
+  out.edge_color.assign(static_cast<std::size_t>(g.m()), 0);
+  out.node_color.assign(static_cast<std::size_t>(g.n()), 0);
+  Orientation orient(static_cast<std::size_t>(g.m()), EdgeDir::kUnset);
+
+  int rounds = 0;
+  for (const auto& t : trails) {
+    const int L = t.length();
+    if (L <= params.orientation.short_trail_threshold) {
+      orient_trail(g, t, canonical_trail_direction(g, t) ? +1 : -1, orient);
+      rounds = std::max(rounds, L);
+      continue;
+    }
+    const auto rec = recover_trail(g, t, b, walk_limit, policy.trail_samples);
+    if (rec.fallback || rec.disagreement) ++out.report.detected_violations;
+    orient_trail(g, t, rec.direction, orient);
+    for (const int pos : rec.bad_positions) {
+      out.report.repaired_nodes.push_back(node_on_trail(t, pos));
+    }
+    if (!rec.fallback && rec.base_bit >= 0 && rec.anchor_start >= 0) {
+      const int base = rec.base_bit != 0 ? 2 : 1;
+      for (int pos = 0; pos < L; ++pos) {
+        const int parity = ((pos - rec.anchor_start) % 2 + 2) % 2;
+        out.node_color[static_cast<std::size_t>(node_on_trail(t, pos))] =
+            parity == 0 ? base : 3 - base;
+      }
+    } else if (!rec.fallback) {
+      // Direction recovered but no trustworthy base color: the trail's
+      // nodes take colors from the propagation phase below.
+      ++out.report.detected_violations;
+    }
+    rounds = std::max(rounds, walk_limit);
+  }
+
+  // Parity propagation from informed nodes (mirrors decode_splitting, with
+  // the gather-bound failure downgraded to a detected + repaired event).
+  const auto comps = connected_components(g);
+  for (const auto& members : comps.members) {
+    std::vector<int> sources;
+    for (const int v : members) {
+      if (out.node_color[static_cast<std::size_t>(v)] != 0) sources.push_back(v);
+    }
+    if (sources.empty()) {
+      const int root = *std::min_element(members.begin(), members.end(), [&](int a, int b) {
+        return g.id(a) < g.id(b);
+      });
+      const auto dist = bfs_distances(g, root);
+      int diam_bound = 0;
+      for (const int v : members) {
+        out.node_color[static_cast<std::size_t>(v)] = 1 + (dist[static_cast<std::size_t>(v)] % 2);
+        diam_bound = std::max(diam_bound, dist[static_cast<std::size_t>(v)]);
+      }
+      if (diam_bound > params.gather_bound) {
+        ++out.report.detected_violations;
+        for (const int v : members) out.report.repaired_nodes.push_back(v);
+      }
+      rounds = std::max(rounds, 2 * diam_bound);
+      continue;
+    }
+    const auto dist = bfs_distances_multi(g, sources);
+    for (const int v : members) {
+      if (out.node_color[static_cast<std::size_t>(v)] != 0) continue;
+      int cur = v;
+      int steps = 0;
+      while (out.node_color[static_cast<std::size_t>(cur)] == 0) {
+        for (const int u : g.neighbors(cur)) {
+          if (dist[static_cast<std::size_t>(u)] == dist[static_cast<std::size_t>(cur)] - 1) {
+            cur = u;
+            break;
+          }
+        }
+        ++steps;
+      }
+      const int base = out.node_color[static_cast<std::size_t>(cur)];
+      out.node_color[static_cast<std::size_t>(v)] = (steps % 2 == 0) ? base : 3 - base;
+      rounds = std::max(rounds, walk_limit + dist[static_cast<std::size_t>(v)]);
+    }
+  }
+
+  for (int e = 0; e < g.m(); ++e) {
+    const int tail =
+        orient[static_cast<std::size_t>(e)] == EdgeDir::kForward ? g.edge_u(e) : g.edge_v(e);
+    out.edge_color[static_cast<std::size_t>(e)] = out.node_color[static_cast<std::size_t>(tail)];
+  }
+
+  // Independent per-node balance verification + local edge-color repair.
+  const SplittingLcl problem;
+  Labeling lab = Labeling::empty(g);
+  lab.edge_labels = out.edge_color;
+  auto bad = lcl_rejecting_nodes(g, problem, lab);
+  out.report.rejecting_nodes = bad;
+  if (!bad.empty()) {
+    repair_labeling_locally(g, problem, lab, bad, policy, out.report);
+    out.edge_color = lab.edge_labels;
+    for (int e = 0; e < g.m(); ++e) {
+      if (out.edge_color[static_cast<std::size_t>(e)] == -1) {
+        out.edge_color[static_cast<std::size_t>(e)] = 0;  // flagged scope: explicit
+      }
+    }
+  }
+
+  // Residuals: rejecting nodes outside the flagged scope.
+  lab.edge_labels = out.edge_color;
+  const auto after = lcl_rejecting_nodes(g, problem, lab);
+  std::vector<char> in_flag_scope(static_cast<std::size_t>(g.n()), 0);
+  if (!out.report.flagged_nodes.empty()) {
+    const auto dist = bfs_distances_multi(g, out.report.flagged_nodes, {}, flag_scope_radius(problem));
+    for (int v = 0; v < g.n(); ++v) {
+      if (dist[static_cast<std::size_t>(v)] != kUnreachable) {
+        in_flag_scope[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
+  for (const int v : after) {
+    if (!in_flag_scope[static_cast<std::size_t>(v)]) ++out.report.residual_violations;
+  }
+  out.report.output_valid = out.report.residual_violations == 0 &&
+                            out.report.flagged_nodes.empty() && is_splitting(g, out.edge_color);
+  out.report.rounds = rounds;
+  return out;
+}
+
+// --- coloring (shared tail for §6 / §7) -------------------------------------
+
+namespace {
+
+// Verification + local recoloring repair + residual accounting shared by
+// the two coloring decoders. `coloring` uses 0 for unassigned.
+void finish_guarded_coloring(const Graph& g, int num_colors, const std::vector<int>& failed,
+                             const RepairPolicy& policy, GuardedColoring& out) {
+  const VertexColoringLcl problem(num_colors);
+  Labeling lab = Labeling::empty(g);
+  for (int v = 0; v < g.n(); ++v) {
+    const int c = out.coloring[static_cast<std::size_t>(v)];
+    lab.node_labels[static_cast<std::size_t>(v)] = (c >= 1 && c <= num_colors) ? c : -1;
+  }
+  auto bad = lcl_rejecting_nodes(g, problem, lab);
+  out.report.rejecting_nodes = bad;
+  for (const int v : failed) bad.push_back(v);
+  sort_unique(bad);
+  if (!bad.empty()) repair_labeling_locally(g, problem, lab, bad, policy, out.report);
+
+  for (int v = 0; v < g.n(); ++v) {
+    const int l = lab.node_labels[static_cast<std::size_t>(v)];
+    out.coloring[static_cast<std::size_t>(v)] = l == -1 ? 0 : l;
+  }
+
+  const auto after = lcl_rejecting_nodes(g, problem, lab);
+  std::vector<char> in_flag_scope(static_cast<std::size_t>(g.n()), 0);
+  if (!out.report.flagged_nodes.empty()) {
+    const auto dist = bfs_distances_multi(g, out.report.flagged_nodes, {}, flag_scope_radius(problem));
+    for (int v = 0; v < g.n(); ++v) {
+      if (dist[static_cast<std::size_t>(v)] != kUnreachable) {
+        in_flag_scope[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
+  for (const int v : after) {
+    if (!in_flag_scope[static_cast<std::size_t>(v)]) ++out.report.residual_violations;
+  }
+  out.report.output_valid = out.report.residual_violations == 0 &&
+                            out.report.flagged_nodes.empty() &&
+                            is_proper_coloring(g, out.coloring, num_colors);
+}
+
+}  // namespace
+
+GuardedColoring guarded_decode_three_coloring(const Graph& g, const std::vector<char>& bits,
+                                              const ThreeColoringParams& params,
+                                              const RepairPolicy& policy) {
+  GuardedColoring out;
+  out.report.decoder = "three_coloring";
+  const auto b = normalize_bits(g, bits, out.report);
+
+  std::vector<char> failed_mask;
+  std::vector<int> failed;
+  try {
+    auto res = decode_three_coloring_tolerant(g, b, failed_mask, params);
+    out.coloring = std::move(res.coloring);
+    out.report.rounds = res.rounds;
+  } catch (const ContractViolation&) {
+    // No per-node containment possible: advice-free from here.
+    ++out.report.detected_violations;
+    out.coloring.assign(static_cast<std::size_t>(g.n()), 0);
+    failed_mask.assign(static_cast<std::size_t>(g.n()), 1);
+  }
+  for (int v = 0; v < g.n(); ++v) {
+    if (failed_mask[static_cast<std::size_t>(v)] != 0) failed.push_back(v);
+  }
+  out.report.detected_violations += static_cast<long long>(failed.size());
+
+  finish_guarded_coloring(g, 3, failed, policy, out);
+  return out;
+}
+
+GuardedColoring guarded_decode_delta_coloring(const Graph& g, const VarAdvice& advice,
+                                              const DeltaColoringParams& params,
+                                              const RepairPolicy& policy) {
+  GuardedColoring out;
+  out.report.decoder = "delta_coloring";
+  const int delta = std::max(1, g.max_degree());
+
+  // Staged degradation: full advice, then entry-sanitized advice, then
+  // cluster entries only, then no advice at all. Every demotion is a
+  // detected violation; the §6 decoder's own repair machinery handles the
+  // uncolored nodes each stage leaves behind.
+  const auto sanitize = [&](bool keep_repair_entries, bool count_drops) {
+    VarAdvice clean;
+    for (const auto& [node, entries] : advice) {
+      if (node < 0 || node >= g.n()) {
+        if (count_drops) ++out.report.detected_violations;
+        continue;
+      }
+      std::vector<SchemaEntry> kept;
+      for (const auto& entry : entries) {
+        bool ok = g.has_id(entry.anchor_id);
+        if (ok && entry.schema_id == 0) {
+          try {
+            int pos = 0;
+            const std::uint64_t color = entry.payload.read_gamma(pos);
+            ok = color >= 1 && color <= static_cast<std::uint64_t>(g.n()) + 1;
+          } catch (const ContractViolation&) {
+            ok = false;
+          }
+        }
+        if (ok && entry.schema_id == 1 && !keep_repair_entries) ok = false;
+        if (ok && entry.schema_id == 1 && entry.payload.empty()) ok = false;
+        if (ok) {
+          kept.push_back(entry);
+        } else if (count_drops) {
+          ++out.report.detected_violations;
+        }
+      }
+      if (!kept.empty()) clean[node] = std::move(kept);
+    }
+    return clean;
+  };
+
+  std::vector<int> failed;
+  bool decoded = false;
+  for (int stage = 0; stage < 3 && !decoded; ++stage) {
+    VarAdvice staged;
+    const VarAdvice* input = &advice;
+    if (stage == 1) {
+      staged = sanitize(true, true);  // drops counted once, at first demotion
+      input = &staged;
+    } else if (stage == 2) {
+      staged = sanitize(false, false);
+      input = &staged;
+    }
+    try {
+      auto res = decode_delta_coloring(g, *input, params);
+      out.coloring = std::move(res.coloring);
+      out.report.rounds = res.rounds;
+      decoded = true;
+    } catch (const ContractViolation&) {
+      ++out.report.detected_violations;
+    }
+  }
+  if (!decoded) {
+    // Advice-free: everything is a repair region.
+    out.coloring.assign(static_cast<std::size_t>(g.n()), 0);
+    for (int v = 0; v < g.n(); ++v) failed.push_back(v);
+  }
+
+  finish_guarded_coloring(g, delta, failed, policy, out);
+  return out;
+}
+
+// --- subexponential-growth LCL ---------------------------------------------
+
+GuardedLcl guarded_decode_subexp_lcl(const Graph& g, const LclProblem& p,
+                                     const std::vector<char>& bits,
+                                     const SubexpLclParams& params,
+                                     const RepairPolicy& policy) {
+  GuardedLcl out;
+  out.report.decoder = "subexp_lcl";
+  const auto b = normalize_bits(g, bits, out.report);
+
+  std::vector<char> failed_mask;
+  try {
+    auto res = decode_subexp_lcl_tolerant(g, p, b, failed_mask, params);
+    out.labeling = std::move(res.labeling);
+    out.report.rounds = res.rounds;
+  } catch (const ContractViolation&) {
+    ++out.report.detected_violations;
+    out.labeling = Labeling::empty(g);
+    failed_mask.assign(static_cast<std::size_t>(g.n()), 1);
+  }
+  std::vector<int> failed;
+  for (int v = 0; v < g.n(); ++v) {
+    if (failed_mask[static_cast<std::size_t>(v)] != 0) failed.push_back(v);
+  }
+  out.report.detected_violations += static_cast<long long>(failed.size());
+
+  auto bad = lcl_rejecting_nodes(g, p, out.labeling);
+  out.report.rejecting_nodes = bad;
+  for (const int v : failed) bad.push_back(v);
+  sort_unique(bad);
+  if (!bad.empty()) repair_labeling_locally(g, p, out.labeling, bad, policy, out.report);
+
+  const auto after = lcl_rejecting_nodes(g, p, out.labeling);
+  std::vector<char> in_flag_scope(static_cast<std::size_t>(g.n()), 0);
+  if (!out.report.flagged_nodes.empty()) {
+    const auto dist = bfs_distances_multi(g, out.report.flagged_nodes, {}, flag_scope_radius(p));
+    for (int v = 0; v < g.n(); ++v) {
+      if (dist[static_cast<std::size_t>(v)] != kUnreachable) {
+        in_flag_scope[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
+  for (const int v : after) {
+    if (!in_flag_scope[static_cast<std::size_t>(v)]) ++out.report.residual_violations;
+  }
+  out.report.output_valid = out.report.residual_violations == 0 &&
+                            out.report.flagged_nodes.empty() &&
+                            is_valid_labeling(g, p, out.labeling);
+  return out;
+}
+
+// --- edge-set decompression -------------------------------------------------
+
+namespace {
+
+// 16-bit integrity guard over (node ID, orientation bit, out-neighbor IDs,
+// membership bits). Covering the out-neighbor IDs ties the label to the
+// orientation it was encoded under: a trail whose recovered direction
+// differs from encode time changes every affected node's out-set and is
+// caught here instead of silently re-targeting memberships.
+std::uint16_t label_guard(const Graph& g, int v, bool orientation_bit,
+                          const std::vector<int>& out_edges, const BitString& memberships) {
+  std::uint64_t h = faults::hash3(0x9uLL + 0xDECuLL, static_cast<std::uint64_t>(g.id(v)),
+                                  orientation_bit ? 1 : 0);
+  for (const int e : out_edges) {
+    h = faults::hash2(h, static_cast<std::uint64_t>(g.id(g.other_endpoint(e, v))));
+  }
+  for (int i = 0; i < memberships.size(); ++i) {
+    h = faults::hash2(h, memberships.bit(i) ? 2 : 1);
+  }
+  return static_cast<std::uint16_t>(h & 0xffffu);
+}
+
+std::vector<int> outgoing_edges_sorted(const Graph& g, const Orientation& o, int v) {
+  std::vector<int> out;
+  for (const int e : g.incident_edges(v)) {
+    const bool outgoing =
+        (o[static_cast<std::size_t>(e)] == EdgeDir::kForward && g.edge_u(e) == v) ||
+        (o[static_cast<std::size_t>(e)] == EdgeDir::kBackward && g.edge_v(e) == v);
+    if (outgoing) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace
+
+CompressedEdgeSet guarded_compress_edge_set(const Graph& g, const std::vector<char>& in_x,
+                                            const OrientationParams& params) {
+  CompressedEdgeSet c = compress_edge_set(g, in_x, params);
+  const auto dec = decode_orientation(
+      g, [&] {
+        std::vector<char> bits(static_cast<std::size_t>(g.n()), 0);
+        for (int v = 0; v < g.n(); ++v) {
+          bits[static_cast<std::size_t>(v)] = c.labels[static_cast<std::size_t>(v)].bit(0);
+        }
+        return bits;
+      }(),
+      params);
+  for (int v = 0; v < g.n(); ++v) {
+    BitString& label = c.labels[static_cast<std::size_t>(v)];
+    const auto out = outgoing_edges_sorted(g, dec.orientation, v);
+    BitString memberships;
+    for (int i = 0; i < static_cast<int>(out.size()); ++i) memberships.append(label.bit(1 + i));
+    const std::uint16_t guard = label_guard(g, v, label.bit(0), out, memberships);
+    label.append(BitString::fixed_width(guard, kDecompressGuardBits));
+  }
+  return c;
+}
+
+GuardedDecompress guarded_decompress_edge_set(const Graph& g, const CompressedEdgeSet& c,
+                                              const RepairPolicy& policy) {
+  GuardedDecompress out;
+  out.report.decoder = "decompress";
+  out.in_x.assign(static_cast<std::size_t>(g.m()), 0);
+  out.edge_known.assign(static_cast<std::size_t>(g.m()), 0);
+
+  if (static_cast<int>(c.labels.size()) != g.n()) {
+    // Labels cannot be aligned to nodes at all: everything is flagged.
+    ++out.report.detected_violations;
+    for (int v = 0; v < g.n(); ++v) out.report.flagged_nodes.push_back(v);
+    out.report.output_valid = false;
+    out.report.residual_violations = g.n();
+    return out;
+  }
+
+  std::vector<char> advice_bits(static_cast<std::size_t>(g.n()), 0);
+  for (int v = 0; v < g.n(); ++v) {
+    const BitString& label = c.labels[static_cast<std::size_t>(v)];
+    if (label.empty()) {
+      ++out.report.detected_violations;
+      out.report.rejecting_nodes.push_back(v);
+      continue;
+    }
+    advice_bits[static_cast<std::size_t>(v)] = label.bit(0) ? 1 : 0;
+  }
+
+  auto oriented = guarded_decode_orientation(g, advice_bits, c.orientation_params, policy);
+  out.report.detected_violations += oriented.report.detected_violations;
+  for (const int v : oriented.report.repaired_nodes) out.report.repaired_nodes.push_back(v);
+
+  for (int v = 0; v < g.n(); ++v) {
+    const BitString& label = c.labels[static_cast<std::size_t>(v)];
+    const auto outgoing = outgoing_edges_sorted(g, oriented.orientation, v);
+    const int expected = 1 + static_cast<int>(outgoing.size()) + kDecompressGuardBits;
+    bool ok = label.size() == expected;
+    BitString memberships;
+    if (ok) {
+      for (int i = 0; i < static_cast<int>(outgoing.size()); ++i) {
+        memberships.append(label.bit(1 + i));
+      }
+      int pos = 1 + static_cast<int>(outgoing.size());
+      const std::uint64_t stored = label.read_fixed(pos, kDecompressGuardBits);
+      ok = stored == label_guard(g, v, label.bit(0), outgoing, memberships);
+    }
+    if (!ok) {
+      // Membership bits carry no redundancy: an unverifiable label cannot
+      // be repaired, only flagged — guessing would be silent corruption.
+      ++out.report.detected_violations;
+      out.report.rejecting_nodes.push_back(v);
+      out.report.flagged_nodes.push_back(v);
+      continue;
+    }
+    for (int i = 0; i < static_cast<int>(outgoing.size()); ++i) {
+      out.in_x[static_cast<std::size_t>(outgoing[i])] = memberships.bit(i) ? 1 : 0;
+      out.edge_known[static_cast<std::size_t>(outgoing[i])] = 1;
+    }
+  }
+  sort_unique(out.report.rejecting_nodes);
+  sort_unique(out.report.repaired_nodes);
+  sort_unique(out.report.flagged_nodes);
+
+  int unknown = 0;
+  for (int e = 0; e < g.m(); ++e) {
+    if (!out.edge_known[static_cast<std::size_t>(e)]) ++unknown;
+  }
+  out.report.residual_violations = 0;  // unknown edges are flagged, not residual
+  out.report.output_valid = unknown == 0 && out.report.flagged_nodes.empty();
+  out.report.rounds = oriented.report.rounds + 1;
+  return out;
+}
+
+}  // namespace lad::robust

@@ -1,0 +1,207 @@
+// Proof-guarded decoders with local repair.
+//
+// The §1.2 corollary makes every advice schema locally checkable: corrupted
+// advice is rejected by some node inspecting a constant-radius ball. This
+// layer turns local *checkability* into local *repair*. Each guarded
+// decoder:
+//
+//   1. runs the underlying paper decoder in a containment mode (the
+//      tolerant decode variants, or per-trail marker consensus) so that a
+//      locally-detected inconsistency poisons only its natural scope — a
+//      trail segment, a cluster, a G_{2,3} component — never the run;
+//   2. re-verifies the output with an independent radius-r local checker
+//      and collects the rejecting nodes;
+//   3. repairs every rejecting region *locally*: the region is re-solved
+//      advice-free with the exact LCL solver under a pinned boundary, at
+//      escalating radius, exactly like the §6 repair machinery; regions
+//      that stay infeasible at the maximum radius are *flagged*, never
+//      silently guessed.
+//
+// The resulting guarantee, stated per decoder in the RobustnessReport:
+// every run ends in a checker-valid output, or every unservable node is
+// explicitly listed as flagged — detected failure or valid output, never
+// silent corruption. Faults of constant radius cause repairs of constant
+// radius (the blast-radius measurements of bench_r1_faults), which is the
+// self-stabilization story proof-labeling-style schemes enable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "advice/schema.hpp"
+#include "core/decompress.hpp"
+#include "core/delta_coloring.hpp"
+#include "core/orientation.hpp"
+#include "core/splitting.hpp"
+#include "core/subexp_lcl.hpp"
+#include "core/three_coloring.hpp"
+#include "graph/checkers.hpp"
+#include "graph/graph.hpp"
+#include "lcl/lcl.hpp"
+
+namespace lad::robust {
+
+struct RepairPolicy {
+  /// Initial ball radius around a rejecting region.
+  int repair_radius = 2;
+  /// Escalation bound; a region still infeasible here is flagged.
+  int max_repair_radius = 8;
+  /// Backtracking budget per region re-solve.
+  std::int64_t solver_budget = 2'000'000;
+  /// Marker votes sampled per long trail for the consensus direction.
+  int trail_samples = 16;
+};
+
+/// One locally re-solved (or flagged) region.
+struct RepairRegion {
+  std::vector<int> nodes;  // sorted node indices
+  int radius = 0;          // ball radius that succeeded (or was given up at)
+  bool repaired = false;   // false = flagged
+};
+
+/// Per-run accounting of one guarded decode. The decoder-facing fields are
+/// filled by the guarded decoders; the campaign layer adds the fault
+/// bookkeeping (injected counts, blast radius, silent-corruption verdict)
+/// before rendering. to_string() is byte-deterministic for a fixed input —
+/// no pointers, timings, or float formatting — which is what the
+/// determinism regression test and the CLI golden test pin down.
+struct RobustnessReport {
+  std::string decoder;
+
+  // Faults (campaign layer).
+  long long advice_faults = 0;
+  long long graph_faults = 0;
+  long long engine_dropped = 0;
+  long long engine_corrupted = 0;
+  int engine_crashed = 0;
+  long long faults_injected() const {
+    return advice_faults + graph_faults + engine_dropped + engine_corrupted + engine_crashed;
+  }
+
+  // Detection (guarded decoder).
+  long long detected_violations = 0;  // contract violations caught / contained
+  std::vector<int> rejecting_nodes;   // nodes failing the independent local check
+
+  // Repair (guarded decoder).
+  std::vector<int> repaired_nodes;  // output re-derived locally, now valid
+  std::vector<int> flagged_nodes;   // repair impossible; surfaced, not guessed
+  std::vector<RepairRegion> regions;
+
+  // Outcome.
+  bool output_valid = false;  // final independent check (flagged scope excluded)
+  int residual_violations = 0;  // rejecting nodes that remain outside flagged scope
+  int blast_radius = 0;  // max dist(fault site -> repaired/flagged node); campaign layer
+  bool silent_corruption = false;  // invalid output with zero detection — must never happen
+  int rounds = 0;
+
+  bool degraded() const {
+    return detected_violations > 0 || !rejecting_nodes.empty() || !repaired_nodes.empty() ||
+           !flagged_nodes.empty();
+  }
+
+  std::string to_string() const;
+};
+
+/// Max distance from any node of `touched` to the nearest node of `sites`
+/// (multi-source BFS from the fault sites). 0 when either set is empty;
+/// unreachable pairs (fault in another component) are skipped.
+int blast_radius(const Graph& g, const std::vector<int>& sites,
+                 const std::vector<int>& touched);
+
+/// Local repair: clusters `bad_nodes`, re-solves the ball around each
+/// cluster with `p` under a pinned boundary at escalating radius, and
+/// applies successful completions to `lab`. Nodes of regions that stay
+/// infeasible at policy.max_repair_radius keep their labels cleared and are
+/// flagged. Appends to report.regions / repaired_nodes / flagged_nodes.
+void repair_labeling_locally(const Graph& g, const LclProblem& p, Labeling& lab,
+                             const std::vector<int>& bad_nodes, const RepairPolicy& policy,
+                             RobustnessReport& report);
+
+// ---------------------------------------------------------------------------
+// Guarded decoders, one per paper decoder.
+
+struct GuardedOrientation {
+  Orientation orientation;
+  RobustnessReport report;
+};
+
+/// §5 orientation decoder hardened by marker consensus: every long trail is
+/// decoded at sampled positions, the majority direction wins, and positions
+/// whose nearest marker is missing or disagrees are repaired from the
+/// consensus; a trail with no decodable marker at all falls back to the
+/// advice-free canonical direction (still a valid orientation).
+GuardedOrientation guarded_decode_orientation(const Graph& g, const std::vector<char>& bits,
+                                              const OrientationParams& params = {},
+                                              const RepairPolicy& policy = {});
+
+struct GuardedSplitting {
+  std::vector<int> edge_color;  // 1 = red, 2 = blue
+  std::vector<int> node_color;
+  RobustnessReport report;
+};
+
+/// §5-ext splitting decoder hardened by marker consensus (direction and
+/// base-color payload both voted), then per-node balance verification and
+/// local edge-color repair with the exact solver.
+GuardedSplitting guarded_decode_splitting(const Graph& g, const std::vector<char>& bits,
+                                          const SplittingParams& params = {},
+                                          const RepairPolicy& policy = {});
+
+struct GuardedColoring {
+  std::vector<int> coloring;
+  RobustnessReport report;
+};
+
+/// §7 three-coloring decoder via the tolerant decode, proper-coloring
+/// verification, and local recoloring repair.
+GuardedColoring guarded_decode_three_coloring(const Graph& g, const std::vector<char>& bits,
+                                              const ThreeColoringParams& params = {},
+                                              const RepairPolicy& policy = {});
+
+/// §6 Δ-coloring decoder: the VarAdvice is sanitized entry-by-entry (every
+/// malformed schema entry is dropped and counted as a detection) before the
+/// decoder — whose own repair machinery handles the resulting uncolored
+/// nodes — runs; a final proper-coloring verification and local recoloring
+/// pass covers whatever remains.
+GuardedColoring guarded_decode_delta_coloring(const Graph& g, const VarAdvice& advice,
+                                              const DeltaColoringParams& params = {},
+                                              const RepairPolicy& policy = {});
+
+struct GuardedLcl {
+  Labeling labeling;
+  RobustnessReport report;
+};
+
+/// §4 subexponential-growth LCL decoder via the tolerant decode, per-node
+/// valid_at verification, and local region repair.
+GuardedLcl guarded_decode_subexp_lcl(const Graph& g, const LclProblem& p,
+                                     const std::vector<char>& bits,
+                                     const SubexpLclParams& params = {},
+                                     const RepairPolicy& policy = {});
+
+// ---------------------------------------------------------------------------
+// §1.5 edge-set compression. Membership bits carry zero redundancy, so a
+// byzantine rewrite is information-theoretically undetectable from the base
+// format; the guarded compressor therefore appends a 16-bit integrity guard
+// (hash of node ID, orientation bit, and membership bits) per label. The
+// guarded decompressor verifies it and *flags* edges whose label failed —
+// membership cannot be repaired, only surfaced; guessing would be silent
+// corruption.
+
+/// Bits appended to every label by the guarded compressor.
+inline constexpr int kDecompressGuardBits = 16;
+
+CompressedEdgeSet guarded_compress_edge_set(const Graph& g, const std::vector<char>& in_x,
+                                            const OrientationParams& params = {});
+
+struct GuardedDecompress {
+  std::vector<char> in_x;        // membership; meaningful where edge_known
+  std::vector<char> edge_known;  // per edge: recovered and guard-verified
+  RobustnessReport report;
+};
+
+GuardedDecompress guarded_decompress_edge_set(const Graph& g, const CompressedEdgeSet& c,
+                                              const RepairPolicy& policy = {});
+
+}  // namespace lad::robust

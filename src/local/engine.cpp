@@ -126,8 +126,10 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
   outbox_.assign(static_cast<std::size_t>(total_ports), "");
   outbox_present_.assign(static_cast<std::size_t>(total_ports), 0);
   halted_.assign(static_cast<std::size_t>(n), 0);
+  crashed_.assign(static_cast<std::size_t>(n), 0);
   outputs_.assign(static_cast<std::size_t>(n), "");
   halt_round_.assign(static_cast<std::size_t>(n), -1);
+  fault_stats_ = {};
 
   if (audit_) {
     audit_log_ = {};
@@ -155,7 +157,14 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
   for (int round = 1; round <= max_rounds; ++round) {
     bool any_active = false;
     for (int v = 0; v < n; ++v) {
-      if (halted_[v]) continue;
+      if (halted_[v] || crashed_[v]) continue;
+      if (faults_ != nullptr && faults_->crashed(round, v)) {
+        // Crash-stop: the node executes no further rounds and never halts,
+        // but it does not count as active, so runs still terminate.
+        crashed_[v] = 1;
+        ++fault_stats_.crashed_nodes;
+        continue;
+      }
       any_active = true;
       NodeCtx ctx(*this, v, round);
       alg.round(ctx);
@@ -173,6 +182,14 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
         const int s = offsets[v] + p;
         if (!outbox_present_[s]) continue;
         const int u = nb[p];
+        if (faults_ != nullptr && faults_->drop_message(round, v, u)) {
+          // A drop only removes information, so provenance stays sound.
+          ++fault_stats_.dropped;
+          outbox_present_[s] = 0;
+          outbox_[s].clear();
+          if (audit_) outbox_prov_[static_cast<std::size_t>(s)].clear();
+          continue;
+        }
         const int q = g_.port_of(u, v);
         LAD_ASSERT_MSG(q >= 0, "delivery to a non-neighbor port");
         const int t = offsets[u] + q;
@@ -182,7 +199,12 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
         inbox_present_[t] = 1;
         outbox_present_[s] = 0;
         outbox_[s].clear();
+        if (faults_ != nullptr && faults_->corrupt_message(round, v, u, inbox_[t])) {
+          ++fault_stats_.corrupted;
+        }
         if (audit_) {
+          // A corrupted payload keeps the sender's tag: that over-approximates
+          // what the reader can learn, so ball containment still holds.
           inbox_prov_[static_cast<std::size_t>(t)] =
               std::move(outbox_prov_[static_cast<std::size_t>(s)]);
           outbox_prov_[static_cast<std::size_t>(s)].clear();
@@ -194,6 +216,7 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
   res.all_halted = std::all_of(halted_.begin(), halted_.end(), [](char h) { return h != 0; });
   res.outputs = outputs_;
   res.halt_round = halt_round_;
+  if (faults_ != nullptr) res.crashed = crashed_;
   return res;
 }
 

@@ -87,6 +87,57 @@ struct RunResult {
   /// Message complexity: messages delivered and their total payload bytes.
   long long messages = 0;
   long long bytes = 0;
+  /// Nodes that crash-stopped during the run (empty when no fault model
+  /// is installed).
+  std::vector<char> crashed;
+};
+
+/// Optional fault model consulted by the engine while running an algorithm.
+///
+/// All three hooks must be *deterministic pure functions* of their arguments
+/// (plus any seed baked into the implementation): the engine may consult
+/// them in any order, and reproducibility of fault campaigns depends on the
+/// answers not varying with iteration order. Faults are applied so that the
+/// audit/provenance machinery stays sound: a dropped message removes
+/// information (never adds any), and a corrupted payload keeps the sender's
+/// provenance tag, which over-approximates what the reader can now know.
+class EngineFaultModel {
+ public:
+  virtual ~EngineFaultModel() = default;
+
+  /// True if node `v` crash-stops at the beginning of `round` (1-based).
+  /// A crashed node stops executing and sending forever; it never halts and
+  /// does not count as active, so runs still terminate.
+  virtual bool crashed(int round, int v) const {
+    (void)round;
+    (void)v;
+    return false;
+  }
+
+  /// True if the message sent in `round` from node `from` to node `to`
+  /// is dropped in transit (receiver sees no message on that port).
+  virtual bool drop_message(int round, int from, int to) const {
+    (void)round;
+    (void)from;
+    (void)to;
+    return false;
+  }
+
+  /// May mutate `payload` in place; returns true iff it did.
+  virtual bool corrupt_message(int round, int from, int to, std::string& payload) const {
+    (void)round;
+    (void)from;
+    (void)to;
+    (void)payload;
+    return false;
+  }
+};
+
+/// Accounting of faults the engine actually applied during one run().
+struct EngineFaultStats {
+  long long dropped = 0;
+  long long corrupted = 0;
+  int crashed_nodes = 0;
 };
 
 /// Per-round provenance accounting of an audited run.
@@ -129,6 +180,13 @@ class Engine {
 
   const EngineAuditLog& audit_log() const { return audit_log_; }
 
+  /// Installs a fault model for subsequent run() calls (non-owning; pass
+  /// nullptr to restore fault-free execution). Composes with enable_audit.
+  void set_fault_model(const EngineFaultModel* model) { faults_ = model; }
+
+  /// Faults applied during the most recent run().
+  const EngineFaultStats& fault_stats() const { return fault_stats_; }
+
   /// Runs `alg` until all nodes halt or `max_rounds` elapse.
   RunResult run(SyncAlgorithm& alg, int max_rounds);
 
@@ -143,9 +201,13 @@ class Engine {
   std::vector<std::string> outbox_;
   std::vector<char> outbox_present_;
   std::vector<char> halted_;
+  std::vector<char> crashed_;
   std::vector<std::string> outputs_;
   std::vector<int> halt_round_;
   std::vector<int> offsets_;  // CSR port offsets, size n+1
+
+  const EngineFaultModel* faults_ = nullptr;
+  EngineFaultStats fault_stats_;
 
   bool audit_ = false;
   bool audit_fail_fast_ = true;

@@ -1,0 +1,30 @@
+# Golden-output check for `lad faultsim`: runs the CLI with a pinned
+# (decoder, family, n, trials, seed) and compares stdout byte-for-byte
+# against the committed golden file. Any nondeterminism in the fault
+# injector, the guarded decoders, or the report rendering fails here.
+#
+# Usage:
+#   cmake -DLAD_CLI=<path-to-lad> -DDECODER=<decoder> -DFAMILY=<family>
+#         -DN=<n> -DTRIALS=<t> -DSEED=<s>
+#         -DGOLDEN=<golden.txt> -DOUT=<scratch.txt> -P golden_faultsim.cmake
+if(NOT LAD_CLI OR NOT GOLDEN OR NOT OUT OR NOT DECODER OR NOT FAMILY)
+  message(FATAL_ERROR "golden_faultsim.cmake needs LAD_CLI, DECODER, FAMILY, GOLDEN, OUT")
+endif()
+
+execute_process(
+  COMMAND ${LAD_CLI} faultsim ${DECODER} ${FAMILY} ${N} ${TRIALS} ${SEED}
+  OUTPUT_FILE ${OUT}
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lad faultsim exited with ${rc} (silent corruption or crash)")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff
+)
+if(NOT diff EQUAL 0)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E cat ${OUT})
+  message(FATAL_ERROR "faultsim output differs from golden file ${GOLDEN}")
+endif()

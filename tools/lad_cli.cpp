@@ -7,6 +7,7 @@
 //   lad color3   <graph.txt>          # §7: solve witness + 1-bit schema
 //   lad proof    <graph.txt> <mis|matching|3col>   # §1.2 certificate demo
 //   lad audit    <graph.txt> <alg>    # locality-conformance audit
+//   lad faultsim <decoder> <family> <n> [trials] [seed]   # seeded fault campaign
 //   lad dot      <graph.txt>          # Graphviz export
 //
 // Graphs are in the edge-list format of graph/io.hpp.
@@ -26,6 +27,7 @@
 #include "core/proofs.hpp"
 #include "core/splitting.hpp"
 #include "core/three_coloring.hpp"
+#include "faults/campaign.hpp"
 #include "graph/distance.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -53,6 +55,8 @@ int usage() {
                "  lad audit <graph.txt> gather [radius]   # engine provenance stats\n"
                "  lad audit <graph.txt> cv                # Cole-Vishkin under the auditor\n"
                "  lad audit <graph.txt> orient|compress|split  # decoder locality audit\n"
+               "  lad faultsim <orientation|splitting|three_coloring|delta_coloring\n"
+               "               |subexp_lcl|decompress> <cycle|grid|torus> <n> [trials] [seed]\n"
                "  lad dot <graph.txt>\n");
   return 2;
 }
@@ -342,6 +346,36 @@ int cmd_audit(int argc, char** argv) {
   return usage();
 }
 
+int cmd_faultsim(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto decoder = faults::parse_decoder(argv[0]);
+  const auto family = faults::parse_family(argv[1]);
+  if (!decoder || !family) return usage();
+
+  faults::CampaignConfig cfg;
+  cfg.decoder = *decoder;
+  cfg.family = *family;
+  cfg.n = std::atoi(argv[2]);
+  if (cfg.n < 8) return usage();
+  cfg.trials = argc >= 4 ? std::atoi(argv[3]) : 20;
+  cfg.seed = argc >= 5 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
+  if (cfg.decoder == faults::DecoderKind::kSubexpLcl) cfg.subexp.x = 60;
+
+  const auto s = faults::run_fault_campaign(cfg);
+  std::printf("%s\n", s.to_string().c_str());
+  for (int t = 0; t < s.trials; ++t) {
+    const auto& r = s.reports[static_cast<std::size_t>(t)];
+    std::printf("trial %3d: faults=%lld detected=%lld repaired=%zu flagged=%zu "
+                "valid=%s blast=%d%s\n",
+                t, r.faults_injected(), r.detected_violations, r.repaired_nodes.size(),
+                r.flagged_nodes.size(), r.output_valid ? "yes" : "no", r.blast_radius,
+                r.silent_corruption ? " SILENT-CORRUPTION" : "");
+  }
+  // The layer's contract: a campaign never ends in silent corruption. A
+  // nonzero exit makes that machine-checkable for scripts and CI.
+  return s.silent_corruptions == 0 ? 0 : 1;
+}
+
 int cmd_dot(const std::string& path) {
   const Graph g = load(path);
   std::cout << to_dot(g);
@@ -360,6 +394,7 @@ int main(int argc, char** argv) {
     if (cmd == "color3" && argc >= 3) return cmd_color3(argv[2]);
     if (cmd == "proof" && argc >= 4) return cmd_proof(argv[2], argv[3]);
     if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
+    if (cmd == "faultsim") return cmd_faultsim(argc - 2, argv + 2);
     if (cmd == "dot" && argc >= 3) return cmd_dot(argv[2]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
