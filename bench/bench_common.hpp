@@ -11,7 +11,11 @@ namespace lad::bench {
 
 inline void report_advice(benchmark::State& state, const std::vector<char>& bits) {
   const auto stats = advice_stats(advice_from_bits(bits));
-  state.counters["bits_per_node"] = 1.0;
+  // A raw bit vector is one bit per node by construction, but the honest
+  // number is the measured ratio (0 on the empty graph), not a constant.
+  state.counters["bits_per_node"] =
+      stats.n > 0 ? static_cast<double>(stats.total_bits) / stats.n : 0.0;
+  state.counters["total_bits"] = static_cast<double>(stats.total_bits);
   state.counters["ones_ratio"] = stats.ones_ratio;
 }
 

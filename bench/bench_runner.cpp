@@ -1,0 +1,318 @@
+#include "bench/bench_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "core/pipeline.hpp"
+#include "core/proofs.hpp"
+#include "faults/campaign.hpp"
+#include "graph/generators.hpp"
+#include "lcl/problems.hpp"
+#include "local/gather.hpp"
+#include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lad::bench {
+namespace {
+
+/// One execution of a case's whole batch: everything the runner compares
+/// across thread counts and reports, minus the timing.
+struct CaseRun {
+  std::string digest;  // byte-deterministic output fingerprint
+  int n = 0;
+  int m = 0;
+  int rounds = 0;
+  double bits_per_node = 0;
+  long long total_bits = 0;
+};
+
+struct Case {
+  std::string name;
+  std::function<CaseRun(int threads)> run;
+};
+
+double time_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Generic registry case: a batch of seeded instances, each taken through
+/// encode -> decode -> verify. The batch items fan out over the pool (the
+/// "batched execution" axis: LOCAL decoders are internally sequential
+/// simulations, but independent instances are embarrassingly parallel).
+Case pipeline_case(PipelineId id, int n, int batch, PipelineConfig cfg = {}, std::string tag = {}) {
+  const Pipeline* p = &pipeline(id);
+  std::string name = std::string(p->name()) + "/n=" + std::to_string(n) + tag;
+  auto run = [p, n, batch, cfg](int threads) {
+    struct Slot {
+      std::string digest;
+      int n = 0;
+      int m = 0;
+      int rounds = 0;
+      AdviceStats stats;
+    };
+    std::vector<Slot> slots(static_cast<std::size_t>(batch));
+    ThreadPool pool(threads);
+    pool.for_each(batch, [&](int i) {
+      const Graph g = p->make_instance(n, 1000 + static_cast<std::uint64_t>(i));
+      const auto adv = p->encode(g, cfg);
+      const auto out = p->decode(g, adv, cfg);
+      LAD_CHECK_MSG(p->verify(g, out, cfg), p->name() << " decode failed verification");
+      auto& s = slots[static_cast<std::size_t>(i)];
+      s.n = g.n();
+      s.m = g.m();
+      s.rounds = out.rounds;
+      s.stats = adv.stats(g.n());
+      for (const auto& d : p->node_digests(g, out)) {
+        s.digest += d;
+        s.digest += ';';
+      }
+    });
+    CaseRun r;
+    long long nodes = 0;
+    for (const auto& s : slots) {
+      r.digest += s.digest;
+      r.digest += '|';
+      r.rounds = std::max(r.rounds, s.rounds);
+      r.total_bits += s.stats.total_bits;
+      nodes += s.n;
+    }
+    r.n = slots.empty() ? 0 : slots.front().n;
+    r.m = slots.empty() ? 0 : slots.front().m;
+    r.bits_per_node = nodes > 0 ? static_cast<double>(r.total_bits) / static_cast<double>(nodes)
+                                : 0.0;
+    return r;
+  };
+  return {std::move(name), std::move(run)};
+}
+
+/// Fault-campaign case: the campaign's own parallel trial runner is the
+/// measured axis; the digest folds in every per-trial report, so thread
+/// count provably cannot perturb a single aggregate or report byte.
+Case campaign_case(faults::DecoderKind decoder, faults::GraphFamily family, int n, int trials) {
+  std::string name = std::string("campaign/") + faults::to_string(decoder) + "/" +
+                     faults::to_string(family) + "/n=" + std::to_string(n);
+  auto run = [decoder, family, n, trials](int threads) {
+    faults::CampaignConfig cc;
+    cc.decoder = decoder;
+    cc.family = family;
+    cc.n = n;
+    cc.trials = trials;
+    cc.threads = threads;
+    if (decoder == faults::DecoderKind::kSubexpLcl) cc.subexp.x = 60;
+    const auto s = faults::run_fault_campaign(cc);
+    CaseRun r;
+    r.n = s.n;
+    r.m = s.m;
+    std::string d = s.to_string();
+    for (const auto& rep : s.reports) {
+      d += rep.to_string();
+      r.rounds = std::max(r.rounds, rep.rounds);
+    }
+    r.digest = std::move(d);
+    return r;
+  };
+  return {std::move(name), std::move(run)};
+}
+
+/// Parallel radius-t ball gather + §8 canonical-view memo on one instance.
+Case gather_case(std::string family, int n, int radius) {
+  std::string name = "gather/" + family + "/n=" + std::to_string(n) + "/r=" +
+                     std::to_string(radius);
+  auto run = [family, n, radius](int threads) {
+    Graph g;
+    if (family == "grid") {
+      const int side = std::max(4, static_cast<int>(std::sqrt(static_cast<double>(n))));
+      g = make_grid(side, side, IdMode::kRandomDense, 5);
+    } else {
+      g = make_cycle(n, IdMode::kRandomDense, 5);
+    }
+    ThreadPool pool(threads);
+    const auto balls = threads > 1 ? gather_balls_by_messages(g, radius, pool)
+                                   : gather_balls_by_messages(g, radius);
+    const auto views =
+        gather_canonical_views(g, radius, {}, threads > 1 ? &pool : nullptr);
+    CaseRun r;
+    r.n = g.n();
+    r.m = g.m();
+    r.rounds = radius + 1;
+    std::ostringstream d;
+    for (const auto& b : balls) {
+      d << b.center << ':' << b.graph.n() << ',' << b.graph.m() << ';';
+    }
+    for (const int c : views.view_class) d << c << ',';
+    d << "distinct=" << views.distinct() << " hits=" << views.memo_hits;
+    r.digest = d.str();
+    return r;
+  };
+  return {std::move(name), std::move(run)};
+}
+
+/// §1.2 one-bit proofs: prove + verify a batch of instances per problem.
+Case proofs_case(std::string problem, int n, int batch) {
+  std::string name = "proofs/" + problem + "/n=" + std::to_string(n);
+  auto run = [problem, n, batch](int threads) {
+    struct Slot {
+      std::string digest;
+      long long bits = 0;
+      int rounds = 0;
+    };
+    std::vector<Slot> slots(static_cast<std::size_t>(batch));
+    ThreadPool pool(threads);
+    pool.for_each(batch, [&](int i) {
+      const Graph g = make_cycle(n, IdMode::kRandomDense, 2000 + static_cast<std::uint64_t>(i));
+      std::unique_ptr<LclProblem> p;
+      if (problem == "mis") {
+        p = std::make_unique<MisLcl>();
+      } else {
+        p = std::make_unique<VertexColoringLcl>(3);
+      }
+      SubexpLclParams params;
+      params.x = 100;
+      const auto proof = make_lcl_proof(g, *p, params);
+      const auto res = verify_lcl_proof(g, *p, proof, params);
+      LAD_CHECK_MSG(res.accepted, "honest " << problem << " proof rejected");
+      auto& s = slots[static_cast<std::size_t>(i)];
+      s.rounds = res.rounds;
+      const auto stats = advice_stats(advice_from_bits(proof));
+      s.bits = stats.total_bits;
+      for (const char b : proof) s.digest += b != 0 ? '1' : '0';
+    });
+    CaseRun r;
+    r.n = n;
+    for (const auto& s : slots) {
+      r.digest += s.digest;
+      r.digest += '|';
+      r.rounds = std::max(r.rounds, s.rounds);
+      r.total_bits += s.bits;
+    }
+    r.bits_per_node =
+        batch > 0 ? static_cast<double>(r.total_bits) / (static_cast<double>(batch) * n) : 0.0;
+    return r;
+  };
+  return {std::move(name), std::move(run)};
+}
+
+PipelineConfig subexp_cfg() {
+  PipelineConfig cfg;
+  cfg.subexp.x = 60;  // cycle-scale clusters; keeps n <= 256 instances fast
+  return cfg;
+}
+
+PipelineConfig spacing_cfg(int spacing) {
+  PipelineConfig cfg;
+  cfg.orientation.marker_spacing = spacing;
+  return cfg;
+}
+
+std::vector<Case> suite_cases(const std::string& suite) {
+  if (suite == "e1") return {pipeline_case(PipelineId::kSubexpLcl, 128, 4, subexp_cfg())};
+  if (suite == "e2") {
+    return {pipeline_case(PipelineId::kOrientation, 256, 4),
+            pipeline_case(PipelineId::kOrientation, 512, 4)};
+  }
+  if (suite == "e3") return {pipeline_case(PipelineId::kDecompress, 256, 4)};
+  if (suite == "e4") return {pipeline_case(PipelineId::kDeltaColoring, 144, 4)};
+  if (suite == "e5") return {pipeline_case(PipelineId::kThreeColoring, 144, 4)};
+  if (suite == "e6") return {gather_case("cycle", 512, 3), gather_case("grid", 256, 2)};
+  if (suite == "e7") return {pipeline_case(PipelineId::kSplitting, 144, 4)};
+  if (suite == "e8") {
+    return {pipeline_case(PipelineId::kOrientation, 512, 2, spacing_cfg(20), "/spacing=20"),
+            pipeline_case(PipelineId::kOrientation, 512, 2, spacing_cfg(80), "/spacing=80")};
+  }
+  if (suite == "e9") return {proofs_case("mis", 96, 4), proofs_case("3col", 96, 4)};
+  if (suite == "r1") {
+    return {campaign_case(faults::DecoderKind::kOrientation, faults::GraphFamily::kCycle, 120, 10),
+            campaign_case(faults::DecoderKind::kThreeColoring, faults::GraphFamily::kGrid, 120,
+                          10)};
+  }
+  if (suite == "gather") return {gather_case("grid", 400, 3), gather_case("cycle", 600, 4)};
+  if (suite == "smoke") {
+    return {pipeline_case(PipelineId::kOrientation, 96, 2),
+            pipeline_case(PipelineId::kDecompress, 96, 2),
+            campaign_case(faults::DecoderKind::kOrientation, faults::GraphFamily::kCycle, 64, 4)};
+  }
+  if (suite == "all") {
+    std::vector<Case> all;
+    for (const char* s : {"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "r1"}) {
+      auto part = suite_cases(s);
+      for (auto& c : part) all.push_back(std::move(c));
+    }
+    return all;
+  }
+  LAD_CHECK_MSG(false, "unknown bench suite: " << suite);
+  return {};
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::string> bench_suite_names() {
+  return {"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "r1", "gather", "smoke", "all"};
+}
+
+BenchSuiteResult run_bench_suite(const std::string& suite, int threads) {
+  BenchSuiteResult out;
+  out.suite = suite;
+  out.threads = threads > 0 ? threads : ThreadPool::default_threads();
+  out.hardware_threads = ThreadPool::default_threads();
+
+  for (auto& c : suite_cases(suite)) {
+    BenchCaseResult res;
+    res.name = c.name;
+    CaseRun serial;
+    res.wall_ms_1 = time_ms([&] { serial = c.run(1); });
+    if (out.threads > 1) {
+      CaseRun parallel;
+      res.wall_ms = time_ms([&] { parallel = c.run(out.threads); });
+      res.identical = parallel.digest == serial.digest;
+    } else {
+      res.wall_ms = res.wall_ms_1;
+      res.identical = true;
+    }
+    res.n = serial.n;
+    res.m = serial.m;
+    res.rounds = serial.rounds;
+    res.bits_per_node = serial.bits_per_node;
+    res.total_bits = serial.total_bits;
+    res.speedup_vs_1 = res.wall_ms > 0 ? res.wall_ms_1 / res.wall_ms : 1.0;
+    out.cases.push_back(std::move(res));
+  }
+  return out;
+}
+
+std::string BenchSuiteResult::to_json() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"suite\": \"" << suite << "\",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"hardware_threads\": " << hardware_threads << ",\n"
+     << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    os << "    {\"name\": \"" << c.name << "\", \"n\": " << c.n << ", \"m\": " << c.m
+       << ", \"rounds\": " << c.rounds << ", \"bits_per_node\": " << fmt(c.bits_per_node, 4)
+       << ", \"total_bits\": " << c.total_bits << ", \"wall_ms_1t\": " << fmt(c.wall_ms_1, 3)
+       << ", \"wall_ms\": " << fmt(c.wall_ms, 3) << ", \"speedup_vs_1\": "
+       << fmt(c.speedup_vs_1, 3) << ", \"identical\": " << (c.identical ? "true" : "false")
+       << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace lad::bench

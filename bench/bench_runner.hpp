@@ -1,0 +1,55 @@
+// Batched perf harness behind `lad bench` (DESIGN.md §8).
+//
+// The google-benchmark binaries (bench_e1..e9, bench_r1) remain the
+// fine-grained microbenchmark surface; this runner is the *batched,
+// registry-driven* counterpart: each suite runs a batch of pipeline
+// workloads through core/pipeline.hpp on a ThreadPool, measures wall time
+// at 1 thread and at the requested thread count, checks the outputs are
+// byte-identical (the determinism contract of the parallel layer), and
+// renders one machine-readable JSON document — no google-benchmark
+// dependency, so the CLI can embed it.
+//
+// Suites: e1..e9 mirror the experiment families of EXPERIMENTS.md (e6 is
+// the §8 order-invariance memo, e8 the sparsity sweep, e9 the §1.2 proofs);
+// r1 is the fault-campaign suite (parallel trials); gather exercises the
+// parallel ball gather; smoke is the fast CI subset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lad::bench {
+
+struct BenchCaseResult {
+  std::string name;  // e.g. "orientation/n=256"
+  int n = 0;
+  int m = 0;
+  int rounds = 0;            // LOCAL rounds of the measured decode (0: n/a)
+  double bits_per_node = 0;  // advice cost (0 where no advice is measured)
+  long long total_bits = 0;
+  double wall_ms_1 = 0;     // wall time of the whole batch at 1 thread
+  double wall_ms = 0;       // ... at the requested thread count
+  double speedup_vs_1 = 0;  // wall_ms_1 / wall_ms
+  bool identical = true;    // multi-thread outputs byte-identical to serial
+};
+
+struct BenchSuiteResult {
+  std::string suite;
+  int threads = 1;
+  /// std::thread::hardware_concurrency at run time — the honest context for
+  /// the speedup numbers (a 1-core container cannot show real speedups).
+  int hardware_threads = 1;
+  std::vector<BenchCaseResult> cases;
+
+  /// Deterministic except for the wall-time fields.
+  std::string to_json() const;
+};
+
+/// Registered suite names, in display order.
+std::vector<std::string> bench_suite_names();
+
+/// Runs one suite. `threads` <= 0 means ThreadPool::default_threads().
+/// Throws on unknown suite names (callers validate via bench_suite_names()).
+BenchSuiteResult run_bench_suite(const std::string& suite, int threads);
+
+}  // namespace lad::bench

@@ -1,0 +1,471 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/components.hpp"
+#include "graph/distance.hpp"
+#include "graph/generators.hpp"
+#include "lcl/problems.hpp"
+#include "lcl/solver.hpp"
+#include "util/contracts.hpp"
+#include "util/hashing.hpp"
+
+namespace lad {
+namespace {
+
+// Instance-generation constants shared with the campaign layer: the
+// membership tag keeps §1.5 instances a pure function of (seed, edge IDs).
+constexpr std::uint64_t kTagMembership = 0xed6e;
+constexpr std::uint64_t kWitnessSolverBudget = 50'000'000;
+
+// Even dimensions >= 4 (keeps grid/torus bipartite, torus 4-regular).
+struct GridDims {
+  int w = 0;
+  int h = 0;
+};
+
+GridDims grid_dims(int n) {
+  GridDims d;
+  d.w = static_cast<int>(std::sqrt(static_cast<double>(std::max(16, n))));
+  if (d.w % 2 != 0) --d.w;
+  d.w = std::max(d.w, 4);
+  d.h = (std::max(16, n) + d.w - 1) / d.w;
+  if (d.h % 2 != 0) ++d.h;
+  d.h = std::max(d.h, 4);
+  return d;
+}
+
+int even_cycle_len(int n) {
+  int len = std::max(8, n);
+  if (len % 2 != 0) ++len;
+  return len;
+}
+
+// Witness for the coloring pipelines: BFS parity where the instance is
+// bipartite (the standard campaign families), the exact solver otherwise.
+std::vector<int> coloring_witness(const Graph& g, int colors) {
+  if (is_bipartite(g)) return parity_witness(g);
+  const VertexColoringLcl p(colors);
+  const auto solved = solve_lcl(g, p, kWitnessSolverBudget);
+  LAD_CHECK_MSG(solved.has_value(), "no proper " << colors << "-coloring witness exists");
+  return solved->node_labels;
+}
+
+std::vector<std::string> label_digests(const std::vector<int>& labels) {
+  std::vector<std::string> digests;
+  digests.reserve(labels.size());
+  for (const int l : labels) digests.push_back(std::to_string(l));
+  return digests;
+}
+
+// ---------------------------------------------------------------------------
+
+class OrientationPipeline final : public Pipeline {
+ public:
+  PipelineId id() const override { return PipelineId::kOrientation; }
+  const char* name() const override { return "orientation"; }
+  const char* paper_section() const override { return "§5"; }
+  AdviceCarrier carrier() const override { return AdviceCarrier::kUniformBits; }
+  SchemaType schema_type() const override { return SchemaType::kUniformFixedLength; }
+  const char* graph_requirements() const override { return "any graph"; }
+
+  Graph make_instance(int n, std::uint64_t seed) const override {
+    return make_cycle(even_cycle_len(n), IdMode::kRandomDense, seed);
+  }
+
+  PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const override {
+    PipelineAdvice adv;
+    adv.carrier = carrier();
+    adv.bits = encode_orientation_advice(g, cfg.orientation).bits;
+    return adv;
+  }
+
+  PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
+                        const PipelineConfig& cfg) const override {
+    const auto res = decode_orientation(g, adv.bits, cfg.orientation);
+    PipelineOutput out;
+    out.orientation = res.orientation;
+    out.rounds = res.rounds;
+    return out;
+  }
+
+  bool verify(const Graph& g, const PipelineOutput& out,
+              const PipelineConfig& /*cfg*/) const override {
+    return is_balanced_orientation(g, out.orientation, 1);
+  }
+
+  std::vector<std::string> node_digests(const Graph& g, const PipelineOutput& out) const override {
+    std::vector<std::string> digests(static_cast<std::size_t>(g.n()));
+    for (int v = 0; v < g.n(); ++v) {
+      std::string s;
+      for (const int e : g.incident_edges(v)) {
+        s += out.orientation[static_cast<std::size_t>(e)] == EdgeDir::kForward ? 'f' : 'b';
+      }
+      digests[static_cast<std::size_t>(v)] = std::move(s);
+    }
+    return digests;
+  }
+};
+
+class SplittingPipeline final : public Pipeline {
+ public:
+  PipelineId id() const override { return PipelineId::kSplitting; }
+  const char* name() const override { return "splitting"; }
+  const char* paper_section() const override { return "§5-ext"; }
+  AdviceCarrier carrier() const override { return AdviceCarrier::kUniformBits; }
+  SchemaType schema_type() const override { return SchemaType::kUniformFixedLength; }
+  const char* graph_requirements() const override { return "bipartite, all degrees even"; }
+
+  Graph make_instance(int n, std::uint64_t seed) const override {
+    const auto d = grid_dims(n);
+    return make_torus(d.w, d.h, IdMode::kRandomDense, seed);
+  }
+
+  PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const override {
+    PipelineAdvice adv;
+    adv.carrier = carrier();
+    adv.bits = encode_splitting_advice(g, cfg.splitting).bits;
+    return adv;
+  }
+
+  PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
+                        const PipelineConfig& cfg) const override {
+    const auto res = decode_splitting(g, adv.bits, cfg.splitting);
+    PipelineOutput out;
+    out.edge_color = res.edge_color;
+    out.node_color = res.node_color;
+    out.rounds = res.rounds;
+    return out;
+  }
+
+  bool verify(const Graph& g, const PipelineOutput& out,
+              const PipelineConfig& /*cfg*/) const override {
+    return is_splitting(g, out.edge_color);
+  }
+
+  std::vector<std::string> node_digests(const Graph& g, const PipelineOutput& out) const override {
+    std::vector<std::string> digests(static_cast<std::size_t>(g.n()));
+    for (int v = 0; v < g.n(); ++v) {
+      std::string s;
+      for (const int e : g.incident_edges(v)) {
+        s += std::to_string(out.edge_color[static_cast<std::size_t>(e)]);
+        s += ',';
+      }
+      digests[static_cast<std::size_t>(v)] = std::move(s);
+    }
+    return digests;
+  }
+};
+
+class ThreeColoringPipeline final : public Pipeline {
+ public:
+  PipelineId id() const override { return PipelineId::kThreeColoring; }
+  const char* name() const override { return "three_coloring"; }
+  const char* paper_section() const override { return "§7"; }
+  AdviceCarrier carrier() const override { return AdviceCarrier::kUniformBits; }
+  SchemaType schema_type() const override { return SchemaType::kUniformFixedLength; }
+  const char* graph_requirements() const override { return "3-colorable"; }
+  bool supports_tolerant() const override { return true; }
+
+  Graph make_instance(int n, std::uint64_t seed) const override {
+    const auto d = grid_dims(n);
+    return make_grid(d.w, d.h, IdMode::kRandomDense, seed);
+  }
+
+  PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const override {
+    PipelineAdvice adv;
+    adv.carrier = carrier();
+    adv.bits = encode_three_coloring_advice(g, coloring_witness(g, 3), cfg.three_coloring).bits;
+    return adv;
+  }
+
+  PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
+                        const PipelineConfig& cfg) const override {
+    const auto res = decode_three_coloring(g, adv.bits, cfg.three_coloring);
+    PipelineOutput out;
+    out.node_color = res.coloring;
+    out.rounds = res.rounds;
+    return out;
+  }
+
+  PipelineOutput decode_tolerant(const Graph& g, const PipelineAdvice& adv,
+                                 const PipelineConfig& cfg) const override {
+    PipelineOutput out;
+    const auto res = decode_three_coloring_tolerant(g, adv.bits, out.failed, cfg.three_coloring);
+    out.node_color = res.coloring;
+    out.rounds = res.rounds;
+    return out;
+  }
+
+  bool verify(const Graph& g, const PipelineOutput& out,
+              const PipelineConfig& /*cfg*/) const override {
+    return is_proper_coloring(g, out.node_color, 3);
+  }
+
+  std::vector<std::string> node_digests(const Graph& /*g*/,
+                                        const PipelineOutput& out) const override {
+    return label_digests(out.node_color);
+  }
+};
+
+class DeltaColoringPipeline final : public Pipeline {
+ public:
+  PipelineId id() const override { return PipelineId::kDeltaColoring; }
+  const char* name() const override { return "delta_coloring"; }
+  const char* paper_section() const override { return "§6"; }
+  AdviceCarrier carrier() const override { return AdviceCarrier::kVarSchema; }
+  SchemaType schema_type() const override { return SchemaType::kVariableLength; }
+  const char* graph_requirements() const override { return "Δ-colorable (Brooks)"; }
+
+  Graph make_instance(int n, std::uint64_t seed) const override {
+    const auto d = grid_dims(n);
+    return make_grid(d.w, d.h, IdMode::kRandomDense, seed);
+  }
+
+  PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const override {
+    PipelineAdvice adv;
+    adv.carrier = carrier();
+    adv.var = encode_delta_coloring_advice(g, coloring_witness(g, std::max(2, g.max_degree())),
+                                           cfg.delta_coloring)
+                  .advice;
+    return adv;
+  }
+
+  PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
+                        const PipelineConfig& cfg) const override {
+    const auto res = decode_delta_coloring(g, adv.var, cfg.delta_coloring);
+    PipelineOutput out;
+    out.node_color = res.coloring;
+    out.rounds = res.rounds;
+    return out;
+  }
+
+  bool verify(const Graph& g, const PipelineOutput& out,
+              const PipelineConfig& /*cfg*/) const override {
+    return is_proper_coloring(g, out.node_color, std::max(2, g.max_degree()));
+  }
+
+  std::vector<std::string> node_digests(const Graph& /*g*/,
+                                        const PipelineOutput& out) const override {
+    return label_digests(out.node_color);
+  }
+};
+
+class SubexpLclPipeline final : public Pipeline {
+ public:
+  PipelineId id() const override { return PipelineId::kSubexpLcl; }
+  const char* name() const override { return "subexp_lcl"; }
+  const char* paper_section() const override { return "§4"; }
+  AdviceCarrier carrier() const override { return AdviceCarrier::kUniformBits; }
+  SchemaType schema_type() const override { return SchemaType::kUniformFixedLength; }
+  const char* graph_requirements() const override {
+    return "subexponential growth (x scaled to n)";
+  }
+  bool supports_tolerant() const override { return true; }
+
+  Graph make_instance(int n, std::uint64_t seed) const override {
+    return make_cycle(even_cycle_len(n), IdMode::kRandomDense, seed);
+  }
+
+  PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const override {
+    PipelineAdvice adv;
+    adv.carrier = carrier();
+    adv.bits = encode_subexp_lcl_advice(g, problem_, cfg.subexp).bits;
+    return adv;
+  }
+
+  PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
+                        const PipelineConfig& cfg) const override {
+    const auto res = decode_subexp_lcl(g, problem_, adv.bits, cfg.subexp);
+    PipelineOutput out;
+    out.labeling = res.labeling;
+    out.rounds = res.rounds;
+    return out;
+  }
+
+  PipelineOutput decode_tolerant(const Graph& g, const PipelineAdvice& adv,
+                                 const PipelineConfig& cfg) const override {
+    PipelineOutput out;
+    const auto res = decode_subexp_lcl_tolerant(g, problem_, adv.bits, out.failed, cfg.subexp);
+    out.labeling = res.labeling;
+    out.rounds = res.rounds;
+    return out;
+  }
+
+  bool verify(const Graph& g, const PipelineOutput& out,
+              const PipelineConfig& /*cfg*/) const override {
+    return is_valid_labeling(g, problem_, out.labeling);
+  }
+
+  std::vector<std::string> node_digests(const Graph& /*g*/,
+                                        const PipelineOutput& out) const override {
+    return label_digests(out.labeling.node_labels);
+  }
+
+  /// The demonstration LCL of the registry entry (the §4 construction is
+  /// generic in the problem; campaigns and benches exercise 3-coloring).
+  const LclProblem& problem() const { return problem_; }
+
+ private:
+  VertexColoringLcl problem_{3};
+};
+
+class DecompressPipeline final : public Pipeline {
+ public:
+  PipelineId id() const override { return PipelineId::kDecompress; }
+  const char* name() const override { return "decompress"; }
+  const char* paper_section() const override { return "§1.5"; }
+  AdviceCarrier carrier() const override { return AdviceCarrier::kNodeLabels; }
+  SchemaType schema_type() const override { return SchemaType::kVariableLength; }
+  const char* graph_requirements() const override { return "any graph"; }
+
+  Graph make_instance(int n, std::uint64_t seed) const override {
+    return make_cycle(even_cycle_len(n), IdMode::kRandomDense, seed);
+  }
+
+  PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const override {
+    PipelineAdvice adv;
+    adv.carrier = carrier();
+    adv.labels =
+        compress_edge_set(g, hashed_edge_membership(g, cfg.seed, cfg.decompress_density),
+                          cfg.orientation)
+            .labels;
+    return adv;
+  }
+
+  PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
+                        const PipelineConfig& cfg) const override {
+    CompressedEdgeSet c;
+    c.labels = adv.labels;
+    c.orientation_params = cfg.orientation;
+    const auto res = decompress_edge_set(g, c);
+    PipelineOutput out;
+    out.edge_in_x = res.in_x;
+    out.edge_known.assign(static_cast<std::size_t>(g.m()), 1);
+    out.rounds = res.rounds;
+    return out;
+  }
+
+  bool verify(const Graph& g, const PipelineOutput& out,
+              const PipelineConfig& cfg) const override {
+    // The instance is a pure function of (seed, edge IDs), so ground truth
+    // is regenerable on any ID-preserving (sub)graph. Unknown edges are
+    // excluded: they are the guarded decoder's explicitly flagged scope.
+    const auto truth = hashed_edge_membership(g, cfg.seed, cfg.decompress_density);
+    for (int e = 0; e < g.m(); ++e) {
+      if (!out.edge_known.empty() && out.edge_known[static_cast<std::size_t>(e)] == 0) continue;
+      if (out.edge_in_x[static_cast<std::size_t>(e)] != truth[static_cast<std::size_t>(e)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<std::string> node_digests(const Graph& g, const PipelineOutput& out) const override {
+    std::vector<std::string> digests(static_cast<std::size_t>(g.n()));
+    for (int v = 0; v < g.n(); ++v) {
+      std::string s;
+      for (const int e : g.incident_edges(v)) {
+        const bool known =
+            out.edge_known.empty() || out.edge_known[static_cast<std::size_t>(e)] != 0;
+        s += known ? (out.edge_in_x[static_cast<std::size_t>(e)] != 0 ? '1' : '0') : '?';
+      }
+      digests[static_cast<std::size_t>(v)] = std::move(s);
+    }
+    return digests;
+  }
+};
+
+}  // namespace
+
+AdviceStats PipelineAdvice::stats(int n) const {
+  switch (carrier) {
+    case AdviceCarrier::kUniformBits:
+      return advice_stats(advice_from_bits(bits));
+    case AdviceCarrier::kNodeLabels:
+      return advice_stats(labels);
+    case AdviceCarrier::kVarSchema: {
+      Advice a(static_cast<std::size_t>(n));
+      for (const auto& [node, packed] : pack_var_advice(var)) {
+        a[static_cast<std::size_t>(node)] = packed;
+      }
+      return advice_stats(a);
+    }
+  }
+  LAD_UNREACHABLE("unknown AdviceCarrier");
+}
+
+std::vector<std::string> PipelineAdvice::node_strings(int n) const {
+  std::vector<std::string> out(static_cast<std::size_t>(n));
+  switch (carrier) {
+    case AdviceCarrier::kUniformBits:
+      for (int v = 0; v < n && v < static_cast<int>(bits.size()); ++v) {
+        out[static_cast<std::size_t>(v)].assign(1, bits[static_cast<std::size_t>(v)] != 0 ? '1' : '0');
+      }
+      return out;
+    case AdviceCarrier::kNodeLabels:
+      for (int v = 0; v < n && v < static_cast<int>(labels.size()); ++v) {
+        out[static_cast<std::size_t>(v)] = labels[static_cast<std::size_t>(v)].to_string();
+      }
+      return out;
+    case AdviceCarrier::kVarSchema:
+      for (const auto& [node, packed] : pack_var_advice(var)) {
+        if (node >= 0 && node < n) out[static_cast<std::size_t>(node)] = packed.to_string();
+      }
+      return out;
+  }
+  LAD_UNREACHABLE("unknown AdviceCarrier");
+}
+
+const std::vector<const Pipeline*>& pipelines() {
+  static const OrientationPipeline orientation;
+  static const SplittingPipeline splitting;
+  static const ThreeColoringPipeline three_coloring;
+  static const DeltaColoringPipeline delta_coloring;
+  static const SubexpLclPipeline subexp_lcl;
+  static const DecompressPipeline decompress;
+  static const std::vector<const Pipeline*> all = {
+      &orientation, &splitting, &three_coloring, &delta_coloring, &subexp_lcl, &decompress};
+  return all;
+}
+
+const Pipeline& pipeline(PipelineId id) {
+  for (const Pipeline* p : pipelines()) {
+    if (p->id() == id) return *p;
+  }
+  LAD_UNREACHABLE("PipelineId not in registry");
+}
+
+const Pipeline* find_pipeline(std::string_view name) {
+  for (const Pipeline* p : pipelines()) {
+    if (name == p->name()) return p;
+  }
+  return nullptr;
+}
+
+std::vector<int> parity_witness(const Graph& g) {
+  std::vector<int> col(static_cast<std::size_t>(g.n()), 0);
+  for (const auto& members : connected_components(g).members) {
+    const int root = *std::min_element(members.begin(), members.end());
+    const auto dist = bfs_distances(g, root);
+    for (const int v : members) {
+      col[static_cast<std::size_t>(v)] = 1 + dist[static_cast<std::size_t>(v)] % 2;
+    }
+  }
+  LAD_CHECK_MSG(is_proper_coloring(g, col, 2), "parity witness requires a bipartite graph");
+  return col;
+}
+
+std::vector<char> hashed_edge_membership(const Graph& g, std::uint64_t seed, double density) {
+  std::vector<char> in_x(static_cast<std::size_t>(g.m()), 0);
+  for (int e = 0; e < g.m(); ++e) {
+    const auto a = static_cast<std::uint64_t>(g.id(g.edge_u(e)));
+    const auto b = static_cast<std::uint64_t>(g.id(g.edge_v(e)));
+    const auto h = hash4(seed, kTagMembership, std::min(a, b), std::max(a, b));
+    in_x[static_cast<std::size_t>(e)] = unit_from_hash(h) < density ? 1 : 0;
+  }
+  return in_x;
+}
+
+}  // namespace lad

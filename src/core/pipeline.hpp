@@ -1,0 +1,180 @@
+// The Pipeline registry — one uniform interface over the six paper
+// pipelines (§5 orientation, §5-ext splitting, §7 three-coloring, §6
+// Δ-coloring, §4 subexponential-growth LCL, §1.5 edge-set decompression).
+//
+// Before this layer existed, every consumer that wanted "all decoders" —
+// the fault campaigns, the faultsim/audit CLI, the bench harness — carried
+// its own six-way switch over hand-rolled encode/decode/verify calls. The
+// Pipeline interface factors that out:
+//
+//   * encode(g, cfg)        — the centralized prover (Definition 2's f);
+//                             witness/instance generation is internal and
+//                             seeded from cfg, so callers need no
+//                             per-pipeline knowledge;
+//   * decode(g, adv, cfg)   — the strict LOCAL decoder (throws
+//                             ContractViolation on detectably bad advice);
+//   * decode_tolerant(...)  — the containment decoder where one exists
+//                             (failures land in output.failed instead of
+//                             throwing);
+//   * verify(g, out, cfg)   — the independent centralized checker;
+//   * node_digests(g, out)  — per-node output digests (what a node would
+//                             publish to a distributed verification echo);
+//   * advice-schema metadata (carrier, Definition 2 type, paper section).
+//
+// The registry is the supported extension point: implement Pipeline for a
+// new decoder, add it to pipelines(), and the audit CLI, the campaign
+// harness, and `lad bench` pick it up without further dispatch code. The
+// original free functions (encode_orientation_advice, decode_splitting,
+// ...) remain the implementation and the stable fine-grained API; the
+// Pipeline classes are thin adapters over them.
+//
+// Guarded (fault-tolerant) decoding composes on top in
+// faults/guarded_pipeline.hpp — it lives in the faults layer because repair
+// needs the robustness machinery, which depends on this one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "advice/advice.hpp"
+#include "advice/schema.hpp"
+#include "core/decompress.hpp"
+#include "core/delta_coloring.hpp"
+#include "core/orientation.hpp"
+#include "core/splitting.hpp"
+#include "core/subexp_lcl.hpp"
+#include "core/three_coloring.hpp"
+#include "graph/checkers.hpp"
+#include "graph/graph.hpp"
+#include "lcl/lcl.hpp"
+
+namespace lad {
+
+enum class PipelineId {
+  kOrientation,    // §5 almost-balanced orientation
+  kSplitting,      // §5-ext degree splitting
+  kThreeColoring,  // §7 3-coloring
+  kDeltaColoring,  // §6 Δ-coloring
+  kSubexpLcl,      // §4 generic LCL under subexponential growth
+  kDecompress,     // §1.5 edge-set decompression
+};
+
+/// How a pipeline's advice is physically carried (the three concrete
+/// representations behind Definition 2's schema types).
+enum class AdviceCarrier {
+  kUniformBits,  // one bit per node (std::vector<char>)
+  kVarSchema,    // variable-length tagged entries (VarAdvice)
+  kNodeLabels,   // per-node bit-strings (Advice)
+};
+
+/// Knobs for every pipeline, bundled so registry consumers can thread one
+/// object through encode/decode/verify. Defaults reproduce the paper
+/// defaults of each pipeline.
+struct PipelineConfig {
+  /// Seeds internal witness/instance generation (decompress membership).
+  std::uint64_t seed = 1;
+  OrientationParams orientation;
+  SplittingParams splitting;
+  ThreeColoringParams three_coloring;
+  DeltaColoringParams delta_coloring;
+  SubexpLclParams subexp;
+  /// §1.5: density of the hashed membership set X that encode() compresses.
+  double decompress_density = 0.5;
+};
+
+/// Uniform advice carrier. Exactly one representation is populated,
+/// according to Pipeline::carrier().
+struct PipelineAdvice {
+  AdviceCarrier carrier = AdviceCarrier::kUniformBits;
+  std::vector<char> bits;  // kUniformBits
+  VarAdvice var;           // kVarSchema
+  Advice labels;           // kNodeLabels (§1.5 compressed edge set)
+
+  /// Definition 2/3 accounting of whichever carrier is populated.
+  AdviceStats stats(int n) const;
+  /// Per-node printable advice strings (locality-audit instances).
+  std::vector<std::string> node_strings(int n) const;
+};
+
+/// Uniform decode result. Pipelines populate the fields that apply; the
+/// rest stay empty.
+struct PipelineOutput {
+  Orientation orientation;      // kOrientation
+  std::vector<int> edge_color;  // kSplitting: 1 = red, 2 = blue
+  std::vector<int> node_color;  // kSplitting (1/2), kThreeColoring, kDeltaColoring
+  Labeling labeling;            // kSubexpLcl
+  std::vector<char> edge_in_x;  // kDecompress: membership per edge
+  std::vector<char> edge_known; // kDecompress: recovered (guard-verified) edges
+  /// Tolerant decodes: per-node failure flags (empty = no containment ran).
+  std::vector<char> failed;
+  int rounds = 0;
+};
+
+class Pipeline {
+ public:
+  virtual ~Pipeline() = default;
+
+  virtual PipelineId id() const = 0;
+  /// Stable registry name (also the CLI spelling), e.g. "three_coloring".
+  virtual const char* name() const = 0;
+  virtual const char* paper_section() const = 0;
+  virtual AdviceCarrier carrier() const = 0;
+  /// Definition 2 schema type of the advice this pipeline emits.
+  virtual SchemaType schema_type() const = 0;
+  /// Human-readable instance preconditions ("bipartite, even degrees", ...).
+  virtual const char* graph_requirements() const = 0;
+  /// True if decode_tolerant provides real containment (not strict decode).
+  virtual bool supports_tolerant() const { return false; }
+
+  /// A graph family instance (seeded IDs) satisfying graph_requirements(),
+  /// with roughly `n` nodes — the uniform way for benches, smoke tests, and
+  /// audits to get a valid instance per pipeline.
+  virtual Graph make_instance(int n, std::uint64_t seed) const = 0;
+
+  /// Centralized prover. Generates any witness it needs internally (parity
+  /// witness on bipartite instances, exact solver otherwise), seeded by cfg.
+  virtual PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const = 0;
+
+  /// Strict LOCAL decoder; throws ContractViolation on advice that is
+  /// locally detectably inconsistent.
+  virtual PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
+                                const PipelineConfig& cfg) const = 0;
+
+  /// Containment decoder: failures marked in output.failed, never thrown.
+  /// Default = strict decode (see supports_tolerant()).
+  virtual PipelineOutput decode_tolerant(const Graph& g, const PipelineAdvice& adv,
+                                         const PipelineConfig& cfg) const {
+    return decode(g, adv, cfg);
+  }
+
+  /// Independent centralized validity check of a decode against the
+  /// instance that encode(cfg) describes on g.
+  virtual bool verify(const Graph& g, const PipelineOutput& out,
+                      const PipelineConfig& cfg) const = 0;
+
+  /// Per-node output digest: the string a node publishes to a distributed
+  /// verification echo. Byte-stable (campaign golden outputs pin it).
+  virtual std::vector<std::string> node_digests(const Graph& g,
+                                                const PipelineOutput& out) const = 0;
+};
+
+/// The six paper pipelines, in PipelineId order. Entries are static
+/// singletons — pointers stay valid for the program lifetime.
+const std::vector<const Pipeline*>& pipelines();
+
+/// Registry lookup by id (total) / by name (nullptr if unknown).
+const Pipeline& pipeline(PipelineId id);
+const Pipeline* find_pipeline(std::string_view name);
+
+/// Proper 2-coloring by BFS parity, the standard witness on the bipartite
+/// instance families (colors 1/2; requires bipartiteness, checked).
+std::vector<int> parity_witness(const Graph& g);
+
+/// §1.5 hashed membership instance: in_x[e] is a pure function of
+/// (seed, edge endpoint IDs, density), so it can be regenerated for
+/// verification on any subgraph that preserves node IDs.
+std::vector<char> hashed_edge_membership(const Graph& g, std::uint64_t seed, double density);
+
+}  // namespace lad

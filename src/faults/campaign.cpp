@@ -4,25 +4,18 @@
 #include <cmath>
 #include <optional>
 #include <sstream>
+#include <utility>
 
-#include "core/decompress.hpp"
-#include "core/delta_coloring.hpp"
-#include "core/orientation.hpp"
-#include "core/splitting.hpp"
-#include "core/three_coloring.hpp"
-#include "graph/checkers.hpp"
-#include "graph/components.hpp"
-#include "graph/distance.hpp"
+#include "faults/guarded_pipeline.hpp"
 #include "graph/generators.hpp"
-#include "lcl/problems.hpp"
 #include "local/engine.hpp"
 #include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lad::faults {
 namespace {
 
 constexpr std::uint64_t kTagTrial = 0x7a1;
-constexpr std::uint64_t kTagMembership = 0xed6e;
 constexpr std::uint64_t kGraphShapeSeed = 7;
 
 void merge_sorted_unique(std::vector<int>& into, const std::vector<int>& add) {
@@ -68,20 +61,6 @@ Graph build_graph(DecoderKind decoder, GraphFamily& family, int n) {
     }
   }
   LAD_UNREACHABLE("unknown GraphFamily");
-}
-
-// Proper 2-coloring by BFS parity; all campaign families are bipartite.
-std::vector<int> parity_witness(const Graph& g) {
-  std::vector<int> col(static_cast<std::size_t>(g.n()), 0);
-  for (const auto& members : connected_components(g).members) {
-    const int root = *std::min_element(members.begin(), members.end());
-    const auto dist = bfs_distances(g, root);
-    for (const int v : members) {
-      col[static_cast<std::size_t>(v)] = 1 + dist[static_cast<std::size_t>(v)] % 2;
-    }
-  }
-  LAD_CHECK_MSG(is_proper_coloring(g, col, 2), "campaign family is not bipartite");
-  return col;
 }
 
 // Distributed verification echo: every node broadcasts its output digest
@@ -139,46 +118,20 @@ class EchoVerify final : public SyncAlgorithm {
   std::vector<char> ok_;
 };
 
-std::string edge_digest(const Graph& g, int v, const std::vector<int>& edge_labels) {
-  std::string s;
-  for (const int e : g.incident_edges(v)) {
-    s += std::to_string(edge_labels[static_cast<std::size_t>(e)]);
-    s += ',';
-  }
-  return s;
-}
-
 }  // namespace
 
-const char* to_string(DecoderKind kind) {
-  switch (kind) {
-    case DecoderKind::kOrientation:
-      return "orientation";
-    case DecoderKind::kSplitting:
-      return "splitting";
-    case DecoderKind::kThreeColoring:
-      return "three_coloring";
-    case DecoderKind::kDeltaColoring:
-      return "delta_coloring";
-    case DecoderKind::kSubexpLcl:
-      return "subexp_lcl";
-    case DecoderKind::kDecompress:
-      return "decompress";
-  }
-  LAD_UNREACHABLE("unknown DecoderKind");
-}
+const char* to_string(DecoderKind kind) { return pipeline(kind).name(); }
 
 std::optional<DecoderKind> parse_decoder(std::string_view name) {
-  for (const DecoderKind kind : all_decoders()) {
-    if (name == to_string(kind)) return kind;
-  }
+  if (const Pipeline* p = find_pipeline(name)) return p->id();
   return std::nullopt;
 }
 
 std::vector<DecoderKind> all_decoders() {
-  return {DecoderKind::kOrientation,   DecoderKind::kSplitting,
-          DecoderKind::kThreeColoring, DecoderKind::kDeltaColoring,
-          DecoderKind::kSubexpLcl,     DecoderKind::kDecompress};
+  std::vector<DecoderKind> kinds;
+  kinds.reserve(pipelines().size());
+  for (const Pipeline* p : pipelines()) kinds.push_back(p->id());
+  return kinds;
 }
 
 const char* to_string(GraphFamily family) {
@@ -236,52 +189,21 @@ CampaignSummary run_fault_campaign(const CampaignConfig& config) {
   sum.m = g0.m();
   sum.trials = config.trials;
 
-  // One-time encode on the pristine graph (the prover is centralized and
-  // fault-free; the adversary acts between encode and decode).
-  const OrientationParams oparams;
-  const SplittingParams sparams;
-  const ThreeColoringParams tparams;
-  DeltaColoringParams dparams;
+  const GuardedPipeline& gp = guarded_pipeline(config.decoder);
+  PipelineConfig pcfg;
+  pcfg.seed = config.seed;
+  pcfg.subexp = config.subexp;
   // Δ = 2 instances are cramped: recoloring a parity defect on a cycle can
   // legitimately need a long repair reach, so give the §6 machinery room.
-  dparams.max_repair_radius = 20;
-  const VertexColoringLcl three(3);
-  std::vector<char> base_bits;
-  VarAdvice base_var;
-  CompressedEdgeSet base_c;
-  std::vector<char> truth_in_x;
-  switch (config.decoder) {
-    case DecoderKind::kOrientation:
-      base_bits = encode_orientation_advice(g0, oparams).bits;
-      break;
-    case DecoderKind::kSplitting:
-      base_bits = encode_splitting_advice(g0, sparams).bits;
-      break;
-    case DecoderKind::kThreeColoring:
-      base_bits = encode_three_coloring_advice(g0, parity_witness(g0), tparams).bits;
-      break;
-    case DecoderKind::kDeltaColoring:
-      base_var = encode_delta_coloring_advice(g0, parity_witness(g0), dparams).advice;
-      break;
-    case DecoderKind::kSubexpLcl:
-      base_bits = encode_subexp_lcl_advice(g0, three, config.subexp).bits;
-      break;
-    case DecoderKind::kDecompress: {
-      truth_in_x.assign(static_cast<std::size_t>(g0.m()), 0);
-      for (int e = 0; e < g0.m(); ++e) {
-        const auto a = static_cast<std::uint64_t>(g0.id(g0.edge_u(e)));
-        const auto b = static_cast<std::uint64_t>(g0.id(g0.edge_v(e)));
-        truth_in_x[static_cast<std::size_t>(e)] =
-            static_cast<char>(hash4(config.seed, kTagMembership, std::min(a, b),
-                                    std::max(a, b)) &
-                              1u);
-      }
-      base_c = robust::guarded_compress_edge_set(g0, truth_in_x, oparams);
-      break;
-    }
-  }
+  pcfg.delta_coloring.max_repair_radius = 20;
 
-  for (int t = 0; t < config.trials; ++t) {
+  // One-time encode on the pristine graph (the prover is centralized and
+  // fault-free; the adversary acts between encode and decode).
+  const PipelineAdvice base_adv = gp.encode(g0, pcfg);
+
+  // One full trial: a pure function of (config, t) over shared-const state,
+  // which is what makes the parallel path below byte-equivalent to serial.
+  const auto run_trial = [&](int t) -> robust::RobustnessReport {
     FaultPlan plan = config.plan;
     plan.seed = hash3(config.seed, kTagTrial, static_cast<std::uint64_t>(t));
     FaultInjector inj(plan);
@@ -290,102 +212,12 @@ CampaignSummary run_fault_campaign(const CampaignConfig& config) {
     if (plan.any_graph_faults()) faulted = inj.apply_graph_faults(g0);
     const Graph& g = faulted.has_value() ? *faulted : g0;
 
-    robust::RobustnessReport rep;
-    std::vector<std::string> digests(static_cast<std::size_t>(g.n()));
-    bool silent = false;
-
-    switch (config.decoder) {
-      case DecoderKind::kOrientation: {
-        auto bits = base_bits;
-        if (plan.any_advice_faults()) inj.corrupt_bits(g, bits);
-        auto res = robust::guarded_decode_orientation(g, bits, oparams, config.policy);
-        rep = std::move(res.report);
-        for (int v = 0; v < g.n(); ++v) {
-          std::string s;
-          for (const int e : g.incident_edges(v)) {
-            s += res.orientation[static_cast<std::size_t>(e)] == EdgeDir::kForward ? 'f' : 'b';
-          }
-          digests[static_cast<std::size_t>(v)] = std::move(s);
-        }
-        silent = !rep.output_valid && !rep.degraded();
-        break;
-      }
-      case DecoderKind::kSplitting: {
-        auto bits = base_bits;
-        if (plan.any_advice_faults()) inj.corrupt_bits(g, bits);
-        auto res = robust::guarded_decode_splitting(g, bits, sparams, config.policy);
-        rep = std::move(res.report);
-        for (int v = 0; v < g.n(); ++v) {
-          digests[static_cast<std::size_t>(v)] = edge_digest(g, v, res.edge_color);
-        }
-        silent = !rep.output_valid && !rep.degraded();
-        break;
-      }
-      case DecoderKind::kThreeColoring: {
-        auto bits = base_bits;
-        if (plan.any_advice_faults()) inj.corrupt_bits(g, bits);
-        auto res = robust::guarded_decode_three_coloring(g, bits, tparams, config.policy);
-        rep = std::move(res.report);
-        for (int v = 0; v < g.n(); ++v) {
-          digests[static_cast<std::size_t>(v)] =
-              std::to_string(res.coloring[static_cast<std::size_t>(v)]);
-        }
-        silent = !rep.output_valid && !rep.degraded();
-        break;
-      }
-      case DecoderKind::kDeltaColoring: {
-        auto advice = base_var;
-        if (plan.any_advice_faults()) inj.corrupt_var_advice(g, advice);
-        auto res = robust::guarded_decode_delta_coloring(g, advice, dparams, config.policy);
-        rep = std::move(res.report);
-        for (int v = 0; v < g.n(); ++v) {
-          digests[static_cast<std::size_t>(v)] =
-              std::to_string(res.coloring[static_cast<std::size_t>(v)]);
-        }
-        silent = !rep.output_valid && !rep.degraded();
-        break;
-      }
-      case DecoderKind::kSubexpLcl: {
-        auto bits = base_bits;
-        if (plan.any_advice_faults()) inj.corrupt_bits(g, bits);
-        auto res = robust::guarded_decode_subexp_lcl(g, three, bits, config.subexp,
-                                                     config.policy);
-        rep = std::move(res.report);
-        for (int v = 0; v < g.n(); ++v) {
-          digests[static_cast<std::size_t>(v)] =
-              std::to_string(res.labeling.node_labels[static_cast<std::size_t>(v)]);
-        }
-        silent = !rep.output_valid && !rep.degraded();
-        break;
-      }
-      case DecoderKind::kDecompress: {
-        auto c = base_c;
-        if (plan.any_advice_faults()) inj.corrupt_advice(g, c.labels);
-        auto res = robust::guarded_decompress_edge_set(g, c, config.policy);
-        rep = std::move(res.report);
-        // Ground truth: every guard-verified edge must carry the original
-        // membership bit. A mismatch means the guard passed on a wrong
-        // label — silent corruption by definition, detected or not.
-        for (int e = 0; e < g.m(); ++e) {
-          if (res.edge_known[static_cast<std::size_t>(e)] == 0) continue;
-          const int e0 = g0.edge_between(g.edge_u(e), g.edge_v(e));
-          LAD_CHECK(e0 >= 0);
-          if (res.in_x[static_cast<std::size_t>(e)] != truth_in_x[static_cast<std::size_t>(e0)]) {
-            silent = true;
-          }
-        }
-        for (int v = 0; v < g.n(); ++v) {
-          std::string s;
-          for (const int e : g.incident_edges(v)) {
-            s += res.edge_known[static_cast<std::size_t>(e)] != 0
-                     ? (res.in_x[static_cast<std::size_t>(e)] != 0 ? '1' : '0')
-                     : '?';
-          }
-          digests[static_cast<std::size_t>(v)] = std::move(s);
-        }
-        break;
-      }
-    }
+    PipelineAdvice adv = base_adv;
+    if (plan.any_advice_faults()) corrupt_pipeline_advice(inj, g, adv);
+    GuardedOutcome res = gp.decode_guarded(g, adv, pcfg, config.policy);
+    const bool silent = gp.silent_corruption(g, res, pcfg);
+    const auto digests = gp.base().node_digests(g, res.output);
+    robust::RobustnessReport rep = std::move(res.report);
 
     // Fault accounting from the injector.
     for (const auto& ev : inj.events()) {
@@ -418,7 +250,23 @@ CampaignSummary run_fault_campaign(const CampaignConfig& config) {
     std::vector<int> touched = rep.repaired_nodes;
     merge_sorted_unique(touched, rep.flagged_nodes);
     rep.blast_radius = robust::blast_radius(g, inj.fault_site_nodes(g), touched);
+    return rep;
+  };
 
+  // Trials land in per-index slots and are folded in trial order, so the
+  // aggregates (and reports) are byte-identical at any thread count.
+  std::vector<robust::RobustnessReport> reports(static_cast<std::size_t>(config.trials));
+  if (config.threads > 1 && config.trials > 1) {
+    ThreadPool pool(config.threads);
+    pool.for_each(config.trials,
+                  [&](int t) { reports[static_cast<std::size_t>(t)] = run_trial(t); });
+  } else {
+    for (int t = 0; t < config.trials; ++t) {
+      reports[static_cast<std::size_t>(t)] = run_trial(t);
+    }
+  }
+
+  for (auto& rep : reports) {
     sum.faults_injected += rep.faults_injected();
     if (rep.degraded()) ++sum.trials_degraded;
     if (rep.output_valid) ++sum.trials_output_valid;

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/pipeline.hpp"
 #include "core/subexp_lcl.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/robust.hpp"
@@ -31,14 +32,11 @@
 
 namespace lad::faults {
 
-enum class DecoderKind {
-  kOrientation,    // §5 almost-balanced orientation
-  kSplitting,      // §5-ext degree splitting
-  kThreeColoring,  // §7 3-coloring
-  kDeltaColoring,  // §6 Δ-coloring
-  kSubexpLcl,      // §4 generic LCL under subexponential growth
-  kDecompress,     // §1.5 edge-set decompression
-};
+/// The campaign's decoder selector IS the pipeline registry id now — the
+/// per-decoder encode/decode/digest switches this file used to carry all
+/// live behind core/pipeline.hpp + faults/guarded_pipeline.hpp. The alias
+/// (same enumerator names) keeps every existing DecoderKind user compiling.
+using DecoderKind = ::lad::PipelineId;
 
 const char* to_string(DecoderKind kind);
 std::optional<DecoderKind> parse_decoder(std::string_view name);
@@ -66,6 +64,10 @@ struct CampaignConfig {
   /// Rounds of the engine-layer verification echo (>= 2 so that a single
   /// corrupted copy is caught by cross-round comparison).
   int echo_rounds = 3;
+  /// Trials run on a ThreadPool of this many workers (1 = serial). Every
+  /// trial is a pure function of (config, trial index) and reports are
+  /// folded in trial order, so the summary is byte-identical at any count.
+  int threads = 1;
 };
 
 struct CampaignSummary {

@@ -29,36 +29,18 @@
 #include "advice/schema.hpp"
 #include "graph/graph.hpp"
 #include "local/engine.hpp"
+#include "util/hashing.hpp"
 
 namespace lad::faults {
 
-/// splitmix64 finalizer: the one-instruction-wide PRNG we key all fault
-/// decisions on. Statelessness (decision = hash of site) is what makes the
-/// injector immune to iteration-order bugs.
-constexpr std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-constexpr std::uint64_t hash2(std::uint64_t a, std::uint64_t b) {
-  return splitmix64(splitmix64(a) ^ (b + 0x9e3779b97f4a7c15ULL));
-}
-
-constexpr std::uint64_t hash3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
-  return hash2(hash2(a, b), c);
-}
-
-constexpr std::uint64_t hash4(std::uint64_t a, std::uint64_t b, std::uint64_t c,
-                              std::uint64_t d) {
-  return hash2(hash3(a, b, c), d);
-}
-
-/// Uniform double in [0, 1) from a hash value.
-constexpr double unit_from_hash(std::uint64_t h) {
-  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^-53
-}
+// The splitmix64 finalizer family all fault decisions are keyed on now
+// lives in util/hashing.hpp (the pipeline registry hashes instances with
+// the same primitives); re-exported here for the existing faults:: users.
+using ::lad::hash2;
+using ::lad::hash3;
+using ::lad::hash4;
+using ::lad::splitmix64;
+using ::lad::unit_from_hash;
 
 enum class AdviceFaultKind {
   kBitFlip,    // flip a few bits of the label in place

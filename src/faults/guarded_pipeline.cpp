@@ -1,0 +1,180 @@
+#include "faults/guarded_pipeline.hpp"
+
+#include <utility>
+
+#include "lcl/problems.hpp"
+#include "util/contracts.hpp"
+
+namespace lad::faults {
+namespace {
+
+class GuardedOrientationPipeline final : public GuardedPipeline {
+ public:
+  const Pipeline& base() const override { return pipeline(PipelineId::kOrientation); }
+
+  GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
+                                const PipelineConfig& cfg,
+                                const robust::RepairPolicy& policy) const override {
+    auto res = robust::guarded_decode_orientation(g, adv.bits, cfg.orientation, policy);
+    GuardedOutcome out;
+    out.output.orientation = std::move(res.orientation);
+    out.output.rounds = res.report.rounds;
+    out.report = std::move(res.report);
+    return out;
+  }
+};
+
+class GuardedSplittingPipeline final : public GuardedPipeline {
+ public:
+  const Pipeline& base() const override { return pipeline(PipelineId::kSplitting); }
+
+  GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
+                                const PipelineConfig& cfg,
+                                const robust::RepairPolicy& policy) const override {
+    auto res = robust::guarded_decode_splitting(g, adv.bits, cfg.splitting, policy);
+    GuardedOutcome out;
+    out.output.edge_color = std::move(res.edge_color);
+    out.output.node_color = std::move(res.node_color);
+    out.output.rounds = res.report.rounds;
+    out.report = std::move(res.report);
+    return out;
+  }
+};
+
+class GuardedThreeColoringPipeline final : public GuardedPipeline {
+ public:
+  const Pipeline& base() const override { return pipeline(PipelineId::kThreeColoring); }
+
+  GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
+                                const PipelineConfig& cfg,
+                                const robust::RepairPolicy& policy) const override {
+    auto res = robust::guarded_decode_three_coloring(g, adv.bits, cfg.three_coloring, policy);
+    GuardedOutcome out;
+    out.output.node_color = std::move(res.coloring);
+    out.output.rounds = res.report.rounds;
+    out.report = std::move(res.report);
+    return out;
+  }
+};
+
+class GuardedDeltaColoringPipeline final : public GuardedPipeline {
+ public:
+  const Pipeline& base() const override { return pipeline(PipelineId::kDeltaColoring); }
+
+  GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
+                                const PipelineConfig& cfg,
+                                const robust::RepairPolicy& policy) const override {
+    auto res = robust::guarded_decode_delta_coloring(g, adv.var, cfg.delta_coloring, policy);
+    GuardedOutcome out;
+    out.output.node_color = std::move(res.coloring);
+    out.output.rounds = res.report.rounds;
+    out.report = std::move(res.report);
+    return out;
+  }
+};
+
+class GuardedSubexpLclPipeline final : public GuardedPipeline {
+ public:
+  const Pipeline& base() const override { return pipeline(PipelineId::kSubexpLcl); }
+
+  GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
+                                const PipelineConfig& cfg,
+                                const robust::RepairPolicy& policy) const override {
+    auto res = robust::guarded_decode_subexp_lcl(g, problem_, adv.bits, cfg.subexp, policy);
+    GuardedOutcome out;
+    out.output.labeling = std::move(res.labeling);
+    out.output.rounds = res.report.rounds;
+    out.report = std::move(res.report);
+    return out;
+  }
+
+ private:
+  // Must match the base pipeline's demonstration LCL so advice and decoder
+  // agree on the problem.
+  VertexColoringLcl problem_{3};
+};
+
+class GuardedDecompressPipeline final : public GuardedPipeline {
+ public:
+  const Pipeline& base() const override { return pipeline(PipelineId::kDecompress); }
+
+  PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const override {
+    PipelineAdvice adv;
+    adv.carrier = AdviceCarrier::kNodeLabels;
+    adv.labels = robust::guarded_compress_edge_set(
+                     g, hashed_edge_membership(g, cfg.seed, cfg.decompress_density),
+                     cfg.orientation)
+                     .labels;
+    return adv;
+  }
+
+  GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
+                                const PipelineConfig& cfg,
+                                const robust::RepairPolicy& policy) const override {
+    CompressedEdgeSet c;
+    c.labels = adv.labels;
+    c.orientation_params = cfg.orientation;
+    auto res = robust::guarded_decompress_edge_set(g, c, policy);
+    GuardedOutcome out;
+    out.output.edge_in_x = std::move(res.in_x);
+    out.output.edge_known = std::move(res.edge_known);
+    out.output.rounds = res.report.rounds;
+    out.report = std::move(res.report);
+    return out;
+  }
+
+  bool silent_corruption(const Graph& g, const GuardedOutcome& out,
+                         const PipelineConfig& cfg) const override {
+    // Ground truth is regenerable on any ID-preserving (sub)graph: every
+    // guard-verified edge must carry the original membership bit. A
+    // mismatch means the guard passed on a wrong label — silent corruption
+    // by definition, whatever the report says.
+    const auto truth = hashed_edge_membership(g, cfg.seed, cfg.decompress_density);
+    for (int e = 0; e < g.m(); ++e) {
+      if (out.output.edge_known[static_cast<std::size_t>(e)] == 0) continue;
+      if (out.output.edge_in_x[static_cast<std::size_t>(e)] !=
+          truth[static_cast<std::size_t>(e)]) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+void corrupt_pipeline_advice(FaultInjector& inj, const Graph& g, PipelineAdvice& adv) {
+  switch (adv.carrier) {
+    case AdviceCarrier::kUniformBits:
+      inj.corrupt_bits(g, adv.bits);
+      return;
+    case AdviceCarrier::kVarSchema:
+      inj.corrupt_var_advice(g, adv.var);
+      return;
+    case AdviceCarrier::kNodeLabels:
+      inj.corrupt_advice(g, adv.labels);
+      return;
+  }
+  LAD_UNREACHABLE("unknown AdviceCarrier");
+}
+
+const std::vector<const GuardedPipeline*>& guarded_pipelines() {
+  static const GuardedOrientationPipeline orientation;
+  static const GuardedSplittingPipeline splitting;
+  static const GuardedThreeColoringPipeline three_coloring;
+  static const GuardedDeltaColoringPipeline delta_coloring;
+  static const GuardedSubexpLclPipeline subexp_lcl;
+  static const GuardedDecompressPipeline decompress;
+  static const std::vector<const GuardedPipeline*> all = {
+      &orientation, &splitting, &three_coloring, &delta_coloring, &subexp_lcl, &decompress};
+  return all;
+}
+
+const GuardedPipeline& guarded_pipeline(PipelineId id) {
+  for (const GuardedPipeline* p : guarded_pipelines()) {
+    if (p->id() == id) return *p;
+  }
+  LAD_UNREACHABLE("PipelineId not in guarded registry");
+}
+
+}  // namespace lad::faults

@@ -1,0 +1,82 @@
+// Guarded (fault-tolerant) counterpart of the core Pipeline registry.
+//
+// core/pipeline.hpp gives every consumer a uniform strict encode/decode
+// view of the six paper pipelines; this layer is the same idea for the
+// robustness story. A GuardedPipeline pairs a base Pipeline with:
+//
+//   * encode()          — the guarded prover (identical to the base one for
+//                         every pipeline except §1.5, whose guarded
+//                         compressor appends per-label integrity guards);
+//   * decode_guarded()  — the proof-guarded decoder with local repair
+//                         (robust.hpp), returning the uniform PipelineOutput
+//                         plus the RobustnessReport;
+//   * silent_corruption() — the ground-truth verdict the campaign layer
+//                         records: an invalid output that produced zero
+//                         detection. The default derives it from the report;
+//                         §1.5 overrides it with a membership comparison
+//                         against the regenerable hashed instance.
+//
+// It lives in the faults layer (not core) because repair needs the
+// robustness machinery, which depends on core — the dependency only works
+// in this direction. The campaign harness and the faultsim CLI iterate
+// guarded_pipelines() instead of carrying six-way switches.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/robust.hpp"
+#include "graph/graph.hpp"
+
+namespace lad::faults {
+
+/// Uniform result of a guarded decode.
+struct GuardedOutcome {
+  PipelineOutput output;
+  robust::RobustnessReport report;
+};
+
+class GuardedPipeline {
+ public:
+  virtual ~GuardedPipeline() = default;
+
+  /// The strict pipeline this one hardens; id/name/carrier/digests are
+  /// delegated to it.
+  virtual const Pipeline& base() const = 0;
+
+  PipelineId id() const { return base().id(); }
+  const char* name() const { return base().name(); }
+
+  /// Guarded prover. Defaults to the base encoder; §1.5 overrides it to
+  /// append the integrity guard bits its decoder verifies.
+  virtual PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const {
+    return base().encode(g, cfg);
+  }
+
+  /// Proof-guarded decode with local repair (never throws on corrupted
+  /// advice; failures are repaired or flagged in the report).
+  virtual GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
+                                        const PipelineConfig& cfg,
+                                        const robust::RepairPolicy& policy) const = 0;
+
+  /// Ground-truth verdict: did an invalid output slip through with zero
+  /// detection? This is the invariant fault campaigns assert stays false.
+  virtual bool silent_corruption(const Graph& g, const GuardedOutcome& out,
+                                 const PipelineConfig& cfg) const {
+    (void)g;
+    (void)cfg;
+    return !out.report.output_valid && !out.report.degraded();
+  }
+};
+
+/// Routes the injector's advice attack through the carrier-appropriate
+/// channel (bit flips for uniform bits, schema-entry attacks for VarAdvice,
+/// label attacks for per-node bit-strings).
+void corrupt_pipeline_advice(FaultInjector& inj, const Graph& g, PipelineAdvice& adv);
+
+/// The guarded registry, in PipelineId order (static singletons).
+const std::vector<const GuardedPipeline*>& guarded_pipelines();
+const GuardedPipeline& guarded_pipeline(PipelineId id);
+
+}  // namespace lad::faults

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "graph/distance.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lad {
 namespace {
@@ -155,19 +156,43 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
 
   RunResult res;
   for (int round = 1; round <= max_rounds; ++round) {
+    // Compute phase. Node steps within a synchronous round are independent
+    // (LOCAL-model semantics), and every per-node effect — outbox slots,
+    // halt state, the reader-side provenance set — lands in slots owned by
+    // the executing node, so the steps may fan out over a thread pool with
+    // byte-identical results. The pool's static partition keeps the
+    // chunk -> node mapping deterministic; per-chunk accumulators are folded
+    // with order-independent reductions (OR / sum).
     bool any_active = false;
-    for (int v = 0; v < n; ++v) {
-      if (halted_[v] || crashed_[v]) continue;
-      if (faults_ != nullptr && faults_->crashed(round, v)) {
-        // Crash-stop: the node executes no further rounds and never halts,
-        // but it does not count as active, so runs still terminate.
-        crashed_[v] = 1;
-        ++fault_stats_.crashed_nodes;
-        continue;
+    auto step_nodes = [&](int begin, int end, bool& active, int& crashed_count) {
+      for (int v = begin; v < end; ++v) {
+        if (halted_[v] || crashed_[v]) continue;
+        if (faults_ != nullptr && faults_->crashed(round, v)) {
+          // Crash-stop: the node executes no further rounds and never halts,
+          // but it does not count as active, so runs still terminate.
+          crashed_[v] = 1;
+          ++crashed_count;
+          continue;
+        }
+        active = true;
+        NodeCtx ctx(*this, v, round);
+        alg.round(ctx);
       }
-      any_active = true;
-      NodeCtx ctx(*this, v, round);
-      alg.round(ctx);
+    };
+    if (pool_ != nullptr && pool_->threads() > 1) {
+      std::vector<char> chunk_active(static_cast<std::size_t>(pool_->threads()), 0);
+      std::vector<int> chunk_crashed(static_cast<std::size_t>(pool_->threads()), 0);
+      pool_->parallel_for(n, [&](int begin, int end, int c) {
+        bool active = false;
+        step_nodes(begin, end, active, chunk_crashed[static_cast<std::size_t>(c)]);
+        chunk_active[static_cast<std::size_t>(c)] = active ? 1 : 0;
+      });
+      for (const char a : chunk_active) any_active = any_active || a != 0;
+      for (const int c : chunk_crashed) fault_stats_.crashed_nodes += c;
+    } else {
+      int crashed_count = 0;
+      step_nodes(0, n, any_active, crashed_count);
+      fault_stats_.crashed_nodes += crashed_count;
     }
     if (!any_active) break;
     res.rounds = round;

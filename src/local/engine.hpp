@@ -30,6 +30,7 @@
 namespace lad {
 
 class Engine;
+class ThreadPool;
 
 /// Per-node, per-round interface handed to algorithms.
 class NodeCtx {
@@ -187,6 +188,18 @@ class Engine {
   /// Faults applied during the most recent run().
   const EngineFaultStats& fault_stats() const { return fault_stats_; }
 
+  /// Fans the compute phase of each round out over `pool` (non-owning; pass
+  /// nullptr to restore serial execution). Node steps within a synchronous
+  /// round are independent by definition of the model, and every per-node
+  /// effect (outbox slots, halt state, provenance set) lands in slots owned
+  /// by that node, so results are byte-identical to serial execution at any
+  /// thread count. Requirement on algorithms: round(ctx) must touch only
+  /// state belonging to ctx.node() (every SyncAlgorithm in this repository
+  /// keeps its state in vectors indexed by ctx.node(), which qualifies).
+  /// Message delivery and the audit pass stay serial — they are the
+  /// synchronization barrier between rounds.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
   /// Runs `alg` until all nodes halt or `max_rounds` elapse.
   RunResult run(SyncAlgorithm& alg, int max_rounds);
 
@@ -208,6 +221,7 @@ class Engine {
 
   const EngineFaultModel* faults_ = nullptr;
   EngineFaultStats fault_stats_;
+  ThreadPool* pool_ = nullptr;
 
   bool audit_ = false;
   bool audit_fail_fast_ = true;

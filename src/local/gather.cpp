@@ -4,8 +4,11 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
+#include "graph/canonical.hpp"
 #include "graph/distance.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lad {
 namespace {
@@ -78,43 +81,101 @@ class GatherAlgorithm : public SyncAlgorithm {
   std::vector<Knowledge> know_;
 };
 
-}  // namespace
+// Reconstructs node v's radius-t ball from its flooded knowledge: build a
+// graph from the known edges, cut the ball, re-anchor to parent indices.
+Ball reconstruct_ball(const Graph& g, const Knowledge& k, int v, int radius) {
+  std::map<NodeId, int> ix;
+  Graph::Builder b;
+  for (const auto id : k.nodes) ix[id] = b.add_node(id);
+  for (const auto& [a, c] : k.edges) b.add_edge(ix.at(a), ix.at(c));
+  const Graph known = std::move(b).build();
+  const Ball ball = extract_ball(known, known.index_of(g.id(v)), radius);
 
-std::vector<Ball> gather_balls_by_messages(const Graph& g, int radius) {
+  Ball out;
+  out.radius = radius;
+  Graph::Builder ob;
+  for (int i = 0; i < ball.graph.n(); ++i) ob.add_node(ball.graph.id(i));
+  for (int e = 0; e < ball.graph.m(); ++e) ob.add_edge(ball.graph.edge_u(e), ball.graph.edge_v(e));
+  out.graph = std::move(ob).build();
+  out.center = ball.center;
+  out.dist = ball.dist;
+  for (int i = 0; i < ball.graph.n(); ++i) {
+    out.to_parent.push_back(g.index_of(ball.graph.id(i)));
+  }
+  return out;
+}
+
+std::vector<Ball> gather_balls_impl(const Graph& g, int radius, ThreadPool* pool) {
   GatherAlgorithm alg(radius);
   Engine eng(g);
+  eng.set_thread_pool(pool);
   const auto run = eng.run(alg, radius + 2);
   LAD_CHECK(run.all_halted);
 
   // After t+1 rounds a node knows edges incident to nodes at distance <= t;
-  // restrict to the induced radius-t ball.
-  std::vector<Ball> balls;
-  balls.reserve(static_cast<std::size_t>(g.n()));
-  for (int v = 0; v < g.n(); ++v) {
-    const auto& k = alg.knowledge(v);
-    // Build a graph from the known edges, then cut the radius-t ball.
-    std::map<NodeId, int> ix;
-    Graph::Builder b;
-    for (const auto id : k.nodes) ix[id] = b.add_node(id);
-    for (const auto& [a, c] : k.edges) b.add_edge(ix.at(a), ix.at(c));
-    const Graph known = std::move(b).build();
-    const Ball ball = extract_ball(known, known.index_of(g.id(v)), radius);
-
-    // Re-anchor to parent-graph indices.
-    Ball out;
-    out.radius = radius;
-    Graph::Builder ob;
-    for (int i = 0; i < ball.graph.n(); ++i) ob.add_node(ball.graph.id(i));
-    for (int e = 0; e < ball.graph.m(); ++e) ob.add_edge(ball.graph.edge_u(e), ball.graph.edge_v(e));
-    out.graph = std::move(ob).build();
-    out.center = ball.center;
-    out.dist = ball.dist;
-    for (int i = 0; i < ball.graph.n(); ++i) {
-      out.to_parent.push_back(g.index_of(ball.graph.id(i)));
-    }
-    balls.push_back(std::move(out));
+  // restrict to the induced radius-t ball. Each reconstruction writes only
+  // its own slot, so the fan-out is deterministic at any thread count.
+  std::vector<Ball> balls(static_cast<std::size_t>(g.n()));
+  auto build = [&](int v) {
+    balls[static_cast<std::size_t>(v)] = reconstruct_ball(g, alg.knowledge(v), v, radius);
+  };
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->for_each(g.n(), build);
+  } else {
+    for (int v = 0; v < g.n(); ++v) build(v);
   }
   return balls;
+}
+
+}  // namespace
+
+std::vector<Ball> gather_balls_by_messages(const Graph& g, int radius) {
+  return gather_balls_impl(g, radius, nullptr);
+}
+
+std::vector<Ball> gather_balls_by_messages(const Graph& g, int radius, ThreadPool& pool) {
+  return gather_balls_impl(g, radius, &pool);
+}
+
+CanonicalViews gather_canonical_views(const Graph& g, int radius, const std::vector<int>& labels,
+                                      ThreadPool* pool) {
+  LAD_CHECK(labels.empty() || static_cast<int>(labels.size()) == g.n());
+  // Canonicalization is per-node work on per-node slots; interning stays
+  // serial in node order so class ids never depend on the thread count.
+  std::vector<std::string> keys(static_cast<std::size_t>(g.n()));
+  auto canon = [&](int v) {
+    const Ball ball = extract_ball(g, v, radius);
+    std::vector<int> ball_labels;
+    if (!labels.empty()) {
+      ball_labels.reserve(ball.to_parent.size());
+      for (const int p : ball.to_parent) {
+        ball_labels.push_back(labels[static_cast<std::size_t>(p)]);
+      }
+    }
+    keys[static_cast<std::size_t>(v)] =
+        canonical_view(ball.graph, ball.graph.all_nodes(), ball.center, ball_labels);
+  };
+  if (pool != nullptr && pool->threads() > 1) {
+    pool->for_each(g.n(), canon);
+  } else {
+    for (int v = 0; v < g.n(); ++v) canon(v);
+  }
+
+  CanonicalViews views;
+  views.view_class.assign(static_cast<std::size_t>(g.n()), -1);
+  std::unordered_map<std::string, int> intern;
+  for (int v = 0; v < g.n(); ++v) {
+    auto& key = keys[static_cast<std::size_t>(v)];
+    const auto [it, inserted] = intern.emplace(key, views.distinct());
+    if (inserted) {
+      views.key.push_back(std::move(key));
+      views.representative.push_back(v);
+    } else {
+      ++views.memo_hits;
+    }
+    views.view_class[static_cast<std::size_t>(v)] = it->second;
+  }
+  return views;
 }
 
 namespace {

@@ -1,0 +1,63 @@
+// ParallelEngine — the batched execution front end of the LOCAL simulator.
+//
+// Rozhoň's "Invitation to Local Algorithms" observation, operationalized:
+// within a synchronous round the node steps are independent *by definition*
+// of the model, so a round is an embarrassingly parallel batch. The
+// ParallelEngine executes each round's compute phase across a fixed thread
+// pool; message delivery (the per-node outboxes, merged in node-id order)
+// and the provenance audit stay serial — they are the barrier between
+// rounds. The result is byte-identical to Engine at every thread count
+// (asserted by tests/test_parallel_engine.cpp), because:
+//
+//   * the pool partitions nodes statically (no work stealing), so the
+//     chunk -> node mapping is a pure function of (n, threads);
+//   * every per-node effect lands in a slot owned by that node (outbox
+//     slots are CSR-indexed by the sender, halt/output/provenance state is
+//     indexed by the executing node);
+//   * cross-chunk accumulators (active flags, crash counts) are folded with
+//     order-independent reductions.
+//
+// Determinism contract for algorithms: round(ctx) must touch only state
+// belonging to ctx.node() plus the NodeCtx API — the same property the
+// locality auditor already demands, and what every SyncAlgorithm in this
+// repository (vectors indexed by ctx.node()) satisfies.
+#pragma once
+
+#include <memory>
+
+#include "local/engine.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lad {
+
+class ParallelEngine {
+ public:
+  /// Runs on an external pool (non-owning; must outlive the engine).
+  ParallelEngine(const Graph& g, ThreadPool& pool) : eng_(g), pool_(&pool) {
+    eng_.set_thread_pool(pool_);
+  }
+
+  /// Owns a pool of `threads` workers (threads <= 0 = hardware default).
+  ParallelEngine(const Graph& g, int threads)
+      : eng_(g), owned_pool_(std::make_unique<ThreadPool>(threads)) {
+    pool_ = owned_pool_.get();
+    eng_.set_thread_pool(pool_);
+  }
+
+  int threads() const { return pool_->threads(); }
+
+  /// Same surface as Engine (see local/engine.hpp).
+  void enable_audit(bool fail_fast = true) { eng_.enable_audit(fail_fast); }
+  const EngineAuditLog& audit_log() const { return eng_.audit_log(); }
+  void set_fault_model(const EngineFaultModel* model) { eng_.set_fault_model(model); }
+  const EngineFaultStats& fault_stats() const { return eng_.fault_stats(); }
+
+  RunResult run(SyncAlgorithm& alg, int max_rounds) { return eng_.run(alg, max_rounds); }
+
+ private:
+  Engine eng_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace lad

@@ -1,0 +1,109 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/contracts.hpp"
+
+namespace lad {
+
+int ThreadPool::default_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hc));
+}
+
+ThreadPool::ThreadPool(int threads) {
+  threads_ = threads <= 0 ? default_threads() : threads;
+  if (threads_ == 1) return;  // inline mode: no workers, no locking
+  workers_.reserve(static_cast<std::size_t>(threads_));
+  for (int t = 0; t < threads_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task.fn();  // chunk runners catch their own exceptions
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --inflight_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_chunks(const std::function<void(int)>& chunk_fn, int num_chunks) {
+  if (num_chunks <= 0) return;
+  // Every chunk records its own failure; the lowest-numbered one is
+  // rethrown, matching what a serial left-to-right loop would surface.
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_chunks));
+  auto guarded = [&](int c) {
+    try {
+      chunk_fn(c);
+    } catch (...) {
+      errors[static_cast<std::size_t>(c)] = std::current_exception();
+    }
+  };
+
+  if (workers_.empty()) {
+    for (int c = 0; c < num_chunks; ++c) guarded(c);
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      LAD_CHECK_MSG(inflight_ == 0, "ThreadPool::parallel_for is not reentrant");
+      inflight_ = num_chunks;
+      // Push in reverse so workers pop chunk 0 first (LIFO queue).
+      for (int c = num_chunks - 1; c >= 0; --c) {
+        queue_.push_back(Task{[guarded, c] { guarded(c); }});
+      }
+    }
+    work_cv_.notify_all();
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return inflight_ == 0; });
+  }
+
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for(int count, const std::function<void(int, int, int)>& body) {
+  if (count <= 0) return;
+  const int chunks = std::min(threads_, count);
+  run_chunks(
+      [&](int c) {
+        const int begin = static_cast<int>(static_cast<long long>(count) * c / chunks);
+        const int end = static_cast<int>(static_cast<long long>(count) * (c + 1) / chunks);
+        body(begin, end, c);
+      },
+      chunks);
+}
+
+void ThreadPool::for_each(int count, const std::function<void(int)>& body) {
+  parallel_for(count, [&body](int begin, int end, int /*chunk*/) {
+    for (int i = begin; i < end; ++i) body(i);
+  });
+}
+
+}  // namespace lad

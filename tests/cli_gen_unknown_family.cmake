@@ -1,0 +1,21 @@
+# Pins the `lad gen` unknown-family contract: exit code 2 and the offending
+# family name on stderr (not just the generic usage text).
+#
+# Usage: cmake -DLAD_CLI=<path-to-lad> -P cli_gen_unknown_family.cmake
+if(NOT LAD_CLI)
+  message(FATAL_ERROR "cli_gen_unknown_family.cmake needs LAD_CLI")
+endif()
+
+execute_process(
+  COMMAND ${LAD_CLI} gen definitely_not_a_family 10
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc
+)
+
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "expected exit code 2 for an unknown family, got ${rc}")
+endif()
+if(NOT err MATCHES "definitely_not_a_family")
+  message(FATAL_ERROR "stderr does not name the offending family:\n${err}")
+endif()

@@ -1,0 +1,93 @@
+// The Pipeline registry (core/pipeline.hpp): every paper pipeline is
+// reachable through the uniform interface, and encode -> decode -> verify
+// round-trips on the pipeline's own instance family.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "faults/guarded_pipeline.hpp"
+#include "graph/generators.hpp"
+
+namespace lad {
+namespace {
+
+TEST(PipelineRegistry, CoversAllSixPipelinesWithUniqueNames) {
+  const auto& all = pipelines();
+  ASSERT_EQ(all.size(), 6u);
+  std::set<std::string> names;
+  for (const Pipeline* p : all) {
+    names.insert(p->name());
+    EXPECT_EQ(&pipeline(p->id()), p);
+    EXPECT_EQ(find_pipeline(p->name()), p);
+  }
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(find_pipeline("no_such_pipeline"), nullptr);
+}
+
+TEST(PipelineRegistry, GuardedRegistryMirrorsBaseRegistry) {
+  const auto& guarded = faults::guarded_pipelines();
+  ASSERT_EQ(guarded.size(), pipelines().size());
+  for (const faults::GuardedPipeline* gp : guarded) {
+    EXPECT_EQ(&faults::guarded_pipeline(gp->id()), gp);
+    EXPECT_EQ(gp->name(), gp->base().name());
+  }
+}
+
+TEST(PipelineRegistry, EncodeDecodeVerifyRoundTripsOnOwnInstances) {
+  for (const Pipeline* p : pipelines()) {
+    SCOPED_TRACE(p->name());
+    PipelineConfig cfg;
+    if (p->id() == PipelineId::kSubexpLcl) cfg.subexp.x = 60;
+    const Graph g = p->make_instance(96, 3);
+    const auto adv = p->encode(g, cfg);
+    EXPECT_EQ(adv.carrier, p->carrier());
+    const auto out = p->decode(g, adv, cfg);
+    EXPECT_TRUE(p->verify(g, out, cfg));
+    EXPECT_EQ(p->node_digests(g, out).size(), static_cast<std::size_t>(g.n()));
+    EXPECT_EQ(adv.node_strings(g.n()).size(), static_cast<std::size_t>(g.n()));
+    const auto stats = adv.stats(g.n());
+    EXPECT_GT(stats.total_bits, 0);
+    // Tolerant decode on clean advice must agree with strict decode.
+    if (p->supports_tolerant()) {
+      const auto tol = p->decode_tolerant(g, adv, cfg);
+      EXPECT_TRUE(p->verify(g, tol, cfg));
+      for (const char f : tol.failed) EXPECT_EQ(f, 0);
+    }
+  }
+}
+
+TEST(PipelineRegistry, GuardedDecodeIsCleanOnUncorruptedAdvice) {
+  for (const faults::GuardedPipeline* gp : faults::guarded_pipelines()) {
+    SCOPED_TRACE(gp->name());
+    PipelineConfig cfg;
+    if (gp->id() == PipelineId::kSubexpLcl) cfg.subexp.x = 60;
+    const Graph g = gp->base().make_instance(96, 3);
+    const auto adv = gp->encode(g, cfg);
+    const auto out = gp->decode_guarded(g, adv, cfg, {});
+    EXPECT_TRUE(out.report.output_valid);
+    EXPECT_TRUE(out.report.flagged_nodes.empty());
+    EXPECT_FALSE(gp->silent_corruption(g, out, cfg));
+  }
+}
+
+TEST(PipelineHelpers, ParityWitnessIsProperOnBipartiteFamilies) {
+  const auto col = parity_witness(make_grid(6, 8, IdMode::kRandomDense, 4));
+  for (const int c : col) EXPECT_TRUE(c == 1 || c == 2);
+}
+
+TEST(PipelineHelpers, HashedMembershipIsIdKeyedAndDensityBounded) {
+  const Graph g = make_cycle(400, IdMode::kRandomDense, 9);
+  const auto a = hashed_edge_membership(g, 7, 0.5);
+  EXPECT_EQ(a, hashed_edge_membership(g, 7, 0.5));
+  EXPECT_NE(a, hashed_edge_membership(g, 8, 0.5));
+  int ones = 0;
+  for (const char b : a) ones += b != 0;
+  EXPECT_GT(ones, g.m() / 4);
+  EXPECT_LT(ones, 3 * g.m() / 4);
+  for (const char b : hashed_edge_membership(g, 7, 0.0)) EXPECT_EQ(b, 0);
+}
+
+}  // namespace
+}  // namespace lad

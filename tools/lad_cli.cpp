@@ -8,7 +8,12 @@
 //   lad proof    <graph.txt> <mis|matching|3col>   # §1.2 certificate demo
 //   lad audit    <graph.txt> <alg>    # locality-conformance audit
 //   lad faultsim <decoder> <family> <n> [trials] [seed]   # seeded fault campaign
+//   lad bench    <suite> [--threads K] [--json out.json]  # batched perf harness
 //   lad dot      <graph.txt>          # Graphviz export
+//
+// Decoder-facing commands (audit, faultsim) dispatch through the Pipeline
+// registry (core/pipeline.hpp): any pipeline name the registry knows is a
+// valid argument, with no per-decoder switch here.
 //
 // Graphs are in the edge-list format of graph/io.hpp.
 #include <algorithm>
@@ -22,8 +27,10 @@
 
 #include "advice/advice.hpp"
 #include "baselines/cole_vishkin.hpp"
+#include "bench/bench_runner.hpp"
 #include "core/decompress.hpp"
 #include "core/orientation.hpp"
+#include "core/pipeline.hpp"
 #include "core/proofs.hpp"
 #include "core/splitting.hpp"
 #include "core/three_coloring.hpp"
@@ -36,6 +43,7 @@
 #include "lcl/solver.hpp"
 #include "local/audit.hpp"
 #include "local/engine.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -54,9 +62,13 @@ int usage() {
                "  lad proof <graph.txt> <mis|matching|3col>\n"
                "  lad audit <graph.txt> gather [radius]   # engine provenance stats\n"
                "  lad audit <graph.txt> cv                # Cole-Vishkin under the auditor\n"
-               "  lad audit <graph.txt> orient|compress|split  # decoder locality audit\n"
-               "  lad faultsim <orientation|splitting|three_coloring|delta_coloring\n"
-               "               |subexp_lcl|decompress> <cycle|grid|torus> <n> [trials] [seed]\n"
+               "  lad audit <graph.txt> <pipeline>        # decoder locality audit; any\n"
+               "            registry pipeline name (orientation, splitting, three_coloring,\n"
+               "            delta_coloring, subexp_lcl, decompress; orient/split/compress\n"
+               "            are accepted aliases)\n"
+               "  lad faultsim <pipeline> <cycle|grid|torus> <n> [trials] [seed]\n"
+               "  lad bench <suite> [--threads K] [--json out.json]\n"
+               "            suites: e1..e9 r1 gather smoke all\n"
                "  lad dot <graph.txt>\n");
   return 2;
 }
@@ -97,7 +109,11 @@ int cmd_gen(int argc, char** argv) {
                            static_cast<double>(arg(3, 3)), static_cast<int>(arg(4, 6)),
                            static_cast<std::uint64_t>(arg(5, 1)));
   } else {
-    return usage();
+    // Name the offender: scripts looping over families should see *which*
+    // spelling was wrong, not just the generic usage text.
+    std::fprintf(stderr, "error: unknown graph family '%s'\n", family.c_str());
+    usage();
+    return 2;
   }
   write_edge_list(std::cout, g);
   return 0;
@@ -270,23 +286,49 @@ int cmd_audit(int argc, char** argv) {
       std::none_of(dist0.begin(), dist0.end(), [](int d) { return d == kUnreachable; });
   const Graph alt = rotate_ids_outside_ball(g, 0, connected ? 3 : g.n());
 
-  if (which == "orient") {
-    auto instance = [](const Graph& gr) {
-      const auto enc = encode_orientation_advice(gr);
-      const auto dec = decode_orientation(gr, enc.bits);
+  // Registry names plus the historical spellings.
+  std::string pipeline_name = which;
+  if (which == "orient") pipeline_name = "orientation";
+  if (which == "split") pipeline_name = "splitting";
+  if (which == "compress") pipeline_name = "decompress";
+  const Pipeline* pipe = find_pipeline(pipeline_name);
+
+  if (pipe != nullptr && pipe->id() != PipelineId::kDecompress) {
+    // Generic registry audit: encode + decode on the base and perturbed
+    // instance, compare per-node outputs where views are unchanged. Two
+    // pipelines need storage-order-invariant output strings (an edge's
+    // 'forward' flips when its endpoint storage order does), so their
+    // digests are rewritten tail-relative.
+    auto instance = [&pipe](const Graph& gr) {
+      PipelineConfig cfg;
+      if (pipe->id() == PipelineId::kSubexpLcl) cfg.subexp.x = 60;
+      const auto adv = pipe->encode(gr, cfg);
+      const auto out = pipe->decode(gr, adv, cfg);
       DecodedInstance inst;
       inst.g = &gr;
-      inst.advice = advice_strings_from_bits(enc.bits);
-      inst.rounds = dec.rounds;
-      for (int v = 0; v < gr.n(); ++v) {
-        std::string s;
-        for (const int e : gr.incident_edges(v)) {
-          const bool tail =
-              (dec.orientation[static_cast<std::size_t>(e)] == EdgeDir::kForward) ==
-              (gr.edge_u(e) == v);
-          s += tail ? '>' : '<';
+      inst.advice = adv.node_strings(gr.n());
+      inst.rounds = out.rounds;
+      if (pipe->id() == PipelineId::kOrientation) {
+        for (int v = 0; v < gr.n(); ++v) {
+          std::string s;
+          for (const int e : gr.incident_edges(v)) {
+            const bool tail =
+                (out.orientation[static_cast<std::size_t>(e)] == EdgeDir::kForward) ==
+                (gr.edge_u(e) == v);
+            s += tail ? '>' : '<';
+          }
+          inst.outputs.push_back(s);
         }
-        inst.outputs.push_back(s);
+      } else if (pipe->id() == PipelineId::kSplitting) {
+        for (int v = 0; v < gr.n(); ++v) {
+          std::string s = std::to_string(out.node_color[static_cast<std::size_t>(v)]) + ":";
+          for (const int e : gr.incident_edges(v)) {
+            s += std::to_string(out.edge_color[static_cast<std::size_t>(e)]);
+          }
+          inst.outputs.push_back(s);
+        }
+      } else {
+        inst.outputs = pipe->node_digests(gr, out);
       }
       return inst;
     };
@@ -294,7 +336,7 @@ int cmd_audit(int argc, char** argv) {
     return print_report(audit_decoded_pair(base, instance(alt)), base.rounds);
   }
 
-  if (which == "compress") {
+  if (pipe != nullptr && pipe->id() == PipelineId::kDecompress) {
     // Input-flip perturbation: the advice for X must not let a node learn
     // about membership changes far outside its decoding radius.
     auto instance = [&g](int flip_edge) {
@@ -322,28 +364,53 @@ int cmd_audit(int argc, char** argv) {
     return print_report(audit_decoded_pair(base, instance(g.m() / 2)), base.rounds);
   }
 
-  if (which == "split") {
-    auto instance = [](const Graph& gr) {
-      const auto enc = encode_splitting_advice(gr);
-      const auto dec = decode_splitting(gr, enc.bits);
-      DecodedInstance inst;
-      inst.g = &gr;
-      inst.advice = advice_strings_from_bits(enc.bits);
-      inst.rounds = dec.rounds;
-      for (int v = 0; v < gr.n(); ++v) {
-        std::string s = std::to_string(dec.node_color[static_cast<std::size_t>(v)]) + ":";
-        for (const int e : gr.incident_edges(v)) {
-          s += std::to_string(dec.edge_color[static_cast<std::size_t>(e)]);
-        }
-        inst.outputs.push_back(s);
-      }
-      return inst;
-    };
-    const auto base = instance(g);
-    return print_report(audit_decoded_pair(base, instance(alt)), base.rounds);
+  std::fprintf(stderr, "error: unknown audit target '%s'\n", which.c_str());
+  usage();
+  return 2;
+}
+
+int cmd_bench(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string suite = argv[0];
+  int threads = ThreadPool::default_threads();
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) return usage();
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  const auto names = bench::bench_suite_names();
+  if (std::find(names.begin(), names.end(), suite) == names.end()) {
+    std::fprintf(stderr, "error: unknown bench suite '%s'\n", suite.c_str());
+    return 2;
   }
 
-  return usage();
+  const auto res = bench::run_bench_suite(suite, threads);
+  std::printf("suite %s, %d threads (%d hardware)\n", res.suite.c_str(), res.threads,
+              res.hardware_threads);
+  std::printf("%-34s %8s %6s %10s %10s %8s %5s\n", "case", "n", "rounds", "1t ms", "ms",
+              "speedup", "same");
+  bool all_identical = true;
+  for (const auto& c : res.cases) {
+    std::printf("%-34s %8d %6d %10.2f %10.2f %7.2fx %5s\n", c.name.c_str(), c.n, c.rounds,
+                c.wall_ms_1, c.wall_ms, c.speedup_vs_1, c.identical ? "yes" : "NO");
+    all_identical = all_identical && c.identical;
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    LAD_CHECK_MSG(out.good(), "cannot write " << json_path);
+    out << res.to_json();
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  // A thread count changing any output byte is a determinism-contract
+  // violation — fail loudly so CI catches it.
+  return all_identical ? 0 : 1;
 }
 
 int cmd_faultsim(int argc, char** argv) {
@@ -395,6 +462,7 @@ int main(int argc, char** argv) {
     if (cmd == "proof" && argc >= 4) return cmd_proof(argv[2], argv[3]);
     if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
     if (cmd == "faultsim") return cmd_faultsim(argc - 2, argv + 2);
+    if (cmd == "bench") return cmd_bench(argc - 2, argv + 2);
     if (cmd == "dot" && argc >= 3) return cmd_dot(argv[2]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
