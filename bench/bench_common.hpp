@@ -6,15 +6,16 @@
 #include <benchmark/benchmark.h>
 
 #include "advice/advice.hpp"
+#include "obs/stopwatch.hpp"
 
 namespace lad::bench {
 
 inline void report_advice(benchmark::State& state, const std::vector<char>& bits) {
   const auto stats = advice_stats(advice_from_bits(bits));
   // A raw bit vector is one bit per node by construction, but the honest
-  // number is the measured ratio (0 on the empty graph), not a constant.
-  state.counters["bits_per_node"] =
-      stats.n > 0 ? static_cast<double>(stats.total_bits) / stats.n : 0.0;
+  // number is the measured ratio (0 on the empty graph), not a constant —
+  // obs::per_node is the same normalization `lad bench` reports.
+  state.counters["bits_per_node"] = obs::per_node(stats.total_bits, stats.n);
   state.counters["total_bits"] = static_cast<double>(stats.total_bits);
   state.counters["ones_ratio"] = stats.ones_ratio;
 }

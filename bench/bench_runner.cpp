@@ -16,6 +16,9 @@
 #include "graph/generators.hpp"
 #include "lcl/problems.hpp"
 #include "local/gather.hpp"
+#include "obs/export.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/version.hpp"
 #include "util/contracts.hpp"
 #include "util/thread_pool.hpp"
 
@@ -38,12 +41,7 @@ struct Case {
   std::function<CaseRun(int threads)> run;
 };
 
-double time_ms(const std::function<void()>& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(t1 - t0).count();
-}
+using obs::time_ms;
 
 /// Generic registry case: a batch of seeded instances, each taken through
 /// encode -> decode -> verify. The batch items fan out over the pool (the
@@ -88,8 +86,7 @@ Case pipeline_case(PipelineId id, int n, int batch, PipelineConfig cfg = {}, std
     }
     r.n = slots.empty() ? 0 : slots.front().n;
     r.m = slots.empty() ? 0 : slots.front().m;
-    r.bits_per_node = nodes > 0 ? static_cast<double>(r.total_bits) / static_cast<double>(nodes)
-                                : 0.0;
+    r.bits_per_node = obs::per_node(r.total_bits, nodes);
     return r;
   };
   return {std::move(name), std::move(run)};
@@ -195,8 +192,7 @@ Case proofs_case(std::string problem, int n, int batch) {
       r.rounds = std::max(r.rounds, s.rounds);
       r.total_bits += s.bits;
     }
-    r.bits_per_node =
-        batch > 0 ? static_cast<double>(r.total_bits) / (static_cast<double>(batch) * n) : 0.0;
+    r.bits_per_node = obs::per_node(r.total_bits, static_cast<long long>(batch) * n);
     return r;
   };
   return {std::move(name), std::move(run)};
@@ -265,17 +261,32 @@ std::vector<std::string> bench_suite_names() {
   return {"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "r1", "gather", "smoke", "all"};
 }
 
-BenchSuiteResult run_bench_suite(const std::string& suite, int threads) {
+BenchSuiteResult run_bench_suite(const std::string& suite, int threads, bool with_metrics) {
   BenchSuiteResult out;
   out.suite = suite;
   out.threads = threads > 0 ? threads : ThreadPool::default_threads();
   out.hardware_threads = ThreadPool::default_threads();
+  out.schema_version = obs::kBenchSchemaVersion;
+  out.git_commit = obs::kGitCommit;
+  out.timestamp = obs::iso8601_utc_now();
+
+  // --trace mode: telemetry on for the whole suite; the registry is reset
+  // before each case's serial run and snapshotted right after it, so the
+  // JSON attributes each counter delta to exactly one case (the parallel
+  // re-run is excluded — its counters are wiped by the next reset).
+  const bool telemetry_was_enabled = obs::enabled();
+  if (with_metrics) obs::set_enabled(true);
 
   for (auto& c : suite_cases(suite)) {
     BenchCaseResult res;
     res.name = c.name;
     CaseRun serial;
+    if (with_metrics) obs::MetricsRegistry::instance().reset();
     res.wall_ms_1 = time_ms([&] { serial = c.run(1); });
+    if (with_metrics) {
+      res.metrics = obs::MetricsRegistry::instance().snapshot(/*skip_zero=*/true);
+      obs::TraceRecorder::instance().clear();
+    }
     if (out.threads > 1) {
       CaseRun parallel;
       res.wall_ms = time_ms([&] { parallel = c.run(out.threads); });
@@ -292,12 +303,16 @@ BenchSuiteResult run_bench_suite(const std::string& suite, int threads) {
     res.speedup_vs_1 = res.wall_ms > 0 ? res.wall_ms_1 / res.wall_ms : 1.0;
     out.cases.push_back(std::move(res));
   }
+  if (with_metrics) obs::set_enabled(telemetry_was_enabled);
   return out;
 }
 
 std::string BenchSuiteResult::to_json() const {
   std::ostringstream os;
   os << "{\n"
+     << "  \"schema_version\": " << schema_version << ",\n"
+     << "  \"git_commit\": \"" << git_commit << "\",\n"
+     << "  \"timestamp\": \"" << timestamp << "\",\n"
      << "  \"suite\": \"" << suite << "\",\n"
      << "  \"threads\": " << threads << ",\n"
      << "  \"hardware_threads\": " << hardware_threads << ",\n"
@@ -308,8 +323,16 @@ std::string BenchSuiteResult::to_json() const {
        << ", \"rounds\": " << c.rounds << ", \"bits_per_node\": " << fmt(c.bits_per_node, 4)
        << ", \"total_bits\": " << c.total_bits << ", \"wall_ms_1t\": " << fmt(c.wall_ms_1, 3)
        << ", \"wall_ms\": " << fmt(c.wall_ms, 3) << ", \"speedup_vs_1\": "
-       << fmt(c.speedup_vs_1, 3) << ", \"identical\": " << (c.identical ? "true" : "false")
-       << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
+       << fmt(c.speedup_vs_1, 3) << ", \"identical\": " << (c.identical ? "true" : "false");
+    if (!c.metrics.empty()) {
+      os << ", \"metrics\": {";
+      for (std::size_t j = 0; j < c.metrics.size(); ++j) {
+        os << "\"" << c.metrics[j].name << "\": " << c.metrics[j].value
+           << (j + 1 < c.metrics.size() ? ", " : "");
+      }
+      os << "}";
+    }
+    os << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   return os.str();

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 namespace lad::bench {
 
 struct BenchCaseResult {
@@ -31,6 +33,9 @@ struct BenchCaseResult {
   double wall_ms = 0;       // ... at the requested thread count
   double speedup_vs_1 = 0;  // wall_ms_1 / wall_ms
   bool identical = true;    // multi-thread outputs byte-identical to serial
+  /// Telemetry counters attributed to the serial run of this case (empty
+  /// unless the suite ran with with_metrics; zero-valued metrics skipped).
+  std::vector<obs::MetricValue> metrics;
 };
 
 struct BenchSuiteResult {
@@ -39,9 +44,16 @@ struct BenchSuiteResult {
   /// std::thread::hardware_concurrency at run time — the honest context for
   /// the speedup numbers (a 1-core container cannot show real speedups).
   int hardware_threads = 1;
+  /// Document format version (obs::kBenchSchemaVersion) — bump on any
+  /// field change so downstream dashboards can dispatch.
+  int schema_version = 0;
+  /// `git describe --always --dirty` of the built tree (obs::kGitCommit).
+  std::string git_commit;
+  /// ISO-8601 UTC wall time the suite started.
+  std::string timestamp;
   std::vector<BenchCaseResult> cases;
 
-  /// Deterministic except for the wall-time fields.
+  /// Deterministic except for the wall-time and timestamp fields.
   std::string to_json() const;
 };
 
@@ -49,7 +61,11 @@ struct BenchSuiteResult {
 std::vector<std::string> bench_suite_names();
 
 /// Runs one suite. `threads` <= 0 means ThreadPool::default_threads().
-/// Throws on unknown suite names (callers validate via bench_suite_names()).
-BenchSuiteResult run_bench_suite(const std::string& suite, int threads);
+/// `with_metrics` enables telemetry and attributes per-case counter
+/// snapshots (of the serial run) to each case — the `lad bench --trace`
+/// path. Throws on unknown suite names (callers validate via
+/// bench_suite_names()).
+BenchSuiteResult run_bench_suite(const std::string& suite, int threads,
+                                 bool with_metrics = false);
 
 }  // namespace lad::bench

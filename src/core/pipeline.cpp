@@ -8,6 +8,7 @@
 #include "graph/generators.hpp"
 #include "lcl/problems.hpp"
 #include "lcl/solver.hpp"
+#include "obs/telemetry.hpp"
 #include "util/contracts.hpp"
 #include "util/hashing.hpp"
 
@@ -74,14 +75,14 @@ class OrientationPipeline final : public Pipeline {
     return make_cycle(even_cycle_len(n), IdMode::kRandomDense, seed);
   }
 
-  PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const override {
+  PipelineAdvice do_encode(const Graph& g, const PipelineConfig& cfg) const override {
     PipelineAdvice adv;
     adv.carrier = carrier();
     adv.bits = encode_orientation_advice(g, cfg.orientation).bits;
     return adv;
   }
 
-  PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
+  PipelineOutput do_decode(const Graph& g, const PipelineAdvice& adv,
                         const PipelineConfig& cfg) const override {
     const auto res = decode_orientation(g, adv.bits, cfg.orientation);
     PipelineOutput out;
@@ -90,7 +91,7 @@ class OrientationPipeline final : public Pipeline {
     return out;
   }
 
-  bool verify(const Graph& g, const PipelineOutput& out,
+  bool do_verify(const Graph& g, const PipelineOutput& out,
               const PipelineConfig& /*cfg*/) const override {
     return is_balanced_orientation(g, out.orientation, 1);
   }
@@ -122,14 +123,14 @@ class SplittingPipeline final : public Pipeline {
     return make_torus(d.w, d.h, IdMode::kRandomDense, seed);
   }
 
-  PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const override {
+  PipelineAdvice do_encode(const Graph& g, const PipelineConfig& cfg) const override {
     PipelineAdvice adv;
     adv.carrier = carrier();
     adv.bits = encode_splitting_advice(g, cfg.splitting).bits;
     return adv;
   }
 
-  PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
+  PipelineOutput do_decode(const Graph& g, const PipelineAdvice& adv,
                         const PipelineConfig& cfg) const override {
     const auto res = decode_splitting(g, adv.bits, cfg.splitting);
     PipelineOutput out;
@@ -139,7 +140,7 @@ class SplittingPipeline final : public Pipeline {
     return out;
   }
 
-  bool verify(const Graph& g, const PipelineOutput& out,
+  bool do_verify(const Graph& g, const PipelineOutput& out,
               const PipelineConfig& /*cfg*/) const override {
     return is_splitting(g, out.edge_color);
   }
@@ -173,14 +174,14 @@ class ThreeColoringPipeline final : public Pipeline {
     return make_grid(d.w, d.h, IdMode::kRandomDense, seed);
   }
 
-  PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const override {
+  PipelineAdvice do_encode(const Graph& g, const PipelineConfig& cfg) const override {
     PipelineAdvice adv;
     adv.carrier = carrier();
     adv.bits = encode_three_coloring_advice(g, coloring_witness(g, 3), cfg.three_coloring).bits;
     return adv;
   }
 
-  PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
+  PipelineOutput do_decode(const Graph& g, const PipelineAdvice& adv,
                         const PipelineConfig& cfg) const override {
     const auto res = decode_three_coloring(g, adv.bits, cfg.three_coloring);
     PipelineOutput out;
@@ -189,7 +190,7 @@ class ThreeColoringPipeline final : public Pipeline {
     return out;
   }
 
-  PipelineOutput decode_tolerant(const Graph& g, const PipelineAdvice& adv,
+  PipelineOutput do_decode_tolerant(const Graph& g, const PipelineAdvice& adv,
                                  const PipelineConfig& cfg) const override {
     PipelineOutput out;
     const auto res = decode_three_coloring_tolerant(g, adv.bits, out.failed, cfg.three_coloring);
@@ -198,7 +199,7 @@ class ThreeColoringPipeline final : public Pipeline {
     return out;
   }
 
-  bool verify(const Graph& g, const PipelineOutput& out,
+  bool do_verify(const Graph& g, const PipelineOutput& out,
               const PipelineConfig& /*cfg*/) const override {
     return is_proper_coloring(g, out.node_color, 3);
   }
@@ -223,7 +224,7 @@ class DeltaColoringPipeline final : public Pipeline {
     return make_grid(d.w, d.h, IdMode::kRandomDense, seed);
   }
 
-  PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const override {
+  PipelineAdvice do_encode(const Graph& g, const PipelineConfig& cfg) const override {
     PipelineAdvice adv;
     adv.carrier = carrier();
     adv.var = encode_delta_coloring_advice(g, coloring_witness(g, std::max(2, g.max_degree())),
@@ -232,7 +233,7 @@ class DeltaColoringPipeline final : public Pipeline {
     return adv;
   }
 
-  PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
+  PipelineOutput do_decode(const Graph& g, const PipelineAdvice& adv,
                         const PipelineConfig& cfg) const override {
     const auto res = decode_delta_coloring(g, adv.var, cfg.delta_coloring);
     PipelineOutput out;
@@ -241,7 +242,7 @@ class DeltaColoringPipeline final : public Pipeline {
     return out;
   }
 
-  bool verify(const Graph& g, const PipelineOutput& out,
+  bool do_verify(const Graph& g, const PipelineOutput& out,
               const PipelineConfig& /*cfg*/) const override {
     return is_proper_coloring(g, out.node_color, std::max(2, g.max_degree()));
   }
@@ -268,14 +269,14 @@ class SubexpLclPipeline final : public Pipeline {
     return make_cycle(even_cycle_len(n), IdMode::kRandomDense, seed);
   }
 
-  PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const override {
+  PipelineAdvice do_encode(const Graph& g, const PipelineConfig& cfg) const override {
     PipelineAdvice adv;
     adv.carrier = carrier();
     adv.bits = encode_subexp_lcl_advice(g, problem_, cfg.subexp).bits;
     return adv;
   }
 
-  PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
+  PipelineOutput do_decode(const Graph& g, const PipelineAdvice& adv,
                         const PipelineConfig& cfg) const override {
     const auto res = decode_subexp_lcl(g, problem_, adv.bits, cfg.subexp);
     PipelineOutput out;
@@ -284,7 +285,7 @@ class SubexpLclPipeline final : public Pipeline {
     return out;
   }
 
-  PipelineOutput decode_tolerant(const Graph& g, const PipelineAdvice& adv,
+  PipelineOutput do_decode_tolerant(const Graph& g, const PipelineAdvice& adv,
                                  const PipelineConfig& cfg) const override {
     PipelineOutput out;
     const auto res = decode_subexp_lcl_tolerant(g, problem_, adv.bits, out.failed, cfg.subexp);
@@ -293,7 +294,7 @@ class SubexpLclPipeline final : public Pipeline {
     return out;
   }
 
-  bool verify(const Graph& g, const PipelineOutput& out,
+  bool do_verify(const Graph& g, const PipelineOutput& out,
               const PipelineConfig& /*cfg*/) const override {
     return is_valid_labeling(g, problem_, out.labeling);
   }
@@ -324,7 +325,7 @@ class DecompressPipeline final : public Pipeline {
     return make_cycle(even_cycle_len(n), IdMode::kRandomDense, seed);
   }
 
-  PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const override {
+  PipelineAdvice do_encode(const Graph& g, const PipelineConfig& cfg) const override {
     PipelineAdvice adv;
     adv.carrier = carrier();
     adv.labels =
@@ -334,7 +335,7 @@ class DecompressPipeline final : public Pipeline {
     return adv;
   }
 
-  PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
+  PipelineOutput do_decode(const Graph& g, const PipelineAdvice& adv,
                         const PipelineConfig& cfg) const override {
     CompressedEdgeSet c;
     c.labels = adv.labels;
@@ -347,7 +348,7 @@ class DecompressPipeline final : public Pipeline {
     return out;
   }
 
-  bool verify(const Graph& g, const PipelineOutput& out,
+  bool do_verify(const Graph& g, const PipelineOutput& out,
               const PipelineConfig& cfg) const override {
     // The instance is a pure function of (seed, edge IDs), so ground truth
     // is regenerable on any ID-preserving (sub)graph. Unknown edges are
@@ -378,6 +379,58 @@ class DecompressPipeline final : public Pipeline {
 };
 
 }  // namespace
+
+// NVI wrappers — the single instrumentation point for all six pipelines.
+// Each wrapper opens a span named "pipeline.<stage>/<registry name>" and
+// folds the stage counters once per call, after the do_* hook returns, so
+// the accounting is a pure function of the call and can never perturb it.
+
+PipelineAdvice Pipeline::encode(const Graph& g, const PipelineConfig& cfg) const {
+  LAD_TM_SPAN(span, std::string("pipeline.encode/") + name(), "pipeline");
+  PipelineAdvice adv = do_encode(g, cfg);
+  LAD_TM({
+    auto& m = obs::core();
+    m.pipeline_encodes.add(1);
+    m.advice_bits_written.add(adv.stats(g.n()).total_bits);
+  });
+  return adv;
+}
+
+PipelineOutput Pipeline::decode(const Graph& g, const PipelineAdvice& adv,
+                                const PipelineConfig& cfg) const {
+  LAD_TM_SPAN(span, std::string("pipeline.decode/") + name(), "pipeline");
+  PipelineOutput out = do_decode(g, adv, cfg);
+  LAD_TM({
+    auto& m = obs::core();
+    m.pipeline_decodes.add(1);
+    m.advice_bits_read.add(adv.stats(g.n()).total_bits);
+    m.pipeline_decode_rounds.add(out.rounds);
+    m.decode_rounds.observe(out.rounds);
+  });
+  return out;
+}
+
+PipelineOutput Pipeline::decode_tolerant(const Graph& g, const PipelineAdvice& adv,
+                                         const PipelineConfig& cfg) const {
+  LAD_TM_SPAN(span, std::string("pipeline.decode_tolerant/") + name(), "pipeline");
+  PipelineOutput out = do_decode_tolerant(g, adv, cfg);
+  LAD_TM({
+    auto& m = obs::core();
+    m.pipeline_decodes.add(1);
+    m.advice_bits_read.add(adv.stats(g.n()).total_bits);
+    m.pipeline_decode_rounds.add(out.rounds);
+    m.decode_rounds.observe(out.rounds);
+  });
+  return out;
+}
+
+bool Pipeline::verify(const Graph& g, const PipelineOutput& out,
+                      const PipelineConfig& cfg) const {
+  LAD_TM_SPAN(span, std::string("pipeline.verify/") + name(), "pipeline");
+  const bool ok = do_verify(g, out, cfg);
+  LAD_TM(obs::core().pipeline_verifies.add(1));
+  return ok;
+}
 
 AdviceStats PipelineAdvice::stats(int n) const {
   switch (carrier) {

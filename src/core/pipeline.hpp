@@ -133,31 +133,45 @@ class Pipeline {
   /// audits to get a valid instance per pipeline.
   virtual Graph make_instance(int n, std::uint64_t seed) const = 0;
 
+  // The four stage entry points are non-virtual wrappers (NVI): every
+  // consumer of any of the six pipelines funnels through pipeline.cpp's
+  // four wrapper bodies, which is where the telemetry spans and the
+  // encode/decode/verify counters live — one instrumentation point instead
+  // of six copies per stage. Subclasses override the do_* hooks below.
+
   /// Centralized prover. Generates any witness it needs internally (parity
   /// witness on bipartite instances, exact solver otherwise), seeded by cfg.
-  virtual PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const = 0;
+  PipelineAdvice encode(const Graph& g, const PipelineConfig& cfg) const;
 
   /// Strict LOCAL decoder; throws ContractViolation on advice that is
   /// locally detectably inconsistent.
-  virtual PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
-                                const PipelineConfig& cfg) const = 0;
+  PipelineOutput decode(const Graph& g, const PipelineAdvice& adv,
+                        const PipelineConfig& cfg) const;
 
   /// Containment decoder: failures marked in output.failed, never thrown.
   /// Default = strict decode (see supports_tolerant()).
-  virtual PipelineOutput decode_tolerant(const Graph& g, const PipelineAdvice& adv,
-                                         const PipelineConfig& cfg) const {
-    return decode(g, adv, cfg);
-  }
+  PipelineOutput decode_tolerant(const Graph& g, const PipelineAdvice& adv,
+                                 const PipelineConfig& cfg) const;
 
   /// Independent centralized validity check of a decode against the
   /// instance that encode(cfg) describes on g.
-  virtual bool verify(const Graph& g, const PipelineOutput& out,
-                      const PipelineConfig& cfg) const = 0;
+  bool verify(const Graph& g, const PipelineOutput& out, const PipelineConfig& cfg) const;
 
   /// Per-node output digest: the string a node publishes to a distributed
   /// verification echo. Byte-stable (campaign golden outputs pin it).
   virtual std::vector<std::string> node_digests(const Graph& g,
                                                 const PipelineOutput& out) const = 0;
+
+ protected:
+  virtual PipelineAdvice do_encode(const Graph& g, const PipelineConfig& cfg) const = 0;
+  virtual PipelineOutput do_decode(const Graph& g, const PipelineAdvice& adv,
+                                   const PipelineConfig& cfg) const = 0;
+  virtual PipelineOutput do_decode_tolerant(const Graph& g, const PipelineAdvice& adv,
+                                            const PipelineConfig& cfg) const {
+    return do_decode(g, adv, cfg);
+  }
+  virtual bool do_verify(const Graph& g, const PipelineOutput& out,
+                         const PipelineConfig& cfg) const = 0;
 };
 
 /// The six paper pipelines, in PipelineId order. Entries are static

@@ -9,6 +9,7 @@
 #include "faults/guarded_pipeline.hpp"
 #include "graph/generators.hpp"
 #include "local/engine.hpp"
+#include "obs/telemetry.hpp"
 #include "util/contracts.hpp"
 #include "util/thread_pool.hpp"
 
@@ -41,7 +42,9 @@ GridDims grid_dims(int n) {
   return d;
 }
 
-Graph build_graph(DecoderKind decoder, GraphFamily& family, int n) {
+}  // namespace
+
+Graph build_campaign_graph(DecoderKind decoder, GraphFamily& family, int n) {
   if (decoder == DecoderKind::kSplitting && family == GraphFamily::kGrid) {
     family = GraphFamily::kTorus;  // splitting needs even degrees
   }
@@ -62,6 +65,8 @@ Graph build_graph(DecoderKind decoder, GraphFamily& family, int n) {
   }
   LAD_UNREACHABLE("unknown GraphFamily");
 }
+
+namespace {
 
 // Distributed verification echo: every node broadcasts its output digest
 // for `rounds` rounds; a receiver that misses a copy (drop / crashed
@@ -119,6 +124,26 @@ class EchoVerify final : public SyncAlgorithm {
 };
 
 }  // namespace
+
+EchoResult run_verification_echo(const Graph& g, const std::vector<std::string>& digests,
+                                 int echo_rounds, const EngineFaultModel* faults) {
+  LAD_CHECK(static_cast<int>(digests.size()) == g.n());
+  Engine eng(g);
+  if (faults != nullptr) eng.set_fault_model(faults);
+  EchoVerify echo(digests, echo_rounds);
+  const auto run = eng.run(echo, echo_rounds + 2);
+  EchoResult res;
+  for (int v = 0; v < g.n(); ++v) {
+    if (run.outputs[static_cast<std::size_t>(v)] != "ok") res.unverified_nodes.push_back(v);
+  }
+  res.messages = run.messages;
+  res.bytes = run.bytes;
+  res.rounds = run.rounds;
+  res.dropped = eng.fault_stats().dropped;
+  res.corrupted = eng.fault_stats().corrupted;
+  res.crashed = eng.fault_stats().crashed_nodes;
+  return res;
+}
 
 const char* to_string(DecoderKind kind) { return pipeline(kind).name(); }
 
@@ -182,7 +207,7 @@ std::string CampaignSummary::to_string() const {
 CampaignSummary run_fault_campaign(const CampaignConfig& config) {
   CampaignSummary sum;
   GraphFamily family = config.family;
-  const Graph g0 = build_graph(config.decoder, family, config.n);
+  const Graph g0 = build_campaign_graph(config.decoder, family, config.n);
   sum.decoder = config.decoder;
   sum.family = family;
   sum.n = g0.n();
@@ -204,6 +229,7 @@ CampaignSummary run_fault_campaign(const CampaignConfig& config) {
   // One full trial: a pure function of (config, t) over shared-const state,
   // which is what makes the parallel path below byte-equivalent to serial.
   const auto run_trial = [&](int t) -> robust::RobustnessReport {
+    LAD_TM_SPAN(trial_span, "campaign.trial", "campaign");
     FaultPlan plan = config.plan;
     plan.seed = hash3(config.seed, kTagTrial, static_cast<std::uint64_t>(t));
     FaultInjector inj(plan);
@@ -230,20 +256,14 @@ CampaignSummary run_fault_campaign(const CampaignConfig& config) {
     // Nodes that crash or cannot certify their digest are detections (the
     // output itself is unchanged, so no corruption can enter here).
     if (plan.any_engine_faults()) {
-      Engine eng(g);
-      eng.set_fault_model(&inj.engine_faults());
-      EchoVerify echo(digests, config.echo_rounds);
-      const auto run = eng.run(echo, config.echo_rounds + 2);
-      rep.engine_dropped = eng.fault_stats().dropped;
-      rep.engine_corrupted = eng.fault_stats().corrupted;
-      rep.engine_crashed = eng.fault_stats().crashed_nodes;
-      std::vector<int> unverified;
-      for (int v = 0; v < g.n(); ++v) {
-        if (run.outputs[static_cast<std::size_t>(v)] != "ok") unverified.push_back(v);
-      }
-      rep.detected_violations += static_cast<long long>(unverified.size());
-      merge_sorted_unique(rep.rejecting_nodes, unverified);
-      rep.rounds += run.rounds;
+      const EchoResult echo =
+          run_verification_echo(g, digests, config.echo_rounds, &inj.engine_faults());
+      rep.engine_dropped = echo.dropped;
+      rep.engine_corrupted = echo.corrupted;
+      rep.engine_crashed = echo.crashed;
+      rep.detected_violations += static_cast<long long>(echo.unverified_nodes.size());
+      merge_sorted_unique(rep.rejecting_nodes, echo.unverified_nodes);
+      rep.rounds += echo.rounds;
     }
 
     // Blast radius: how far from a fault site did repair / flagging reach.
@@ -279,6 +299,13 @@ CampaignSummary run_fault_campaign(const CampaignConfig& config) {
     sum.total_flagged_nodes += static_cast<long long>(rep.flagged_nodes.size());
     sum.reports.push_back(std::move(rep));
   }
+  // Campaign totals, folded once from the trial-order aggregate — identical
+  // at any thread count.
+  LAD_TM({
+    auto& m = obs::core();
+    m.campaign_trials.add(sum.trials);
+    m.campaign_faults_injected.add(sum.faults_injected);
+  });
   return sum;
 }
 

@@ -30,6 +30,10 @@
 #include "faults/robust.hpp"
 #include "graph/graph.hpp"
 
+namespace lad {
+class EngineFaultModel;  // local/engine.hpp
+}
+
 namespace lad::faults {
 
 /// The campaign's decoder selector IS the pipeline registry id now — the
@@ -100,5 +104,32 @@ struct CampaignSummary {
 
 /// Runs the campaign described by `config`. Deterministic.
 CampaignSummary run_fault_campaign(const CampaignConfig& config);
+
+/// The family instance a campaign uses for (decoder, family, n) — exposed
+/// so `lad trace` exercises the exact graphs the campaigns exercise.
+/// `family` is passed by reference because splitting substitutes torus for
+/// grid (it needs even degrees).
+Graph build_campaign_graph(DecoderKind decoder, GraphFamily& family, int n);
+
+/// Outcome of a distributed verification echo (digest broadcast +
+/// cross-round comparison; see campaign.cpp's EchoVerify).
+struct EchoResult {
+  /// Nodes that could not certify their neighbors' digests, ascending.
+  std::vector<int> unverified_nodes;
+  long long messages = 0;
+  long long bytes = 0;
+  int rounds = 0;
+  long long dropped = 0;
+  long long corrupted = 0;
+  int crashed = 0;
+};
+
+/// Runs the verification echo on g: every node broadcasts its digest for
+/// `echo_rounds` rounds and certifies only if every neighbor copy arrived
+/// intact. `faults` optionally subjects the echo to an engine fault model.
+/// This is the campaign's engine-fault stage and `lad trace`'s source of
+/// genuine message/bit traffic for the decode-side metrics.
+EchoResult run_verification_echo(const Graph& g, const std::vector<std::string>& digests,
+                                 int echo_rounds, const EngineFaultModel* faults = nullptr);
 
 }  // namespace lad::faults

@@ -1,8 +1,10 @@
 #include "faults/guarded_pipeline.hpp"
 
+#include <string>
 #include <utility>
 
 #include "lcl/problems.hpp"
+#include "obs/telemetry.hpp"
 #include "util/contracts.hpp"
 
 namespace lad::faults {
@@ -12,7 +14,7 @@ class GuardedOrientationPipeline final : public GuardedPipeline {
  public:
   const Pipeline& base() const override { return pipeline(PipelineId::kOrientation); }
 
-  GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
+  GuardedOutcome do_decode_guarded(const Graph& g, const PipelineAdvice& adv,
                                 const PipelineConfig& cfg,
                                 const robust::RepairPolicy& policy) const override {
     auto res = robust::guarded_decode_orientation(g, adv.bits, cfg.orientation, policy);
@@ -28,7 +30,7 @@ class GuardedSplittingPipeline final : public GuardedPipeline {
  public:
   const Pipeline& base() const override { return pipeline(PipelineId::kSplitting); }
 
-  GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
+  GuardedOutcome do_decode_guarded(const Graph& g, const PipelineAdvice& adv,
                                 const PipelineConfig& cfg,
                                 const robust::RepairPolicy& policy) const override {
     auto res = robust::guarded_decode_splitting(g, adv.bits, cfg.splitting, policy);
@@ -45,7 +47,7 @@ class GuardedThreeColoringPipeline final : public GuardedPipeline {
  public:
   const Pipeline& base() const override { return pipeline(PipelineId::kThreeColoring); }
 
-  GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
+  GuardedOutcome do_decode_guarded(const Graph& g, const PipelineAdvice& adv,
                                 const PipelineConfig& cfg,
                                 const robust::RepairPolicy& policy) const override {
     auto res = robust::guarded_decode_three_coloring(g, adv.bits, cfg.three_coloring, policy);
@@ -61,7 +63,7 @@ class GuardedDeltaColoringPipeline final : public GuardedPipeline {
  public:
   const Pipeline& base() const override { return pipeline(PipelineId::kDeltaColoring); }
 
-  GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
+  GuardedOutcome do_decode_guarded(const Graph& g, const PipelineAdvice& adv,
                                 const PipelineConfig& cfg,
                                 const robust::RepairPolicy& policy) const override {
     auto res = robust::guarded_decode_delta_coloring(g, adv.var, cfg.delta_coloring, policy);
@@ -77,7 +79,7 @@ class GuardedSubexpLclPipeline final : public GuardedPipeline {
  public:
   const Pipeline& base() const override { return pipeline(PipelineId::kSubexpLcl); }
 
-  GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
+  GuardedOutcome do_decode_guarded(const Graph& g, const PipelineAdvice& adv,
                                 const PipelineConfig& cfg,
                                 const robust::RepairPolicy& policy) const override {
     auto res = robust::guarded_decode_subexp_lcl(g, problem_, adv.bits, cfg.subexp, policy);
@@ -108,7 +110,7 @@ class GuardedDecompressPipeline final : public GuardedPipeline {
     return adv;
   }
 
-  GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
+  GuardedOutcome do_decode_guarded(const Graph& g, const PipelineAdvice& adv,
                                 const PipelineConfig& cfg,
                                 const robust::RepairPolicy& policy) const override {
     CompressedEdgeSet c;
@@ -142,6 +144,29 @@ class GuardedDecompressPipeline final : public GuardedPipeline {
 };
 
 }  // namespace
+
+// NVI wrapper — the one telemetry point for all six guarded decoders. The
+// detection/repair counters are folded from the finished report, so the
+// accounting can never influence the decode it describes.
+GuardedOutcome GuardedPipeline::decode_guarded(const Graph& g, const PipelineAdvice& adv,
+                                               const PipelineConfig& cfg,
+                                               const robust::RepairPolicy& policy) const {
+  LAD_TM_SPAN(span, std::string("guarded.decode/") + name(), "guarded");
+  GuardedOutcome out = do_decode_guarded(g, adv, cfg, policy);
+  LAD_TM({
+    auto& m = obs::core();
+    const auto& r = out.report;
+    m.guard_detections.add(r.detected_violations);
+    m.repaired_nodes.add(static_cast<long long>(r.repaired_nodes.size()));
+    m.flagged_nodes.add(static_cast<long long>(r.flagged_nodes.size()));
+    m.repair_regions.add(static_cast<long long>(r.regions.size()));
+    for (const auto& region : r.regions) {
+      m.repair_region_radius.observe(region.radius);
+      if (region.radius > 1) m.repair_escalations.add(1);
+    }
+  });
+  return out;
+}
 
 void corrupt_pipeline_advice(FaultInjector& inj, const Graph& g, PipelineAdvice& adv) {
   switch (adv.carrier) {

@@ -55,10 +55,13 @@ class GuardedPipeline {
   }
 
   /// Proof-guarded decode with local repair (never throws on corrupted
-  /// advice; failures are repaired or flagged in the report).
-  virtual GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
-                                        const PipelineConfig& cfg,
-                                        const robust::RepairPolicy& policy) const = 0;
+  /// advice; failures are repaired or flagged in the report). Non-virtual
+  /// wrapper (NVI): the single telemetry point for all six guarded
+  /// decoders — span + detection/repair counters live in
+  /// guarded_pipeline.cpp, subclasses override do_decode_guarded().
+  GuardedOutcome decode_guarded(const Graph& g, const PipelineAdvice& adv,
+                                const PipelineConfig& cfg,
+                                const robust::RepairPolicy& policy) const;
 
   /// Ground-truth verdict: did an invalid output slip through with zero
   /// detection? This is the invariant fault campaigns assert stays false.
@@ -68,6 +71,11 @@ class GuardedPipeline {
     (void)cfg;
     return !out.report.output_valid && !out.report.degraded();
   }
+
+ protected:
+  virtual GuardedOutcome do_decode_guarded(const Graph& g, const PipelineAdvice& adv,
+                                           const PipelineConfig& cfg,
+                                           const robust::RepairPolicy& policy) const = 0;
 };
 
 /// Routes the injector's advice attack through the carrier-appropriate

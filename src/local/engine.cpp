@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "graph/distance.hpp"
+#include "obs/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lad {
@@ -114,6 +115,10 @@ void Engine::audit_round(int round) {
 }
 
 RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
+  // Telemetry is read-only observation: the span and the counters at the
+  // end never feed back into the run, so enabling it cannot change a byte
+  // of any output (pinned by tests/test_telemetry.cpp).
+  LAD_TM_SPAN(run_span, "engine.run", "engine");
   const int n = g_.n();
   offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
   for (int v = 0; v < n; ++v) {
@@ -156,6 +161,9 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
 
   RunResult res;
   for (int round = 1; round <= max_rounds; ++round) {
+    // One span per synchronous round (compute + audit + delivery). Short
+    // SSO name: no allocation even with telemetry enabled.
+    LAD_TM_SPAN(round_span, "engine.round", "engine");
     // Compute phase. Node steps within a synchronous round are independent
     // (LOCAL-model semantics), and every per-node effect — outbox slots,
     // halt state, the reader-side provenance set — lands in slots owned by
@@ -242,6 +250,21 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
   res.outputs = outputs_;
   res.halt_round = halt_round_;
   if (faults_ != nullptr) res.crashed = crashed_;
+
+  // Message/round/fault accounting, folded once per run from the serial
+  // counters above — the totals are a pure function of the run, so they are
+  // byte-deterministic at any thread count.
+  LAD_TM({
+    auto& m = obs::core();
+    m.engine_runs.add(1);
+    m.engine_rounds.add(res.rounds);
+    m.engine_messages.add(res.messages);
+    m.engine_message_bits.add(res.bytes * 8);
+    m.engine_messages_dropped.add(fault_stats_.dropped);
+    m.engine_messages_corrupted.add(fault_stats_.corrupted);
+    m.engine_crashed_nodes.add(fault_stats_.crashed_nodes);
+    m.engine_run_messages.observe(res.messages);
+  });
   return res;
 }
 

@@ -8,6 +8,7 @@
 
 #include "graph/canonical.hpp"
 #include "graph/distance.hpp"
+#include "obs/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lad {
@@ -106,6 +107,7 @@ Ball reconstruct_ball(const Graph& g, const Knowledge& k, int v, int radius) {
 }
 
 std::vector<Ball> gather_balls_impl(const Graph& g, int radius, ThreadPool* pool) {
+  LAD_TM_SPAN(span, "gather.balls", "gather");
   GatherAlgorithm alg(radius);
   Engine eng(g);
   eng.set_thread_pool(pool);
@@ -124,6 +126,7 @@ std::vector<Ball> gather_balls_impl(const Graph& g, int radius, ThreadPool* pool
   } else {
     for (int v = 0; v < g.n(); ++v) build(v);
   }
+  LAD_TM(obs::core().gather_balls.add(g.n()));
   return balls;
 }
 
@@ -139,6 +142,7 @@ std::vector<Ball> gather_balls_by_messages(const Graph& g, int radius, ThreadPoo
 
 CanonicalViews gather_canonical_views(const Graph& g, int radius, const std::vector<int>& labels,
                                       ThreadPool* pool) {
+  LAD_TM_SPAN(span, "gather.views", "gather");
   LAD_CHECK(labels.empty() || static_cast<int>(labels.size()) == g.n());
   // Canonicalization is per-node work on per-node slots; interning stays
   // serial in node order so class ids never depend on the thread count.
@@ -175,6 +179,12 @@ CanonicalViews gather_canonical_views(const Graph& g, int radius, const std::vec
     }
     views.view_class[static_cast<std::size_t>(v)] = it->second;
   }
+  // Hits/misses come from the serial interning loop, so they are identical
+  // at every thread count (the §8 memo-effectiveness metric).
+  LAD_TM({
+    obs::core().gather_cache_hits.add(views.memo_hits);
+    obs::core().gather_cache_misses.add(views.distinct());
+  });
   return views;
 }
 

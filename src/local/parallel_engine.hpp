@@ -26,6 +26,7 @@
 #include <memory>
 
 #include "local/engine.hpp"
+#include "obs/telemetry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lad {
@@ -52,7 +53,12 @@ class ParallelEngine {
   void set_fault_model(const EngineFaultModel* model) { eng_.set_fault_model(model); }
   const EngineFaultStats& fault_stats() const { return eng_.fault_stats(); }
 
-  RunResult run(SyncAlgorithm& alg, int max_rounds) { return eng_.run(alg, max_rounds); }
+  RunResult run(SyncAlgorithm& alg, int max_rounds) {
+    // Wraps the inner engine.run span so traces show which runs went
+    // through the batched front end (and on how many workers).
+    LAD_TM_SPAN(span, "parallel_engine.run", "engine");
+    return eng_.run(alg, max_rounds);
+  }
 
  private:
   Engine eng_;

@@ -1,0 +1,150 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <sstream>
+
+namespace lad::obs {
+namespace {
+
+// Names and categories are code-controlled identifiers, but escape the two
+// characters that could break the JSON framing anyway.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void append_event_json(std::ostringstream& os, int tid, const TraceEvent& ev) {
+  os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\"" << json_escape(ev.cat)
+     << "\",\"ph\":\"" << ev.phase << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << ev.ts_us
+     << "}";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TraceRecorder exports
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& [tid, events] : events_by_thread()) {
+    for (const TraceEvent& ev : events) {
+      if (!first) os << ",\n";
+      first = false;
+      append_event_json(os, tid, ev);
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string TraceRecorder::to_jsonl() const {
+  std::ostringstream os;
+  for (const auto& [tid, events] : events_by_thread()) {
+    for (const TraceEvent& ev : events) {
+      append_event_json(os, tid, ev);
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string to_chrome_trace_json(const TraceRecorder& rec) { return rec.to_chrome_json(); }
+std::string to_events_jsonl(const TraceRecorder& rec) { return rec.to_jsonl(); }
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry exports
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  for (const auto& e : entries_) {
+    os << "# HELP " << e->name << " " << e->help << "\n";
+    switch (e->kind) {
+      case MetricKind::kCounter:
+        os << "# TYPE " << e->name << " counter\n";
+        os << e->name << " " << e->counter->value() << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << "# TYPE " << e->name << " gauge\n";
+        os << e->name << " " << e->gauge->value() << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        os << "# TYPE " << e->name << " histogram\n";
+        long long cumulative = 0;
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+          cumulative += e->histogram->bucket(b);
+          if (b + 1 < Histogram::kBuckets) {
+            os << e->name << "_bucket{le=\"" << Histogram::bound(b) << "\"} " << cumulative
+               << "\n";
+          } else {
+            os << e->name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+          }
+        }
+        os << e->name << "_sum " << e->histogram->sum() << "\n";
+        os << e->name << "_count " << e->histogram->count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_table(bool skip_zero) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  std::size_t width = 0;
+  for (const auto& e : entries_) width = std::max(width, e->name.size() + 6);
+  char line[256];
+  for (const auto& e : entries_) {
+    switch (e->kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge: {
+        const long long v = e->kind == MetricKind::kCounter ? e->counter->value()
+                                                            : e->gauge->value();
+        if (skip_zero && v == 0) break;
+        std::snprintf(line, sizeof(line), "  %-*s %12lld\n", static_cast<int>(width),
+                      e->name.c_str(), v);
+        os << line;
+        break;
+      }
+      case MetricKind::kHistogram: {
+        const long long count = e->histogram->count();
+        if (skip_zero && count == 0) break;
+        const long long sum = e->histogram->sum();
+        const double avg = count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                                     : 0.0;
+        std::snprintf(line, sizeof(line), "  %-*s count=%lld sum=%lld avg=%.2f\n",
+                      static_cast<int>(width), e->name.c_str(), count, sum, avg);
+        os << line;
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string to_prometheus_text(const MetricsRegistry& reg) { return reg.to_prometheus(); }
+std::string to_summary_table(const MetricsRegistry& reg, bool skip_zero) {
+  return reg.to_table(skip_zero);
+}
+
+std::string iso8601_utc_now() {
+  const std::time_t t = std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace lad::obs

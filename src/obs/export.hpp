@@ -1,0 +1,35 @@
+// Sink-side exporters for the telemetry subsystem (DESIGN.md §9).
+//
+// Formats:
+//   * Chrome trace_event JSON — load in chrome://tracing or
+//     https://ui.perfetto.dev ("Open trace file"). Balanced B/E duration
+//     events, ts in microseconds, one tid per recording thread.
+//   * JSONL — one event object per line, for ad-hoc jq/awk pipelines.
+//   * Prometheus text exposition format — counters/gauges/histograms with
+//     HELP/TYPE headers; histograms use cumulative le buckets. All values
+//     are integers, so the rendering is byte-deterministic for a fixed
+//     metric state.
+//   * Human summary table — what `lad trace` prints.
+//
+// Everything here renders a point-in-time view; record first, export after
+// parallel work has joined (the pool barrier orders the buffer writes).
+#pragma once
+
+#include <string>
+
+#include "obs/telemetry.hpp"
+
+namespace lad::obs {
+
+std::string to_chrome_trace_json(const TraceRecorder& rec);
+std::string to_events_jsonl(const TraceRecorder& rec);
+std::string to_prometheus_text(const MetricsRegistry& reg);
+
+/// Aligned `metric value` lines; histograms render count/sum/avg.
+/// `skip_zero` drops zero-valued scalars (default: compact output).
+std::string to_summary_table(const MetricsRegistry& reg, bool skip_zero = true);
+
+/// Current UTC wall time as "YYYY-MM-DDTHH:MM:SSZ" (bench JSON stamps).
+std::string iso8601_utc_now();
+
+}  // namespace lad::obs

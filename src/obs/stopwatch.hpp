@@ -1,0 +1,45 @@
+// The one wall clock of the perf surface.
+//
+// Before this header existed, bench/bench_runner.cpp carried its own
+// steady_clock stopwatch and bench/bench_common.hpp its own stats math —
+// two implementations that could silently drift apart. Both the legacy
+// google-benchmark binaries (via bench_common.hpp) and the registry-driven
+// `lad bench` runner now consume these helpers, so a timing or per-node
+// normalization fix lands in exactly one place.
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+namespace lad::obs {
+
+/// Steady-clock stopwatch; ms() reads the elapsed time without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : t0_(std::chrono::steady_clock::now()) {}
+
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+  void restart() { t0_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Wall time of one invocation of `fn`, in milliseconds.
+inline double time_ms(const std::function<void()>& fn) {
+  const Stopwatch sw;
+  fn();
+  return sw.ms();
+}
+
+/// Per-node normalization with the honest empty-graph convention: 0, not a
+/// division by zero and not a hardcoded constant.
+inline double per_node(long long total, long long nodes) {
+  return nodes > 0 ? static_cast<double>(total) / static_cast<double>(nodes) : 0.0;
+}
+
+}  // namespace lad::obs

@@ -1,0 +1,325 @@
+// Telemetry core: metrics registry + RAII span tracer (DESIGN.md §9).
+//
+// The paper states every quantitative claim in observable units — rounds,
+// messages, bits of advice per node, ball radii — and "Message Reduction in
+// the LOCAL Model is a Free Lunch" (Bitton et al.) makes message/bit volume
+// a complexity measure of its own, distinct from rounds. This layer turns
+// those units into one instrumented source of truth: counters/gauges/
+// histograms with deterministic registration order, plus begin/end spans
+// collected into per-thread buffers, exportable as a Chrome trace_event
+// JSON (chrome://tracing / Perfetto), a flat JSONL log, or Prometheus text
+// (obs/export.hpp).
+//
+// Contract with the rest of the system, in priority order:
+//
+//   1. *Telemetry never influences outputs.* Instrumentation only reads
+//      program state; enabling it must not change a single node digest
+//      (tests/test_telemetry.cpp pins this for all six registry pipelines,
+//      and the §8 byte-identity determinism contract stays intact).
+//   2. *Zero overhead when disabled.* Compile-time: building with
+//      -DLAD_TELEMETRY=OFF turns every hook into an empty statement.
+//      Runtime: hooks are compiled in but gated on one relaxed atomic load
+//      (telemetry is off by default; `lad trace` / `lad bench --trace`
+//      switch it on).
+//   3. *Thread safety without determinism loss.* Counters are relaxed
+//      atomics — increments commute, so totals that aggregate a
+//      thread-count-independent multiset of increments (engine messages,
+//      campaign faults, advice bits) are byte-identical at any thread
+//      count. Spans land in thread-local buffers; their interleaving is
+//      scheduling-dependent by nature, but per-thread order and B/E balance
+//      are stable per run.
+//
+// This library sits below util/ (contracts.hpp counts checks through it),
+// so it depends on nothing but the standard library.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Compile-time toggle (CMake option LAD_TELEMETRY, default ON -> =1).
+#ifndef LAD_TELEMETRY
+#define LAD_TELEMETRY 0
+#endif
+
+namespace lad::obs {
+
+/// True iff the build carries telemetry hooks (LAD_TELEMETRY != 0).
+bool compiled_in();
+
+/// Runtime master switch. Off by default; enabling it materializes the core
+/// metric catalog (so exports list every metric even at value 0). A no-op
+/// warning-free call when telemetry is compiled out.
+void set_enabled(bool on);
+
+#if LAD_TELEMETRY
+inline std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+inline bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+#else
+inline bool enabled() { return false; }
+#endif
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+/// Monotone counter. add() is a relaxed atomic fetch-add: increments
+/// commute, so totals are deterministic whenever the multiset of increments
+/// is (which every serial-phase metric in this repository guarantees).
+class Counter {
+ public:
+  void add(long long delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  long long value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> v_{0};
+};
+
+/// Last-writer-wins instantaneous value (thread counts, configured sizes).
+class Gauge {
+ public:
+  void set(long long v) { v_.store(v, std::memory_order_relaxed); }
+  long long value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> v_{0};
+};
+
+/// Power-of-two-bucket histogram for non-negative integer observations
+/// (rounds per decode, messages per run, repair radii). Bucket upper bounds
+/// are 1, 2, 4, ..., 2^(kBuckets-2), +Inf; counts are relaxed atomics, so
+/// the same commutativity argument as Counter applies.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 22;  // le=1 .. le=2^20, +Inf
+
+  void observe(long long x);
+  long long count() const { return count_.load(std::memory_order_relaxed); }
+  long long sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Non-cumulative count of bucket `i` (upper bound = bound(i)).
+  long long bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of bucket i; the last bucket is +Inf (returns -1).
+  static long long bound(int i) {
+    return i + 1 < kBuckets ? (1LL << i) : -1;
+  }
+  void reset();
+
+ private:
+  std::atomic<long long> buckets_[kBuckets] = {};
+  std::atomic<long long> count_{0};
+  std::atomic<long long> sum_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time scalar view of one metric (histograms expand to their
+/// _sum and _count), used for bench-row snapshots and the summary table.
+struct MetricValue {
+  std::string name;
+  long long value = 0;
+};
+
+/// Process-wide metric registry. Metrics are created on first lookup and
+/// kept in registration order; the core catalog below is registered as one
+/// block, so exports and snapshots are deterministically ordered no matter
+/// which instrumentation point fires first.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name, const std::string& help);
+  Gauge& gauge(const std::string& name, const std::string& help);
+  Histogram& histogram(const std::string& name, const std::string& help);
+
+  /// Scalar values in registration order. Histograms contribute
+  /// `<name>_sum` and `<name>_count`. `skip_zero` drops zero-valued entries
+  /// (compact bench rows).
+  std::vector<MetricValue> snapshot(bool skip_zero = false) const;
+
+  /// Zeroes every registered metric (tests and per-case bench deltas).
+  void reset();
+
+  // Export surface (implemented in obs/export.cpp).
+  std::string to_prometheus() const;
+  std::string to_table(bool skip_zero = true) const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::string name;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& get_or_create(MetricKind kind, const std::string& name, const std::string& help);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+};
+
+/// The core metric catalog, registered in one deterministic block on first
+/// use (set_enabled(true) touches it). Units are in the help strings; the
+/// full catalog with units is documented in DESIGN.md §9.
+struct CoreMetrics {
+  // LOCAL engine (local/engine.cpp): the message-complexity axis.
+  Counter& engine_runs;
+  Counter& engine_rounds;
+  Counter& engine_messages;
+  Counter& engine_message_bits;
+  Counter& engine_messages_dropped;
+  Counter& engine_messages_corrupted;
+  Counter& engine_crashed_nodes;
+  Histogram& engine_run_messages;
+
+  // Ball gather + §8 canonical-view memo (local/gather.cpp).
+  Counter& gather_balls;
+  Counter& gather_cache_hits;
+  Counter& gather_cache_misses;
+
+  // Pipeline registry (core/pipeline.cpp): the advice/rounds axes.
+  Counter& pipeline_encodes;
+  Counter& pipeline_decodes;
+  Counter& pipeline_verifies;
+  Counter& pipeline_decode_rounds;
+  Counter& advice_bits_written;
+  Counter& advice_bits_read;
+  Histogram& decode_rounds;
+
+  // Guarded decoding + fault campaigns (faults/).
+  Counter& guard_detections;
+  Counter& repaired_nodes;
+  Counter& flagged_nodes;
+  Counter& repair_regions;
+  Counter& repair_escalations;
+  Histogram& repair_region_radius;
+  Counter& campaign_trials;
+  Counter& campaign_faults_injected;
+
+  // Execution substrate (util/thread_pool.cpp) + contracts.
+  Counter& pool_chunks;
+  Gauge& pool_threads;
+  Counter& contract_checks;
+};
+
+CoreMetrics& core();
+
+// ---------------------------------------------------------------------------
+// Span tracing
+
+/// One begin ('B') or end ('E') event, Chrome trace_event flavored.
+struct TraceEvent {
+  std::string name;
+  const char* cat = "lad";
+  std::uint64_t ts_us = 0;  // microseconds since process trace epoch
+  char phase = 'B';
+};
+
+/// Process-wide trace collector. Spans append to a per-thread buffer (one
+/// uncontended mutex each); export after parallel work has joined — the
+/// thread-pool barrier orders all appends before the caller's read. A
+/// per-thread cap bounds memory; dropped spans are counted, never silent
+/// (the cap drops whole B/E pairs, so balance is preserved).
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+  static TraceRecorder& instance();
+
+  /// Forgets all recorded events (thread ids are kept). Do not call while
+  /// spans are open.
+  void clear();
+
+  /// Total events currently buffered / events dropped to the cap.
+  std::size_t event_count() const;
+  long long dropped() const;
+
+  /// Events grouped by thread id (ascending), in per-thread record order.
+  std::vector<std::pair<int, std::vector<TraceEvent>>> events_by_thread() const;
+
+  // Export surface (implemented in obs/export.cpp).
+  std::string to_chrome_json() const;
+  std::string to_jsonl() const;
+
+  void record(char phase, const std::string& name, const char* cat);
+
+ private:
+  struct ThreadBuf {
+    int tid = 0;
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+    long long dropped = 0;
+    int open_dropped = 0;  // B events dropped whose E must be dropped too
+  };
+
+  ThreadBuf& local_buf();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+  int next_tid_ = 0;
+};
+
+/// Microseconds since the process trace epoch (steady clock; monotone
+/// within a thread, which the Chrome trace format requires).
+std::uint64_t trace_now_us();
+
+/// RAII span: records B at construction and E at destruction into the
+/// current thread's buffer. Inactive (and nearly free) while telemetry is
+/// runtime-disabled; spans must begin and end on the same thread (RAII
+/// guarantees it).
+class Span {
+ public:
+  explicit Span(std::string name, const char* cat = "lad");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  const char* cat_ = nullptr;
+  bool active_ = false;
+};
+
+}  // namespace lad::obs
+
+// ---------------------------------------------------------------------------
+// Hook macros: the only things instrumented code should touch. All of them
+// compile to empty statements under -DLAD_TELEMETRY=OFF and to a single
+// relaxed load + branch when runtime-disabled.
+
+#if LAD_TELEMETRY
+/// Runs `stmt` only when telemetry is runtime-enabled.
+#define LAD_TM(stmt)                \
+  do {                              \
+    if (::lad::obs::enabled()) {    \
+      stmt;                         \
+    }                               \
+  } while (0)
+/// Declares an RAII span named `var` (inactive when runtime-disabled).
+#define LAD_TM_SPAN(var, name, cat) ::lad::obs::Span var((name), (cat))
+/// Contract-check accounting hook used by util/contracts.hpp.
+#define LAD_TM_COUNT_CONTRACT()                               \
+  do {                                                        \
+    if (::lad::obs::enabled()) {                              \
+      ::lad::obs::core().contract_checks.add(1);              \
+    }                                                         \
+  } while (0)
+#else
+#define LAD_TM(stmt) \
+  do {               \
+  } while (0)
+#define LAD_TM_SPAN(var, name, cat) ((void)0)
+#define LAD_TM_COUNT_CONTRACT() \
+  do {                          \
+  } while (0)
+#endif

@@ -17,11 +17,16 @@
 //   LAD_UNREACHABLE(msg)
 //       Marks control flow that must never execute. Throws when asserts are
 //       enabled; tells the optimizer the path is dead otherwise.
+// Check evaluations are counted into the telemetry registry
+// (lad_contract_checks_total) when telemetry is compiled in and
+// runtime-enabled — one relaxed atomic load on the hot path otherwise.
 #pragma once
 
 #include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "obs/telemetry.hpp"
 
 namespace lad {
 
@@ -52,11 +57,13 @@ namespace detail {
 
 #define LAD_CHECK(expr)                                                       \
   do {                                                                        \
+    LAD_TM_COUNT_CONTRACT();                                                  \
     if (!(expr)) ::lad::detail::check_failed(#expr, __FILE__, __LINE__, "");  \
   } while (0)
 
 #define LAD_CHECK_MSG(expr, msg)                                            \
   do {                                                                      \
+    LAD_TM_COUNT_CONTRACT();                                                \
     if (!(expr)) {                                                          \
       std::ostringstream os_;                                               \
       os_ << msg;                                                           \

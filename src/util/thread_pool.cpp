@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/telemetry.hpp"
 #include "util/contracts.hpp"
 
 namespace lad {
@@ -14,6 +15,7 @@ int ThreadPool::default_threads() {
 
 ThreadPool::ThreadPool(int threads) {
   threads_ = threads <= 0 ? default_threads() : threads;
+  LAD_TM(obs::core().pool_threads.set(threads_));
   if (threads_ == 1) return;  // inline mode: no workers, no locking
   workers_.reserve(static_cast<std::size_t>(threads_));
   for (int t = 0; t < threads_; ++t) {
@@ -59,6 +61,11 @@ void ThreadPool::run_chunks(const std::function<void(int)>& chunk_fn, int num_ch
   // rethrown, matching what a serial left-to-right loop would surface.
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_chunks));
   auto guarded = [&](int c) {
+    // The span lands in the executing thread's trace buffer, so traces show
+    // the actual chunk->thread schedule; the counter total stays a pure
+    // function of (count, threads).
+    LAD_TM_SPAN(chunk_span, "pool.chunk", "pool");
+    LAD_TM(obs::core().pool_chunks.add(1));
     try {
       chunk_fn(c);
     } catch (...) {

@@ -8,7 +8,9 @@
 //   lad proof    <graph.txt> <mis|matching|3col>   # §1.2 certificate demo
 //   lad audit    <graph.txt> <alg>    # locality-conformance audit
 //   lad faultsim <decoder> <family> <n> [trials] [seed]   # seeded fault campaign
-//   lad bench    <suite> [--threads K] [--json out.json]  # batched perf harness
+//   lad bench    <suite> [--threads K] [--json out.json] [--trace]  # perf harness
+//   lad trace    <pipeline> [--family F] [-n N] [--out t.json] [--metrics m.prom]
+//                                     # telemetry: spans + metric counters
 //   lad dot      <graph.txt>          # Graphviz export
 //
 // Decoder-facing commands (audit, faultsim) dispatch through the Pipeline
@@ -43,6 +45,10 @@
 #include "lcl/solver.hpp"
 #include "local/audit.hpp"
 #include "local/engine.hpp"
+#include "obs/export.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/version.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -67,8 +73,15 @@ int usage() {
                "            delta_coloring, subexp_lcl, decompress; orient/split/compress\n"
                "            are accepted aliases)\n"
                "  lad faultsim <pipeline> <cycle|grid|torus> <n> [trials] [seed]\n"
-               "  lad bench <suite> [--threads K] [--json out.json]\n"
-               "            suites: e1..e9 r1 gather smoke all\n"
+               "  lad bench <suite> [--threads K] [--json out.json] [--trace]\n"
+               "            suites: e1..e9 r1 gather smoke all; --trace embeds per-case\n"
+               "            telemetry counters in the JSON\n"
+               "  lad trace <pipeline> [--family cycle|grid|torus] [-n N] [--seed S]\n"
+               "            [--out trace.json] [--jsonl events.jsonl] [--metrics m.prom]\n"
+               "            runs encode -> decode -> verify -> verification echo with\n"
+               "            telemetry on; prints the metric table, optionally exports a\n"
+               "            Chrome trace (chrome://tracing, Perfetto), JSONL events, and\n"
+               "            Prometheus text metrics\n"
                "  lad dot <graph.txt>\n");
   return 2;
 }
@@ -374,6 +387,7 @@ int cmd_bench(int argc, char** argv) {
   const std::string suite = argv[0];
   int threads = ThreadPool::default_threads();
   std::string json_path;
+  bool with_trace = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--threads" && i + 1 < argc) {
@@ -381,6 +395,8 @@ int cmd_bench(int argc, char** argv) {
       if (threads < 1) return usage();
     } else if (a == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (a == "--trace") {
+      with_trace = true;
     } else {
       return usage();
     }
@@ -391,7 +407,7 @@ int cmd_bench(int argc, char** argv) {
     return 2;
   }
 
-  const auto res = bench::run_bench_suite(suite, threads);
+  const auto res = bench::run_bench_suite(suite, threads, with_trace);
   std::printf("suite %s, %d threads (%d hardware)\n", res.suite.c_str(), res.threads,
               res.hardware_threads);
   std::printf("%-34s %8s %6s %10s %10s %8s %5s\n", "case", "n", "rounds", "1t ms", "ms",
@@ -443,6 +459,104 @@ int cmd_faultsim(int argc, char** argv) {
   return s.silent_corruptions == 0 ? 0 : 1;
 }
 
+// One observed end-to-end run of a pipeline: encode -> decode -> verify on
+// a campaign-family instance, then the distributed verification echo (the
+// source of genuine message/bit traffic — the combinatorial decoders do
+// not themselves push bytes through the engine). Telemetry is runtime-
+// enabled for the duration; the registry and trace buffers are cleared
+// first so every number printed is attributable to this run.
+int cmd_trace(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto decoder = faults::parse_decoder(argv[0]);
+  if (!decoder) {
+    std::fprintf(stderr, "error: unknown pipeline '%s'\n", argv[0]);
+    return 2;
+  }
+  faults::GraphFamily family = faults::GraphFamily::kCycle;
+  int n = 96;
+  std::uint64_t seed = 1;
+  std::string out_path, jsonl_path, metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--family" && i + 1 < argc) {
+      const auto f = faults::parse_family(argv[++i]);
+      if (!f) return usage();
+      family = *f;
+    } else if (a == "-n" && i + 1 < argc) {
+      n = std::atoi(argv[++i]);
+      if (n < 8) return usage();
+    } else if (a == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--jsonl" && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (a == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (!obs::compiled_in()) {
+    std::fprintf(stderr,
+                 "error: this build has LAD_TELEMETRY=OFF; reconfigure with "
+                 "-DLAD_TELEMETRY=ON to use `lad trace`\n");
+    return 2;
+  }
+
+  obs::set_enabled(true);
+  obs::MetricsRegistry::instance().reset();
+  obs::TraceRecorder::instance().clear();
+
+  const Pipeline& p = pipeline(*decoder);
+  PipelineConfig cfg;
+  cfg.seed = seed;
+  if (p.id() == PipelineId::kSubexpLcl) cfg.subexp.x = 60;
+  const Graph g = faults::build_campaign_graph(*decoder, family, n);
+
+  const auto adv = p.encode(g, cfg);
+  const auto out = p.decode(g, adv, cfg);
+  const bool ok = p.verify(g, out, cfg);
+  const auto echo = faults::run_verification_echo(g, p.node_digests(g, out), /*echo_rounds=*/3);
+
+  const auto stats = adv.stats(g.n());
+  std::printf("lad trace — build %s\n", obs::kGitCommit);
+  std::printf("pipeline %s (%s) on %s n=%d m=%d seed=%llu\n", p.name(), p.paper_section(),
+              faults::to_string(family), g.n(), g.m(),
+              static_cast<unsigned long long>(seed));
+  std::printf("advice: %lld bits (%.3f/node); decode: %d LOCAL rounds; verify: %s\n",
+              stats.total_bits, obs::per_node(stats.total_bits, g.n()), out.rounds,
+              ok ? "ok" : "FAILED");
+  std::printf("verification echo: %lld messages, %lld bits on the wire, %d rounds, "
+              "%zu unverified\n\n",
+              echo.messages, echo.bytes * 8, echo.rounds, echo.unverified_nodes.size());
+
+  std::printf("%s", obs::MetricsRegistry::instance().to_table().c_str());
+
+  auto& rec = obs::TraceRecorder::instance();
+  std::printf("\nspans recorded: %zu", rec.event_count() / 2);
+  if (rec.dropped() > 0) std::printf(" (%lld dropped at the per-thread cap)", rec.dropped());
+  std::printf("\n");
+
+  auto write_file = [](const std::string& path, const std::string& body, const char* what) {
+    std::ofstream f(path);
+    LAD_CHECK_MSG(f.good(), "cannot write " << path);
+    f << body;
+    std::printf("wrote %s (%s)\n", path.c_str(), what);
+  };
+  if (!out_path.empty()) {
+    write_file(out_path, rec.to_chrome_json(), "Chrome trace; load in chrome://tracing or Perfetto");
+  }
+  if (!jsonl_path.empty()) write_file(jsonl_path, rec.to_jsonl(), "JSONL events");
+  if (!metrics_path.empty()) {
+    write_file(metrics_path, obs::MetricsRegistry::instance().to_prometheus(),
+               "Prometheus text format");
+  }
+
+  obs::set_enabled(false);
+  return ok && echo.unverified_nodes.empty() ? 0 : 1;
+}
+
 int cmd_dot(const std::string& path) {
   const Graph g = load(path);
   std::cout << to_dot(g);
@@ -463,6 +577,7 @@ int main(int argc, char** argv) {
     if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
     if (cmd == "faultsim") return cmd_faultsim(argc - 2, argv + 2);
     if (cmd == "bench") return cmd_bench(argc - 2, argv + 2);
+    if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
     if (cmd == "dot" && argc >= 3) return cmd_dot(argv[2]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
