@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <utility>
@@ -20,6 +21,7 @@
 #include "obs/stopwatch.hpp"
 #include "obs/version.hpp"
 #include "util/contracts.hpp"
+#include "util/hashing.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lad::bench {
@@ -255,13 +257,24 @@ std::string fmt(double v, int prec) {
   return buf;
 }
 
+/// 16-hex-digit splitmix fold of the raw (potentially huge) case digest —
+/// platform-independent, cheap to diff, and still byte-sensitive.
+std::string fingerprint(const std::string& bytes) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const char c : bytes) h = hash2(h, static_cast<unsigned char>(c));
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
 }  // namespace
 
 std::vector<std::string> bench_suite_names() {
   return {"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "r1", "gather", "smoke", "all"};
 }
 
-BenchSuiteResult run_bench_suite(const std::string& suite, int threads, bool with_metrics) {
+BenchSuiteResult run_bench_suite(const std::string& suite, int threads, bool with_metrics,
+                                 int reps) {
   BenchSuiteResult out;
   out.suite = suite;
   out.threads = threads > 0 ? threads : ThreadPool::default_threads();
@@ -269,6 +282,7 @@ BenchSuiteResult run_bench_suite(const std::string& suite, int threads, bool wit
   out.schema_version = obs::kBenchSchemaVersion;
   out.git_commit = obs::kGitCommit;
   out.timestamp = obs::iso8601_utc_now();
+  out.reps = std::max(1, reps);
 
   // --trace mode: telemetry on for the whole suite; the registry is reset
   // before each case's serial run and snapshotted right after it, so the
@@ -281,15 +295,29 @@ BenchSuiteResult run_bench_suite(const std::string& suite, int threads, bool wit
     BenchCaseResult res;
     res.name = c.name;
     CaseRun serial;
-    if (with_metrics) obs::MetricsRegistry::instance().reset();
-    res.wall_ms_1 = time_ms([&] { serial = c.run(1); });
+    // Min-of-K timing: one discarded warmup (page-cache / allocator / CPU
+    // governor effects land there), then the min over reps timed runs —
+    // the most repeatable point statistic of a right-skewed wall-time
+    // distribution. Execution is deterministic, so every rep produces the
+    // same serial CaseRun and the metric snapshot of the last rep is the
+    // metric snapshot of all of them.
+    if (out.reps > 1) c.run(1);
+    res.wall_ms_1 = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < out.reps; ++rep) {
+      if (with_metrics) obs::MetricsRegistry::instance().reset();
+      res.wall_ms_1 = std::min(res.wall_ms_1, time_ms([&] { serial = c.run(1); }));
+    }
     if (with_metrics) {
       res.metrics = obs::MetricsRegistry::instance().snapshot(/*skip_zero=*/true);
       obs::TraceRecorder::instance().clear();
     }
+    res.digest = fingerprint(serial.digest);
     if (out.threads > 1) {
       CaseRun parallel;
-      res.wall_ms = time_ms([&] { parallel = c.run(out.threads); });
+      res.wall_ms = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < out.reps; ++rep) {
+        res.wall_ms = std::min(res.wall_ms, time_ms([&] { parallel = c.run(out.threads); }));
+      }
       res.identical = parallel.digest == serial.digest;
     } else {
       res.wall_ms = res.wall_ms_1;
@@ -316,6 +344,7 @@ std::string BenchSuiteResult::to_json() const {
      << "  \"suite\": \"" << suite << "\",\n"
      << "  \"threads\": " << threads << ",\n"
      << "  \"hardware_threads\": " << hardware_threads << ",\n"
+     << "  \"reps\": " << reps << ",\n"
      << "  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const auto& c = cases[i];
@@ -323,7 +352,8 @@ std::string BenchSuiteResult::to_json() const {
        << ", \"rounds\": " << c.rounds << ", \"bits_per_node\": " << fmt(c.bits_per_node, 4)
        << ", \"total_bits\": " << c.total_bits << ", \"wall_ms_1t\": " << fmt(c.wall_ms_1, 3)
        << ", \"wall_ms\": " << fmt(c.wall_ms, 3) << ", \"speedup_vs_1\": "
-       << fmt(c.speedup_vs_1, 3) << ", \"identical\": " << (c.identical ? "true" : "false");
+       << fmt(c.speedup_vs_1, 3) << ", \"identical\": " << (c.identical ? "true" : "false")
+       << ", \"digest\": \"" << c.digest << "\"";
     if (!c.metrics.empty()) {
       os << ", \"metrics\": {";
       for (std::size_t j = 0; j < c.metrics.size(); ++j) {

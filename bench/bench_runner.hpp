@@ -29,10 +29,13 @@ struct BenchCaseResult {
   int rounds = 0;            // LOCAL rounds of the measured decode (0: n/a)
   double bits_per_node = 0;  // advice cost (0 where no advice is measured)
   long long total_bits = 0;
-  double wall_ms_1 = 0;     // wall time of the whole batch at 1 thread
-  double wall_ms = 0;       // ... at the requested thread count
+  double wall_ms_1 = 0;     // wall time of the whole batch at 1 thread (min of reps)
+  double wall_ms = 0;       // ... at the requested thread count (min of reps)
   double speedup_vs_1 = 0;  // wall_ms_1 / wall_ms
   bool identical = true;    // multi-thread outputs byte-identical to serial
+  /// 64-bit splitmix fingerprint (hex) of the serial output bytes — the
+  /// machine-portable structural axis `lad diffbench` compares exactly.
+  std::string digest;
   /// Telemetry counters attributed to the serial run of this case (empty
   /// unless the suite ran with with_metrics; zero-valued metrics skipped).
   std::vector<obs::MetricValue> metrics;
@@ -51,6 +54,9 @@ struct BenchSuiteResult {
   std::string git_commit;
   /// ISO-8601 UTC wall time the suite started.
   std::string timestamp;
+  /// Timing repetitions per case (`lad bench --reps K`): one discarded
+  /// warmup, then wall_ms_1 / wall_ms are the min over K timed runs.
+  int reps = 1;
   std::vector<BenchCaseResult> cases;
 
   /// Deterministic except for the wall-time and timestamp fields.
@@ -63,9 +69,11 @@ std::vector<std::string> bench_suite_names();
 /// Runs one suite. `threads` <= 0 means ThreadPool::default_threads().
 /// `with_metrics` enables telemetry and attributes per-case counter
 /// snapshots (of the serial run) to each case — the `lad bench --trace`
-/// path. Throws on unknown suite names (callers validate via
+/// path. `reps` > 1 runs one discarded warmup then takes the min wall time
+/// over `reps` timed runs per case (the stable-axis timing `lad diffbench`
+/// gates on). Throws on unknown suite names (callers validate via
 /// bench_suite_names()).
 BenchSuiteResult run_bench_suite(const std::string& suite, int threads,
-                                 bool with_metrics = false);
+                                 bool with_metrics = false, int reps = 1);
 
 }  // namespace lad::bench

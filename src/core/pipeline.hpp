@@ -49,6 +49,7 @@
 #include "graph/checkers.hpp"
 #include "graph/graph.hpp"
 #include "lcl/lcl.hpp"
+#include "obs/fit.hpp"
 
 namespace lad {
 
@@ -112,6 +113,23 @@ struct PipelineOutput {
   int rounds = 0;
 };
 
+/// The machine-checkable form of a pipeline's paper theorem: expected
+/// growth classes versus n for the three measured series, optional absolute
+/// bounds, and the statement being claimed. obs/claims.hpp assembles the
+/// claim registry from these hooks, so registering a pipeline registers its
+/// claims — the two registries cannot drift apart.
+struct PipelineClaims {
+  obs::GrowthClass rounds_growth = obs::GrowthClass::kConstant;
+  obs::GrowthClass bits_growth = obs::GrowthClass::kConstant;
+  /// Only meaningful for AdviceCarrier::kUniformBits pipelines.
+  obs::GrowthClass ones_growth = obs::GrowthClass::kConstant;
+  /// Absolute ceilings checked pointwise at every sweep n; <= 0 = no bound.
+  double max_bits_per_node = 0;
+  double max_ones_ratio = 0;
+  /// The theorem, quoted (the source of truth is arXiv:2405.04519).
+  const char* statement = "";
+};
+
 class Pipeline {
  public:
   virtual ~Pipeline() = default;
@@ -132,6 +150,13 @@ class Pipeline {
   /// with roughly `n` nodes — the uniform way for benches, smoke tests, and
   /// audits to get a valid instance per pipeline.
   virtual Graph make_instance(int n, std::uint64_t seed) const = 0;
+
+  /// Claim hooks (the claims observatory, DESIGN.md §9.6): the growth
+  /// classes and bounds this pipeline's theorem promises on make_instance
+  /// sweeps, and the config an n-point of such a sweep should run with
+  /// (subexp scales x to the family; everything else uses defaults).
+  virtual PipelineClaims claims() const = 0;
+  virtual PipelineConfig sweep_config(int /*n*/) const { return {}; }
 
   // The four stage entry points are non-virtual wrappers (NVI): every
   // consumer of any of the six pipelines funnels through pipeline.cpp's

@@ -1,0 +1,375 @@
+#include "obs/benchdiff.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace lad::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the subset our bench writer emits: objects,
+// arrays, strings (no escapes beyond \" and \\), numbers, true/false.
+// Anything else is a hard parse error — this reads our own artifacts, so
+// leniency would only mask writer bugs.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("bench JSON parse error at byte " + std::to_string(pos_) + ": " +
+                             why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return boolean();
+    return number();
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        c = text_[pos_++];
+        if (c != '"' && c != '\\') fail("unsupported escape");
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("expected true/false");
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           ((std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      std::string key = string();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double num_field(const JsonValue& obj, const std::string& key, bool required,
+                 double dflt = 0) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    if (required) throw std::runtime_error("bench JSON: missing field \"" + key + "\"");
+    return dflt;
+  }
+  if (v->kind != JsonValue::Kind::kNumber) {
+    throw std::runtime_error("bench JSON: field \"" + key + "\" is not a number");
+  }
+  return v->number;
+}
+
+std::string str_field(const JsonValue& obj, const std::string& key, bool required) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    if (required) throw std::runtime_error("bench JSON: missing field \"" + key + "\"");
+    return {};
+  }
+  if (v->kind != JsonValue::Kind::kString) {
+    throw std::runtime_error("bench JSON: field \"" + key + "\" is not a string");
+  }
+  return v->string;
+}
+
+std::string fmt_ms(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchDoc parse_bench_json(const std::string& text) {
+  const JsonValue root = JsonParser(text).parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("bench JSON: top level is not an object");
+  }
+  BenchDoc doc;
+  doc.schema_version = static_cast<int>(num_field(root, "schema_version", /*required=*/true));
+  if (doc.schema_version < 2) {
+    throw std::runtime_error("bench JSON: schema_version " +
+                             std::to_string(doc.schema_version) +
+                             " predates the diffable format (need >= 2)");
+  }
+  doc.git_commit = str_field(root, "git_commit", true);
+  doc.timestamp = str_field(root, "timestamp", true);
+  doc.suite = str_field(root, "suite", true);
+  doc.threads = static_cast<int>(num_field(root, "threads", true));
+  doc.hardware_threads = static_cast<int>(num_field(root, "hardware_threads", true));
+  doc.reps = static_cast<int>(num_field(root, "reps", /*required=*/false, 1));
+
+  const JsonValue* cases = root.find("cases");
+  if (cases == nullptr || cases->kind != JsonValue::Kind::kArray) {
+    throw std::runtime_error("bench JSON: missing \"cases\" array");
+  }
+  for (const JsonValue& c : cases->array) {
+    if (c.kind != JsonValue::Kind::kObject) {
+      throw std::runtime_error("bench JSON: case entry is not an object");
+    }
+    BenchCaseRow row;
+    row.name = str_field(c, "name", true);
+    row.n = static_cast<int>(num_field(c, "n", true));
+    row.m = static_cast<int>(num_field(c, "m", true));
+    row.rounds = static_cast<int>(num_field(c, "rounds", true));
+    row.bits_per_node = num_field(c, "bits_per_node", true);
+    row.total_bits = static_cast<long long>(num_field(c, "total_bits", true));
+    row.wall_ms_1 = num_field(c, "wall_ms_1t", true);
+    row.wall_ms = num_field(c, "wall_ms", true);
+    row.digest = str_field(c, "digest", /*required=*/false);
+    if (const JsonValue* m = c.find("metrics"); m != nullptr) {
+      if (m->kind != JsonValue::Kind::kObject) {
+        throw std::runtime_error("bench JSON: \"metrics\" is not an object");
+      }
+      for (const auto& [k, v] : m->object) {
+        row.metrics[k] = static_cast<long long>(v.number);
+      }
+    }
+    doc.cases.push_back(std::move(row));
+  }
+  return doc;
+}
+
+DiffStatus BenchDiffResult::status() const {
+  DiffStatus worst = DiffStatus::kClean;
+  for (const auto& d : diffs) {
+    if (static_cast<int>(d.severity) > static_cast<int>(worst)) worst = d.severity;
+  }
+  return worst;
+}
+
+std::string BenchDiffResult::to_text() const {
+  std::ostringstream os;
+  if (diffs.empty()) {
+    os << "diffbench: clean (" << cases_compared << " cases compared)\n";
+    return os.str();
+  }
+  for (const auto& d : diffs) {
+    os << (d.severity == DiffStatus::kRegression ? "REGRESSION" : "MISMATCH") << " ";
+    if (!d.name.empty()) os << d.name << " ";
+    os << "[" << d.field << "]: " << d.detail << "\n";
+  }
+  os << "diffbench: " << diffs.size() << " finding(s) over " << cases_compared
+     << " compared case(s), exit " << static_cast<int>(status()) << "\n";
+  return os.str();
+}
+
+std::string BenchDiffResult::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"exit\": " << static_cast<int>(status())
+     << ",\n  \"cases_compared\": " << cases_compared << ",\n  \"findings\": [\n";
+  for (std::size_t i = 0; i < diffs.size(); ++i) {
+    const auto& d = diffs[i];
+    os << "    {\"case\": \"" << json_escape(d.name) << "\", \"field\": \""
+       << json_escape(d.field) << "\", \"severity\": "
+       << (d.severity == DiffStatus::kRegression ? "\"regression\"" : "\"mismatch\"")
+       << ", \"detail\": \"" << json_escape(d.detail) << "\"}"
+       << (i + 1 < diffs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+BenchDiffResult diff_bench(const BenchDoc& baseline, const BenchDoc& candidate,
+                           const BenchDiffOptions& opts) {
+  BenchDiffResult res;
+  auto mismatch = [&res](const std::string& name, const std::string& field,
+                         const std::string& detail) {
+    res.diffs.push_back({name, field, detail, DiffStatus::kMismatch});
+  };
+
+  if (baseline.suite != candidate.suite) {
+    mismatch("", "suite",
+             "baseline ran suite '" + baseline.suite + "', candidate '" + candidate.suite + "'");
+    return res;  // different suites: case-level comparison is meaningless
+  }
+
+  for (const auto& base : baseline.cases) {
+    const auto it =
+        std::find_if(candidate.cases.begin(), candidate.cases.end(),
+                     [&base](const BenchCaseRow& c) { return c.name == base.name; });
+    if (it == candidate.cases.end()) {
+      mismatch(base.name, "cases", "case present in baseline but missing from candidate");
+      continue;
+    }
+    const BenchCaseRow& cand = *it;
+    ++res.cases_compared;
+
+    auto exact = [&](const char* field, long long b, long long c) {
+      if (b != c) {
+        mismatch(base.name, field,
+                 "baseline " + std::to_string(b) + " != candidate " + std::to_string(c));
+      }
+    };
+    exact("n", base.n, cand.n);
+    exact("m", base.m, cand.m);
+    exact("rounds", base.rounds, cand.rounds);
+    exact("total_bits", base.total_bits, cand.total_bits);
+    if (std::fabs(base.bits_per_node - cand.bits_per_node) > 1e-4) {
+      mismatch(base.name, "bits_per_node",
+               "baseline " + fmt_ms(base.bits_per_node) + " != candidate " +
+                   fmt_ms(cand.bits_per_node));
+    }
+    if (!base.digest.empty() && !cand.digest.empty() && base.digest != cand.digest) {
+      mismatch(base.name, "digest",
+               "output digest diverged (baseline " + base.digest + ", candidate " +
+                   cand.digest + ")");
+    }
+
+    // Timing gate: serial min-of-K wall time, absolute + relative slack.
+    const double allowed =
+        base.wall_ms_1 + std::max(opts.tol_ms, opts.tol_rel * base.wall_ms_1);
+    if (cand.wall_ms_1 > allowed) {
+      res.diffs.push_back(
+          {base.name, "wall_ms_1t",
+           "candidate " + fmt_ms(cand.wall_ms_1) + " ms exceeds baseline " +
+               fmt_ms(base.wall_ms_1) + " ms + tolerance (allowed " + fmt_ms(allowed) + " ms)",
+           DiffStatus::kRegression});
+    }
+  }
+
+  for (const auto& cand : candidate.cases) {
+    const bool known = std::any_of(baseline.cases.begin(), baseline.cases.end(),
+                                   [&cand](const BenchCaseRow& b) { return b.name == cand.name; });
+    if (!known) {
+      mismatch(cand.name, "cases",
+               "case present in candidate but missing from baseline (rebaseline needed)");
+    }
+  }
+  return res;
+}
+
+}  // namespace lad::obs

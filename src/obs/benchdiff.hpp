@@ -1,0 +1,96 @@
+// Bench-regression sentinel: structural diff of two `lad bench --json`
+// documents (DESIGN.md §9.7).
+//
+// The bench JSON separates two kinds of fields and the diff treats them
+// accordingly:
+//
+//   * *Deterministic* fields — the case set, n/m, decode rounds, advice
+//     bits, and (schema v3+) the output digest — are contract: any change
+//     is a structural MISMATCH (exit 4), because the same source at the
+//     same seeds must reproduce them byte-for-byte on any machine.
+//   * *Timing* fields — wall_ms_1t per case — are compared with tolerance
+//     (absolute --tol-ms plus relative --tol-rel slack); a candidate slower
+//     than baseline + max(tol_ms, tol_rel·baseline) is a REGRESSION
+//     (exit 3). The serial time is gated, not the threaded one: min-of-K
+//     serial timing (bench --reps) is the stable axis, thread scheduling
+//     noise is not.
+//
+// Exit-code contract (machine-checkable; CI gates on >= 3):
+//   0 clean · 3 timing regression · 4 structural/digest mismatch
+//   (the CLI maps parse/usage errors to 2, like every other lad command).
+//
+// The parser accepts exactly the JSON subset our own writer emits (schema
+// v2+), field order free; it rejects anything else loudly rather than
+// guessing.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lad::obs {
+
+/// One parsed bench case row. `digest` is empty on schema-v2 documents
+/// (pre-digest); the diff then skips digest comparison for that case.
+struct BenchCaseRow {
+  std::string name;
+  int n = 0;
+  int m = 0;
+  int rounds = 0;
+  double bits_per_node = 0;
+  long long total_bits = 0;
+  double wall_ms_1 = 0;
+  double wall_ms = 0;
+  std::string digest;
+  std::map<std::string, long long> metrics;
+};
+
+struct BenchDoc {
+  int schema_version = 0;
+  std::string git_commit;
+  std::string timestamp;
+  std::string suite;
+  int threads = 0;
+  int hardware_threads = 0;
+  int reps = 1;  // schema v3; defaults to 1 on older documents
+  std::vector<BenchCaseRow> cases;
+};
+
+/// Parses a bench JSON document. Throws std::runtime_error on malformed
+/// input or schema_version < 2.
+BenchDoc parse_bench_json(const std::string& text);
+
+enum class DiffStatus {
+  kClean = 0,
+  kRegression = 3,  // timing outside tolerance
+  kMismatch = 4,    // deterministic field / case set / digest diverged
+};
+
+struct BenchDiffOptions {
+  /// Absolute wall-time slack in milliseconds.
+  double tol_ms = 250.0;
+  /// Relative wall-time slack as a fraction of the baseline case time.
+  double tol_rel = 0.75;
+};
+
+struct CaseDiff {
+  std::string name;   // case name ("" = document-level)
+  std::string field;  // which field diverged
+  std::string detail; // human-readable one-liner
+  DiffStatus severity = DiffStatus::kMismatch;
+};
+
+struct BenchDiffResult {
+  std::vector<CaseDiff> diffs;  // empty = clean
+  int cases_compared = 0;
+
+  /// Worst severity across diffs — the process exit code.
+  DiffStatus status() const;
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+BenchDiffResult diff_bench(const BenchDoc& baseline, const BenchDoc& candidate,
+                           const BenchDiffOptions& opts = {});
+
+}  // namespace lad::obs

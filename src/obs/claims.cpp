@@ -1,0 +1,289 @@
+#include "obs/claims.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/export.hpp"
+#include "obs/version.hpp"
+#include "util/hashing.hpp"
+
+namespace lad::obs {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Growth-class conformance: a measured class satisfies a claim when it is
+/// at or below the declared ceiling in the kConstant < kLogStar < kLog <
+/// kSqrt < kLinear order — a theorem promising O(log n) is not violated by
+/// a sweep that measures flat.
+bool within_class(GrowthClass measured, GrowthClass declared) {
+  return static_cast<int>(measured) <= static_cast<int>(declared);
+}
+
+ClaimCheck growth_check(const std::string& metric, GrowthClass declared,
+                        const std::vector<double>& ns, const std::vector<double>& ys,
+                        const FitOptions& opts) {
+  ClaimCheck check;
+  check.metric = metric;
+  check.expected = std::string("O(") + to_string(declared) + ") growth";
+  check.fit = fit_growth(ns, ys, opts);
+  check.observed = check.fit.to_string();
+  check.pass = within_class(check.fit.cls, declared);
+  return check;
+}
+
+ClaimCheck bound_check(const std::string& metric, double bound,
+                       const std::vector<double>& ys) {
+  ClaimCheck check;
+  check.metric = metric;
+  check.expected = "<= " + fmt(bound) + " at every sweep point";
+  const double worst = *std::max_element(ys.begin(), ys.end());
+  check.observed = "max " + fmt(worst);
+  check.pass = worst <= bound + 1e-9;
+  return check;
+}
+
+}  // namespace
+
+bool PipelineClaimReport::pass() const {
+  if (checks.empty()) return false;
+  for (const ClaimCheck& c : checks) {
+    if (!c.pass) return false;
+  }
+  return true;
+}
+
+bool ClaimsReport::pass() const {
+  if (pipelines.empty()) return false;
+  for (const PipelineClaimReport& r : pipelines) {
+    if (!r.pass()) return false;
+  }
+  return true;
+}
+
+std::vector<int> default_sweep_ns() { return {256, 512, 1024, 2048, 4096, 8192}; }
+
+std::vector<SweepPoint> run_claim_sweep(const Pipeline& p, const std::vector<int>& ns,
+                                        std::uint64_t seed) {
+  std::vector<SweepPoint> points;
+  points.reserve(ns.size());
+  for (const int n : ns) {
+    PipelineConfig cfg = p.sweep_config(n);
+    cfg.seed = hash2(seed, static_cast<std::uint64_t>(n));
+    const Graph g = p.make_instance(n, cfg.seed);
+    const PipelineAdvice adv = p.encode(g, cfg);
+    const PipelineOutput out = p.decode(g, adv, cfg);
+    const AdviceStats stats = adv.stats(g.n());
+
+    SweepPoint pt;
+    pt.n = g.n();
+    pt.m = g.m();
+    pt.rounds = out.rounds;
+    pt.total_bits = stats.total_bits;
+    pt.bits_per_node = g.n() > 0 ? static_cast<double>(stats.total_bits) / g.n() : 0.0;
+    pt.ones_ratio = stats.ones_ratio;
+    pt.verified = p.verify(g, out, cfg);
+    points.push_back(pt);
+  }
+  return points;
+}
+
+PipelineClaimReport check_pipeline_claims(const Pipeline& p,
+                                          const std::vector<SweepPoint>& points,
+                                          const FitOptions& opts) {
+  PipelineClaimReport report;
+  report.name = p.name();
+  report.section = p.paper_section();
+  const PipelineClaims claims = p.claims();
+  report.statement = claims.statement;
+  report.points = points;
+  if (points.size() < 3) {
+    throw std::invalid_argument("check_pipeline_claims: need at least 3 sweep points");
+  }
+
+  std::vector<double> ns, rounds, bits, ones;
+  ns.reserve(points.size());
+  for (const SweepPoint& pt : points) {
+    ns.push_back(pt.n);
+    rounds.push_back(pt.rounds);
+    bits.push_back(pt.bits_per_node);
+    ones.push_back(pt.ones_ratio);
+  }
+
+  // verify() is the ground truth: a sweep point whose decode fails the
+  // centralized checker invalidates every fitted series above it.
+  {
+    ClaimCheck check;
+    check.metric = "verify";
+    check.expected = "decode verifies at every sweep point";
+    int failed = 0;
+    for (const SweepPoint& pt : points) {
+      if (!pt.verified) ++failed;
+    }
+    check.observed = failed == 0 ? "all points verified"
+                                 : std::to_string(failed) + " point(s) failed verification";
+    check.pass = failed == 0;
+    report.checks.push_back(check);
+  }
+
+  report.checks.push_back(growth_check("rounds", claims.rounds_growth, ns, rounds, opts));
+  report.checks.push_back(growth_check("bits_per_node", claims.bits_growth, ns, bits, opts));
+  if (p.carrier() == AdviceCarrier::kUniformBits) {
+    report.checks.push_back(growth_check("ones_ratio", claims.ones_growth, ns, ones, opts));
+  }
+  if (claims.max_bits_per_node > 0) {
+    report.checks.push_back(bound_check("bits_per_node bound", claims.max_bits_per_node, bits));
+  }
+  if (claims.max_ones_ratio > 0 && p.carrier() == AdviceCarrier::kUniformBits) {
+    report.checks.push_back(bound_check("ones_ratio bound", claims.max_ones_ratio, ones));
+  }
+  return report;
+}
+
+ClaimsReport verify_claims(const std::vector<int>& ns, const std::string& family,
+                           std::uint64_t seed) {
+  if (ns.size() < 3) throw std::invalid_argument("verify_claims: need at least 3 sweep sizes");
+  ClaimsReport report;
+  report.git_commit = kGitCommit;
+  report.timestamp = iso8601_utc_now();
+  report.sweep_ns.assign(ns.begin(), ns.end());
+
+  bool matched = false;
+  for (const Pipeline* p : pipelines()) {
+    if (!family.empty() && family != p->name()) continue;
+    matched = true;
+    report.pipelines.push_back(check_pipeline_claims(*p, run_claim_sweep(*p, ns, seed)));
+  }
+  if (!matched) throw std::invalid_argument("verify_claims: unknown pipeline family: " + family);
+  return report;
+}
+
+std::string ClaimsReport::to_text() const {
+  std::ostringstream os;
+  os << "claims observatory: " << pipelines.size() << " pipeline(s), sweep n = {";
+  for (std::size_t i = 0; i < sweep_ns.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << static_cast<long long>(sweep_ns[i]);
+  }
+  os << "}\n";
+  for (const PipelineClaimReport& r : pipelines) {
+    os << "\n[" << (r.pass() ? "PASS" : "FAIL") << "] " << r.name << " (" << r.section << ")\n";
+    os << "  claim: " << r.statement << "\n";
+    for (const ClaimCheck& c : r.checks) {
+      os << "  " << (c.pass ? "pass" : "FAIL") << "  " << c.metric << ": expected "
+         << c.expected << "; observed " << c.observed << "\n";
+    }
+  }
+  os << "\noverall: " << (pass() ? "PASS" : "FAIL") << "\n";
+  return os.str();
+}
+
+std::string ClaimsReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"git_commit\": \"" << json_escape(git_commit) << "\",\n";
+  os << "  \"timestamp\": \"" << json_escape(timestamp) << "\",\n";
+  os << "  \"sweep_ns\": [";
+  for (std::size_t i = 0; i < sweep_ns.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << static_cast<long long>(sweep_ns[i]);
+  }
+  os << "],\n";
+  os << "  \"pass\": " << (pass() ? "true" : "false") << ",\n";
+  os << "  \"pipelines\": [\n";
+  for (std::size_t i = 0; i < pipelines.size(); ++i) {
+    const PipelineClaimReport& r = pipelines[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(r.name) << "\",\n";
+    os << "      \"section\": \"" << json_escape(r.section) << "\",\n";
+    os << "      \"statement\": \"" << json_escape(r.statement) << "\",\n";
+    os << "      \"pass\": " << (r.pass() ? "true" : "false") << ",\n";
+    os << "      \"points\": [\n";
+    for (std::size_t j = 0; j < r.points.size(); ++j) {
+      const SweepPoint& pt = r.points[j];
+      os << "        {\"n\": " << pt.n << ", \"m\": " << pt.m << ", \"rounds\": " << pt.rounds
+         << ", \"bits_per_node\": " << fmt(pt.bits_per_node)
+         << ", \"total_bits\": " << pt.total_bits << ", \"ones_ratio\": " << fmt(pt.ones_ratio)
+         << ", \"verified\": " << (pt.verified ? "true" : "false") << "}"
+         << (j + 1 < r.points.size() ? "," : "") << "\n";
+    }
+    os << "      ],\n";
+    os << "      \"checks\": [\n";
+    for (std::size_t j = 0; j < r.checks.size(); ++j) {
+      const ClaimCheck& c = r.checks[j];
+      os << "        {\"metric\": \"" << json_escape(c.metric) << "\", \"expected\": \""
+         << json_escape(c.expected) << "\", \"observed\": \"" << json_escape(c.observed)
+         << "\", \"pass\": " << (c.pass ? "true" : "false") << "}"
+         << (j + 1 < r.checks.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n";
+    os << "    }" << (i + 1 < pipelines.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string ClaimsReport::to_markdown() const {
+  std::ostringstream os;
+  os << "# Claims conformance report\n\n";
+  os << "<!-- Generated by `lad report` — do not edit by hand; rerun to refresh. -->\n\n";
+  os << "Source: arXiv:2405.04519 claims, checked mechanically against the real\n"
+        "encode → decode → verify stack by the claims observatory (DESIGN.md §9.6).\n\n";
+  os << "- commit: `" << git_commit << "`\n";
+  os << "- generated: " << timestamp << "\n";
+  os << "- sweep: n ∈ {";
+  for (std::size_t i = 0; i < sweep_ns.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << static_cast<long long>(sweep_ns[i]);
+  }
+  os << "}\n";
+  os << "- overall: **" << (pass() ? "PASS" : "FAIL") << "**\n";
+
+  for (const PipelineClaimReport& r : pipelines) {
+    os << "\n## " << r.name << " (" << r.section << ") — "
+       << (r.pass() ? "PASS" : "FAIL") << "\n\n";
+    os << "> " << r.statement << "\n\n";
+    os << "| n | m | rounds | bits/node | total bits | ones ratio | verified |\n";
+    os << "|--:|--:|-------:|----------:|-----------:|-----------:|:--------:|\n";
+    for (const SweepPoint& pt : r.points) {
+      os << "| " << pt.n << " | " << pt.m << " | " << pt.rounds << " | "
+         << fmt(pt.bits_per_node) << " | " << pt.total_bits << " | " << fmt(pt.ones_ratio)
+         << " | " << (pt.verified ? "yes" : "NO") << " |\n";
+    }
+    os << "\n| check | expected | observed | verdict |\n";
+    os << "|-------|----------|----------|:-------:|\n";
+    for (const ClaimCheck& c : r.checks) {
+      os << "| " << c.metric << " | " << c.expected << " | " << c.observed << " | "
+         << (c.pass ? "pass" : "**FAIL**") << " |\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace lad::obs

@@ -68,7 +68,8 @@ std::string MetricsRegistry::to_prometheus() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::ostringstream os;
   for (const auto& e : entries_) {
-    os << "# HELP " << e->name << " " << e->help << "\n";
+    os << "# HELP " << e->name << " " << e->help
+       << (e->thread_variant ? " (thread-variant)" : "") << "\n";
     switch (e->kind) {
       case MetricKind::kCounter:
         os << "# TYPE " << e->name << " counter\n";
@@ -112,8 +113,8 @@ std::string MetricsRegistry::to_table(bool skip_zero) const {
         const long long v = e->kind == MetricKind::kCounter ? e->counter->value()
                                                             : e->gauge->value();
         if (skip_zero && v == 0) break;
-        std::snprintf(line, sizeof(line), "  %-*s %12lld\n", static_cast<int>(width),
-                      e->name.c_str(), v);
+        std::snprintf(line, sizeof(line), "  %-*s %12lld%s\n", static_cast<int>(width),
+                      e->name.c_str(), v, e->thread_variant ? "  [thread-variant]" : "");
         os << line;
         break;
       }
@@ -123,8 +124,9 @@ std::string MetricsRegistry::to_table(bool skip_zero) const {
         const long long sum = e->histogram->sum();
         const double avg = count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
                                      : 0.0;
-        std::snprintf(line, sizeof(line), "  %-*s count=%lld sum=%lld avg=%.2f\n",
-                      static_cast<int>(width), e->name.c_str(), count, sum, avg);
+        std::snprintf(line, sizeof(line), "  %-*s count=%lld sum=%lld avg=%.2f%s\n",
+                      static_cast<int>(width), e->name.c_str(), count, sum, avg,
+                      e->thread_variant ? "  [thread-variant]" : "");
         os << line;
         break;
       }

@@ -1,0 +1,193 @@
+#include "obs/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace lad::obs {
+namespace {
+
+double basis_value(GrowthClass basis, double n) {
+  switch (basis) {
+    case GrowthClass::kConstant:
+      return 1.0;
+    case GrowthClass::kLogStar:
+      return static_cast<double>(log_star(n));
+    case GrowthClass::kLog:
+      return std::log2(n);
+    case GrowthClass::kSqrt:
+      return std::sqrt(n);
+    case GrowthClass::kLinear:
+      return n;
+  }
+  return n;
+}
+
+/// OLS of y against x with R² relative to the mean-only model. A degenerate
+/// x (zero variance — e.g. log* constant across the sweep) fits nothing:
+/// slope 0, r2 0.
+BasisFit ols(GrowthClass basis, const std::vector<double>& xs, const std::vector<double>& ys) {
+  const auto k = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / k;
+  const double my = sy / k;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  BasisFit fit;
+  fit.basis = basis;
+  if (sxx <= 0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy <= 0) {
+    // A perfectly flat series is explained perfectly by any basis; the
+    // flatness shortcut fires before this matters.
+    fit.r2 = 1.0;
+    return fit;
+  }
+  double sse = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double resid = ys[i] - (fit.intercept + fit.slope * xs[i]);
+    sse += resid * resid;
+  }
+  fit.r2 = 1.0 - sse / syy;
+  return fit;
+}
+
+}  // namespace
+
+const char* to_string(GrowthClass cls) {
+  switch (cls) {
+    case GrowthClass::kConstant:
+      return "constant";
+    case GrowthClass::kLogStar:
+      return "log*";
+    case GrowthClass::kLog:
+      return "log";
+    case GrowthClass::kSqrt:
+      return "sqrt";
+    case GrowthClass::kLinear:
+      return "linear";
+  }
+  return "?";
+}
+
+std::optional<GrowthClass> parse_growth_class(std::string_view name) {
+  if (name == "constant" || name == "O(1)") return GrowthClass::kConstant;
+  if (name == "log*" || name == "logstar" || name == "log_star") return GrowthClass::kLogStar;
+  if (name == "log" || name == "logn") return GrowthClass::kLog;
+  if (name == "sqrt") return GrowthClass::kSqrt;
+  if (name == "linear" || name == "n") return GrowthClass::kLinear;
+  return std::nullopt;
+}
+
+int log_star(double n) {
+  int iters = 0;
+  while (n > 1.0) {
+    n = std::log2(n);
+    ++iters;
+  }
+  return iters;
+}
+
+std::string FitResult::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s (r2=%.3f, exponent=%.3f, rel_range=%.3f, growth=%.2fx)",
+                obs::to_string(cls), r2, exponent, rel_range, growth_factor);
+  return buf;
+}
+
+FitResult fit_growth(const std::vector<double>& ns, const std::vector<double>& ys,
+                     const FitOptions& opts) {
+  if (ns.size() != ys.size()) throw std::invalid_argument("fit_growth: size mismatch");
+  if (ns.size() < 3) throw std::invalid_argument("fit_growth: need at least 3 points");
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    if (!(ns[i] >= 1.0) || (i > 0 && !(ns[i] > ns[i - 1]))) {
+      throw std::invalid_argument("fit_growth: ns must be strictly increasing and >= 1");
+    }
+    if (!std::isfinite(ys[i]) || ys[i] < 0) {
+      throw std::invalid_argument("fit_growth: ys must be finite and non-negative");
+    }
+  }
+
+  FitResult res;
+  const double y_min = *std::min_element(ys.begin(), ys.end());
+  const double y_max = *std::max_element(ys.begin(), ys.end());
+  double mean = 0;
+  for (const double y : ys) mean += y;
+  mean /= static_cast<double>(ys.size());
+  res.rel_range = mean > 0 ? (y_max - y_min) / mean : 0.0;
+  res.intercept = mean;
+
+  // Power-law exponent from the log–log regression (reported regardless of
+  // the class; clamp zeros so an all-positive series next to one zero
+  // observation cannot blow the fit up).
+  {
+    std::vector<double> lx(ns.size()), ly(ys.size());
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      lx[i] = std::log(ns[i]);
+      ly[i] = std::log(std::max(ys[i], 1e-9));
+    }
+    res.exponent = ols(GrowthClass::kLinear, lx, ly).slope;
+  }
+
+  // Flatness shortcut: a materially flat series is constant, full stop.
+  if (res.rel_range <= opts.flat_tol) {
+    res.r2 = 1.0;
+    res.growth_factor = mean > 0 && y_min > 0 ? y_max / y_min : 1.0;
+    return res;
+  }
+
+  const GrowthClass bases[] = {GrowthClass::kLogStar, GrowthClass::kLog, GrowthClass::kSqrt,
+                               GrowthClass::kLinear};
+  // Track the winner by index — push_back reallocation invalidates pointers
+  // into candidates.
+  constexpr std::size_t kNoBest = std::numeric_limits<std::size_t>::max();
+  std::size_t best = kNoBest;
+  for (const GrowthClass basis : bases) {
+    std::vector<double> xs(ns.size());
+    for (std::size_t i = 0; i < ns.size(); ++i) xs[i] = basis_value(basis, ns[i]);
+    res.candidates.push_back(ols(basis, xs, ys));
+    const BasisFit& fit = res.candidates.back();
+    if (fit.slope <= 0) continue;  // shrinking or flat in this basis: not growth
+    if (best == kNoBest || fit.r2 > res.candidates[best].r2) best = res.candidates.size() - 1;
+  }
+
+  if (best != kNoBest && res.candidates[best].r2 >= opts.min_r2) {
+    const BasisFit& bf = res.candidates[best];
+    const double lo = bf.intercept + bf.slope * basis_value(bf.basis, ns.front());
+    const double hi = bf.intercept + bf.slope * basis_value(bf.basis, ns.back());
+    const double growth =
+        lo > 0 ? hi / lo : std::numeric_limits<double>::infinity();
+    if (growth >= opts.growth_margin) {
+      res.cls = bf.basis;
+      res.slope = bf.slope;
+      res.intercept = bf.intercept;
+      res.r2 = bf.r2;
+      res.growth_factor = growth;
+      return res;
+    }
+  }
+
+  // No basis explains material growth: the series is bounded noise around a
+  // constant (the Δ-coloring cluster-radius case).
+  res.cls = GrowthClass::kConstant;
+  res.r2 = best != kNoBest ? res.candidates[best].r2 : 0.0;
+  res.growth_factor = y_min > 0 ? y_max / y_min : 1.0;
+  return res;
+}
+
+}  // namespace lad::obs

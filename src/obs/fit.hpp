@@ -1,0 +1,93 @@
+// Scaling-law fitter: classify an observed (n, y) series into the growth
+// classes the paper's theorems are stated in (DESIGN.md §9.6).
+//
+// The source paper's "evaluation" is a set of asymptotic statements — O(1)
+// decode rounds, 1 bit of advice per node, Θ(log* n) advice-free baselines,
+// Θ(n) lower bounds — and Rozhoň's survey (arXiv:2406.19430) frames exactly
+// these classes (O(1), Θ(log* n), Θ(log n), poly n) as the observable
+// signatures of LOCAL complexity. This module turns a measured n-sweep into
+// one of those signatures so the claim registry (obs/claims.hpp) can check
+// theorems mechanically instead of by hand-read tables.
+//
+// Method: a flatness shortcut (relative range of the series), then ordinary
+// least squares of y against each candidate basis b(n) ∈ {log* n, log2 n,
+// √n, n}. The winner is the positive-slope basis with the highest R²,
+// demoted back to "constant" when no basis explains the data (R² below
+// min_r2) or when the fitted model predicts less total growth over the
+// sweep than growth_margin — over any feasible n-range a noisy constant
+// correlates with *something*, so "grows" must mean "grows materially".
+// The log–log slope (power-law exponent) is reported alongside for the
+// polynomial classes.
+//
+// Pure standard library; lives in lad_obs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lad::obs {
+
+/// The growth classes claims are stated in, coarsest meaningful partition
+/// of what a bench-scale n-sweep can distinguish.
+enum class GrowthClass {
+  kConstant,  // O(1): flat in n
+  kLogStar,   // Θ(log* n): iterated-logarithm growth (Cole–Vishkin régime)
+  kLog,       // Θ(log n)
+  kSqrt,      // Θ(√n)
+  kLinear,    // Θ(n)
+};
+
+const char* to_string(GrowthClass cls);
+std::optional<GrowthClass> parse_growth_class(std::string_view name);
+
+/// Iterated logarithm: number of times log2 must be applied to n before the
+/// value drops to <= 1. log_star(1) = 0, log_star(16) = 3, log_star(2^16) = 4.
+int log_star(double n);
+
+struct FitOptions {
+  /// Flatness shortcut: relative range (max-min)/mean at or below this
+  /// classifies as constant without touching the regressions.
+  double flat_tol = 0.10;
+  /// Minimum R² a growth basis must reach to beat "constant".
+  double min_r2 = 0.85;
+  /// Minimum predicted total growth factor y^(n_max)/y^(n_min) of the
+  /// winning fit; below it the series is materially flat.
+  double growth_margin = 1.25;
+};
+
+/// Per-basis ordinary-least-squares diagnostics (y = intercept + slope·b(n)).
+struct BasisFit {
+  GrowthClass basis = GrowthClass::kConstant;
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;
+};
+
+struct FitResult {
+  GrowthClass cls = GrowthClass::kConstant;
+  /// Winning-basis regression (slope/intercept in that basis; for the
+  /// constant class: slope 0, intercept = mean, r2 of the flat model).
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;
+  /// Power-law exponent: OLS slope of ln y vs ln n (0 for flat series).
+  double exponent = 0;
+  /// (max - min) / mean of the raw series — the flatness statistic.
+  double rel_range = 0;
+  /// Predicted growth factor of the winning fit across the sweep.
+  double growth_factor = 1.0;
+  /// All four growth-basis fits, for reporting (log*, log, sqrt, linear).
+  std::vector<BasisFit> candidates;
+
+  std::string to_string() const;
+};
+
+/// Classifies the growth of ys over ns. Requires matching sizes, at least
+/// three points, strictly increasing ns >= 1, and finite non-negative ys;
+/// throws std::invalid_argument otherwise.
+FitResult fit_growth(const std::vector<double>& ns, const std::vector<double>& ys,
+                     const FitOptions& opts = {});
+
+}  // namespace lad::obs

@@ -42,7 +42,8 @@ MetricsRegistry& MetricsRegistry::instance() {
 }
 
 MetricsRegistry::Entry& MetricsRegistry::get_or_create(MetricKind kind, const std::string& name,
-                                                       const std::string& help) {
+                                                       const std::string& help,
+                                                       bool thread_variant) {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto& e : entries_) {
     if (e->name == name) return *e;
@@ -51,6 +52,7 @@ MetricsRegistry::Entry& MetricsRegistry::get_or_create(MetricKind kind, const st
   e->kind = kind;
   e->name = name;
   e->help = help;
+  e->thread_variant = thread_variant;
   switch (kind) {
     case MetricKind::kCounter:
       e->counter = std::make_unique<Counter>();
@@ -66,16 +68,36 @@ MetricsRegistry::Entry& MetricsRegistry::get_or_create(MetricKind kind, const st
   return *entries_.back();
 }
 
-Counter& MetricsRegistry::counter(const std::string& name, const std::string& help) {
-  return *get_or_create(MetricKind::kCounter, name, help).counter;
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                  bool thread_variant) {
+  return *get_or_create(MetricKind::kCounter, name, help, thread_variant).counter;
 }
 
-Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
-  return *get_or_create(MetricKind::kGauge, name, help).gauge;
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              bool thread_variant) {
+  return *get_or_create(MetricKind::kGauge, name, help, thread_variant).gauge;
 }
 
-Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help) {
-  return *get_or_create(MetricKind::kHistogram, name, help).histogram;
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help,
+                                      bool thread_variant) {
+  return *get_or_create(MetricKind::kHistogram, name, help, thread_variant).histogram;
+}
+
+bool MetricsRegistry::is_thread_variant(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name) return e->thread_variant;
+  }
+  return false;
+}
+
+std::vector<std::string> MetricsRegistry::thread_variant_names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  for (const auto& e : entries_) {
+    if (e->thread_variant) out.push_back(e->name);
+  }
+  return out;
 }
 
 std::vector<MetricValue> MetricsRegistry::snapshot(bool skip_zero) const {
@@ -154,9 +176,15 @@ CoreMetrics& core() {
         r.histogram("lad_repair_region_radius", "final radius per repair region (hops)"),
         r.counter("lad_campaign_trials_total", "fault-campaign trials executed"),
         r.counter("lad_campaign_faults_injected_total", "faults injected across campaign trials"),
-        r.counter("lad_pool_chunks_total", "thread-pool chunks executed"),
-        r.gauge("lad_pool_threads", "threads of the most recently created pool"),
-        r.counter("lad_contract_checks_total", "LAD_CHECK/LAD_ASSERT evaluations"),
+        // The three thread-variant metrics: pool geometry and contract-check
+        // multiplicity are functions of the thread count by design, so they
+        // are exempt from the byte-identity determinism contract.
+        r.counter("lad_pool_chunks_total", "thread-pool chunks executed",
+                  /*thread_variant=*/true),
+        r.gauge("lad_pool_threads", "threads of the most recently created pool",
+                /*thread_variant=*/true),
+        r.counter("lad_contract_checks_total", "LAD_CHECK/LAD_ASSERT evaluations",
+                  /*thread_variant=*/true),
     };
   }();
   return m;

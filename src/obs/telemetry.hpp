@@ -136,9 +136,22 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& instance();
 
-  Counter& counter(const std::string& name, const std::string& help);
-  Gauge& gauge(const std::string& name, const std::string& help);
-  Histogram& histogram(const std::string& name, const std::string& help);
+  // `thread_variant` marks a metric whose value legitimately depends on the
+  // thread count (pool geometry, contract-check multiplicity under work
+  // stealing). Everything else is covered by the §8 determinism contract:
+  // byte-identical at any thread count. The flag is catalog data — the
+  // determinism test and the exporters query it instead of each keeping a
+  // private exclusion list.
+  Counter& counter(const std::string& name, const std::string& help,
+                   bool thread_variant = false);
+  Gauge& gauge(const std::string& name, const std::string& help, bool thread_variant = false);
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       bool thread_variant = false);
+
+  /// True iff `name` is registered and flagged thread-variant.
+  bool is_thread_variant(const std::string& name) const;
+  /// All thread-variant metric names, in registration order.
+  std::vector<std::string> thread_variant_names() const;
 
   /// Scalar values in registration order. Histograms contribute
   /// `<name>_sum` and `<name>_count`. `skip_zero` drops zero-valued entries
@@ -157,12 +170,14 @@ class MetricsRegistry {
     MetricKind kind;
     std::string name;
     std::string help;
+    bool thread_variant = false;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& get_or_create(MetricKind kind, const std::string& name, const std::string& help);
+  Entry& get_or_create(MetricKind kind, const std::string& name, const std::string& help,
+                       bool thread_variant);
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_;  // registration order

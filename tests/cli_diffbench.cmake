@@ -1,0 +1,57 @@
+# Pins the `lad diffbench` exit-code contract end to end, the machine
+# interface CI's bench-regression job gates on:
+#   0 — identical documents (clean)
+#   3 — wall_ms_1t beyond baseline + max(tol_ms, tol_rel * baseline)
+#   4 — deterministic field diverged (here: the output digest)
+#   2 — parse/usage error (missing file)
+# The fixture JSONs are hand-written schema-v3 documents in tests/golden/.
+#
+# Usage: cmake -DLAD_CLI=<path> -DBASE=<json> -DSLOW=<json> -DDIGEST=<json>
+#              -P cli_diffbench.cmake
+foreach(v LAD_CLI BASE SLOW DIGEST)
+  if(NOT ${v})
+    message(FATAL_ERROR "cli_diffbench.cmake needs -D${v}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${LAD_CLI} diffbench ${BASE} ${BASE}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "identical documents must exit 0, got ${rc}:\n${out}${err}")
+endif()
+
+execute_process(
+  COMMAND ${LAD_CLI} diffbench ${BASE} ${SLOW}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "timing regression must exit 3, got ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "wall_ms_1t")
+  message(FATAL_ERROR "regression report does not name wall_ms_1t:\n${out}")
+endif()
+
+# A loose tolerance must absorb the same slowdown (CI uses this knob).
+execute_process(
+  COMMAND ${LAD_CLI} diffbench ${BASE} ${SLOW} --tol-ms 100000
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--tol-ms 100000 must absorb the slowdown, got ${rc}:\n${out}${err}")
+endif()
+
+execute_process(
+  COMMAND ${LAD_CLI} diffbench ${BASE} ${DIGEST} --json
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 4)
+  message(FATAL_ERROR "digest mismatch must exit 4, got ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "\"digest\"")
+  message(FATAL_ERROR "JSON findings do not name the digest field:\n${out}")
+endif()
+
+execute_process(
+  COMMAND ${LAD_CLI} diffbench ${BASE} /nonexistent/bench.json
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "missing candidate file must exit 2, got ${rc}:\n${out}${err}")
+endif()

@@ -29,15 +29,14 @@
 namespace lad {
 namespace {
 
-// Metrics that legitimately depend on the thread count: the pool's own
-// bookkeeping (chunk count = min(threads, items), thread gauge) and the
-// contract-check counter (the pool's reentrance check only evaluates when
-// workers exist). Everything else must be thread-count-invariant.
-const std::set<std::string> kThreadDependent = {
-    "lad_pool_chunks_total",
-    "lad_pool_threads",
-    "lad_contract_checks_total",
-};
+// Metrics that legitimately depend on the thread count are flagged
+// thread_variant in the registry catalog (telemetry.cpp); the test queries
+// the flag instead of keeping a private exclusion list, so catalog and
+// contract cannot drift apart.
+std::set<std::string> thread_dependent_names() {
+  const auto names = obs::MetricsRegistry::instance().thread_variant_names();
+  return {names.begin(), names.end()};
+}
 
 std::map<std::string, long long> snapshot_map() {
   std::map<std::string, long long> m;
@@ -74,12 +73,22 @@ TEST(Telemetry, MetricsDeterministicAcrossThreadCounts) {
   if (!obs::compiled_in()) GTEST_SKIP() << "built with LAD_TELEMETRY=OFF";
   obs::set_enabled(true);
 
+  // The catalog must actually carry the flag on the three known-variant
+  // metrics — an empty exclusion set would make this test flaky, not green.
+  const std::set<std::string> excluded = thread_dependent_names();
+  EXPECT_EQ(excluded, (std::set<std::string>{"lad_pool_chunks_total", "lad_pool_threads",
+                                             "lad_contract_checks_total"}));
+  for (const auto& name : excluded) {
+    EXPECT_TRUE(obs::MetricsRegistry::instance().is_thread_variant(name)) << name;
+  }
+  EXPECT_FALSE(obs::MetricsRegistry::instance().is_thread_variant("lad_engine_messages_total"));
+
   std::map<std::string, long long> reference;
   for (const int threads : {1, 2, 8}) {
     obs::MetricsRegistry::instance().reset();
     run_workload(threads);
     auto snap = snapshot_map();
-    for (const auto& name : kThreadDependent) snap.erase(name);
+    for (const auto& name : excluded) snap.erase(name);
     if (threads == 1) {
       reference = snap;
       // The workload must actually move the interesting counters, or the
@@ -272,9 +281,12 @@ TEST(Telemetry, BenchJsonCarriesSchemaVersionAndMetrics) {
   EXPECT_NE(json.find("\"schema_version\": "), std::string::npos);
   EXPECT_NE(json.find("\"git_commit\": "), std::string::npos);
   EXPECT_NE(json.find("\"timestamp\": "), std::string::npos);
+  EXPECT_EQ(res.reps, 1);
+  EXPECT_NE(json.find("\"reps\": 1"), std::string::npos);
   ASSERT_FALSE(res.cases.empty());
   for (const auto& c : res.cases) {
     EXPECT_TRUE(c.identical) << c.name;
+    EXPECT_EQ(c.digest.size(), 16u) << c.name << " digest must be a 64-bit hex fingerprint";
     if (obs::compiled_in()) {
       EXPECT_FALSE(c.metrics.empty()) << c.name << " has no attributed metrics";
     }

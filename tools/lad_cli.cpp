@@ -8,9 +8,12 @@
 //   lad proof    <graph.txt> <mis|matching|3col>   # §1.2 certificate demo
 //   lad audit    <graph.txt> <alg>    # locality-conformance audit
 //   lad faultsim <decoder> <family> <n> [trials] [seed]   # seeded fault campaign
-//   lad bench    <suite> [--threads K] [--json out.json] [--trace]  # perf harness
+//   lad bench    <suite> [--threads K] [--reps K] [--json out.json] [--trace]
 //   lad trace    <pipeline> [--family F] [-n N] [--out t.json] [--metrics m.prom]
 //                                     # telemetry: spans + metric counters
+//   lad verify-claims [--family F] [--json]   # claims observatory (DESIGN.md §9.6)
+//   lad diffbench <baseline.json> <candidate.json> [--tol-ms X] [--tol-rel R] [--json]
+//   lad report   [--out EXPERIMENTS-generated.md]   # regenerable claims report
 //   lad dot      <graph.txt>          # Graphviz export
 //
 // Decoder-facing commands (audit, faultsim) dispatch through the Pipeline
@@ -45,6 +48,8 @@
 #include "lcl/solver.hpp"
 #include "local/audit.hpp"
 #include "local/engine.hpp"
+#include "obs/benchdiff.hpp"
+#include "obs/claims.hpp"
 #include "obs/export.hpp"
 #include "obs/stopwatch.hpp"
 #include "obs/telemetry.hpp"
@@ -73,15 +78,29 @@ int usage() {
                "            delta_coloring, subexp_lcl, decompress; orient/split/compress\n"
                "            are accepted aliases)\n"
                "  lad faultsim <pipeline> <cycle|grid|torus> <n> [trials] [seed]\n"
-               "  lad bench <suite> [--threads K] [--json out.json] [--trace]\n"
+               "  lad bench <suite> [--threads K] [--reps K] [--json out.json] [--trace]\n"
                "            suites: e1..e9 r1 gather smoke all; --trace embeds per-case\n"
-               "            telemetry counters in the JSON\n"
+               "            telemetry counters in the JSON; --reps K times each case as\n"
+               "            min-of-K after one warmup (stable timings for diffbench)\n"
                "  lad trace <pipeline> [--family cycle|grid|torus] [-n N] [--seed S]\n"
                "            [--out trace.json] [--jsonl events.jsonl] [--metrics m.prom]\n"
                "            runs encode -> decode -> verify -> verification echo with\n"
                "            telemetry on; prints the metric table, optionally exports a\n"
                "            Chrome trace (chrome://tracing, Perfetto), JSONL events, and\n"
                "            Prometheus text metrics\n"
+               "  lad verify-claims [--family <pipeline>] [--ns n1,n2,...] [--seed S] [--json]\n"
+               "            runs every registered pipeline (or one family) over an n-sweep\n"
+               "            and checks the measured rounds / bits-per-node / ones-ratio\n"
+               "            series against the growth classes and bounds its paper theorem\n"
+               "            declares (Pipeline::claims); exit 0 = all claims hold\n"
+               "  lad diffbench <baseline.json> <candidate.json> [--tol-ms X] [--tol-rel R]\n"
+               "            [--json]   structural diff of two bench documents: rounds/\n"
+               "            bits/digest/case-set exactly, serial wall time with tolerance;\n"
+               "            exit 0 clean, 3 timing regression, 4 structural mismatch\n"
+               "  lad report [--out FILE] [--ns n1,n2,...] [--seed S]\n"
+               "            regenerates the claims-conformance report (markdown) from the\n"
+               "            real encode/decode/verify stack; default out:\n"
+               "            EXPERIMENTS-generated.md\n"
                "  lad dot <graph.txt>\n");
   return 2;
 }
@@ -386,6 +405,7 @@ int cmd_bench(int argc, char** argv) {
   if (argc < 1) return usage();
   const std::string suite = argv[0];
   int threads = ThreadPool::default_threads();
+  int reps = 1;
   std::string json_path;
   bool with_trace = false;
   for (int i = 1; i < argc; ++i) {
@@ -393,6 +413,9 @@ int cmd_bench(int argc, char** argv) {
     if (a == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
       if (threads < 1) return usage();
+    } else if (a == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+      if (reps < 1) return usage();
     } else if (a == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (a == "--trace") {
@@ -407,9 +430,9 @@ int cmd_bench(int argc, char** argv) {
     return 2;
   }
 
-  const auto res = bench::run_bench_suite(suite, threads, with_trace);
-  std::printf("suite %s, %d threads (%d hardware)\n", res.suite.c_str(), res.threads,
-              res.hardware_threads);
+  const auto res = bench::run_bench_suite(suite, threads, with_trace, reps);
+  std::printf("suite %s, %d threads (%d hardware), min of %d rep(s)\n", res.suite.c_str(),
+              res.threads, res.hardware_threads, res.reps);
   std::printf("%-34s %8s %6s %10s %10s %8s %5s\n", "case", "n", "rounds", "1t ms", "ms",
               "speedup", "same");
   bool all_identical = true;
@@ -557,6 +580,133 @@ int cmd_trace(int argc, char** argv) {
   return ok && echo.unverified_nodes.empty() ? 0 : 1;
 }
 
+// Parses "256,512,1024" into sweep sizes; empty result = parse error.
+std::vector<int> parse_ns_list(const std::string& s) {
+  std::vector<int> ns;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const auto comma = s.find(',', pos);
+    const std::string tok = s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const int n = std::atoi(tok.c_str());
+    if (n < 8) return {};
+    ns.push_back(n);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return ns;
+}
+
+// Shared option parsing for the two claims-observatory commands
+// (verify-claims and report differ only in output form).
+struct ClaimsArgs {
+  std::vector<int> ns = obs::default_sweep_ns();
+  std::string family;
+  std::uint64_t seed = 1;
+  bool json = false;
+  std::string out_path;
+  bool ok = true;
+};
+
+ClaimsArgs parse_claims_args(int argc, char** argv) {
+  ClaimsArgs args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--family" && i + 1 < argc) {
+      args.family = argv[++i];
+    } else if (a == "--ns" && i + 1 < argc) {
+      args.ns = parse_ns_list(argv[++i]);
+      if (args.ns.size() < 3) {
+        std::fprintf(stderr, "error: --ns needs at least 3 comma-separated sizes >= 8\n");
+        args.ok = false;
+        return args;
+      }
+    } else if (a == "--seed" && i + 1 < argc) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (a == "--json") {
+      args.json = true;
+    } else if (a == "--out" && i + 1 < argc) {
+      args.out_path = argv[++i];
+    } else {
+      args.ok = false;
+      return args;
+    }
+  }
+  return args;
+}
+
+int cmd_verify_claims(int argc, char** argv) {
+  const ClaimsArgs args = parse_claims_args(argc, argv);
+  if (!args.ok || !args.out_path.empty()) return usage();
+  obs::ClaimsReport report;
+  try {
+    report = obs::verify_claims(args.ns, args.family, args.seed);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::printf("%s", (args.json ? report.to_json() : report.to_text()).c_str());
+  return report.pass() ? 0 : 1;
+}
+
+int cmd_report(int argc, char** argv) {
+  ClaimsArgs args = parse_claims_args(argc, argv);
+  if (!args.ok || args.json) return usage();
+  if (args.out_path.empty()) args.out_path = "EXPERIMENTS-generated.md";
+  obs::ClaimsReport report;
+  try {
+    report = obs::verify_claims(args.ns, args.family, args.seed);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::ofstream out(args.out_path);
+  LAD_CHECK_MSG(out.good(), "cannot write " << args.out_path);
+  out << report.to_markdown();
+  std::printf("wrote %s (%zu pipeline(s), overall %s)\n", args.out_path.c_str(),
+              report.pipelines.size(), report.pass() ? "PASS" : "FAIL");
+  return report.pass() ? 0 : 1;
+}
+
+int cmd_diffbench(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string baseline_path = argv[0];
+  const std::string candidate_path = argv[1];
+  obs::BenchDiffOptions opts;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--tol-ms" && i + 1 < argc) {
+      opts.tol_ms = std::atof(argv[++i]);
+      if (opts.tol_ms < 0) return usage();
+    } else if (a == "--tol-rel" && i + 1 < argc) {
+      opts.tol_rel = std::atof(argv[++i]);
+      if (opts.tol_rel < 0) return usage();
+    } else if (a == "--json") {
+      json = true;
+    } else {
+      return usage();
+    }
+  }
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    LAD_CHECK_MSG(in.good(), "cannot open " << path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  obs::BenchDiffResult diff;
+  try {
+    const auto baseline = obs::parse_bench_json(slurp(baseline_path));
+    const auto candidate = obs::parse_bench_json(slurp(candidate_path));
+    diff = obs::diff_bench(baseline, candidate, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::printf("%s", (json ? diff.to_json() : diff.to_text()).c_str());
+  return static_cast<int>(diff.status());
+}
+
 int cmd_dot(const std::string& path) {
   const Graph g = load(path);
   std::cout << to_dot(g);
@@ -578,6 +728,9 @@ int main(int argc, char** argv) {
     if (cmd == "faultsim") return cmd_faultsim(argc - 2, argv + 2);
     if (cmd == "bench") return cmd_bench(argc - 2, argv + 2);
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
+    if (cmd == "verify-claims") return cmd_verify_claims(argc - 2, argv + 2);
+    if (cmd == "diffbench") return cmd_diffbench(argc - 2, argv + 2);
+    if (cmd == "report") return cmd_report(argc - 2, argv + 2);
     if (cmd == "dot" && argc >= 3) return cmd_dot(argv[2]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
