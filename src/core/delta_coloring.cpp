@@ -11,6 +11,7 @@
 #include "graph/distance.hpp"
 #include "lcl/problems.hpp"
 #include "lcl/solver.hpp"
+#include "util/contracts.hpp"
 
 namespace lad {
 namespace {
@@ -246,6 +247,9 @@ DeltaColoringEncoding encode_delta_coloring_advice(const Graph& g,
 
 DeltaColoringDecodeResult decode_delta_coloring(const Graph& g, const VarAdvice& advice,
                                                 const DeltaColoringParams& params) {
+  LAD_CHECK_MSG(advice.empty() ||
+                    (advice.begin()->first >= 0 && advice.rbegin()->first < g.n()),
+                "delta-coloring advice keyed by a node outside [0, n)");
   const int delta = std::max(1, g.max_degree());
   auto [psi, rounds] = delta_plus_one_stage(g, advice, params);
   rounds += local_fix_uncolored(g, delta, psi, params.local_fix_passes);
@@ -260,6 +264,9 @@ DeltaColoringDecodeResult decode_delta_coloring_one_bit(const Graph& g,
                                                         const std::vector<char>& bits,
                                                         int max_payload_bits,
                                                         const DeltaColoringParams& params) {
+  LAD_CHECK_MSG(static_cast<int>(bits.size()) == g.n(),
+                "one-bit advice must carry exactly one bit per node");
+  LAD_CHECK(max_payload_bits >= 0);
   const auto advice = decode_var_advice_one_bit(g, bits, max_payload_bits);
   auto res = decode_delta_coloring(g, advice, params);
   res.rounds += max_encoded_path_length(max_payload_bits) + 2;

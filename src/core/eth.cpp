@@ -5,10 +5,14 @@
 #include "graph/canonical.hpp"
 #include "graph/distance.hpp"
 #include "graph/rng.hpp"
+#include "util/contracts.hpp"
 
 namespace lad {
 
 int OrderInvariantDecoder::decode(const Graph& g, int v, const std::vector<int>& advice) const {
+  LAD_ASSERT(v >= 0 && v < g.n());
+  LAD_CHECK_MSG(static_cast<int>(advice.size()) == g.n(),
+                "order-invariant decoder needs one advice label per node");
   ++lookups_;
   const auto nodes = ball_nodes(g, v, radius_);
   const auto key = canonical_view(g, nodes, v, advice);

@@ -483,6 +483,9 @@ PipelineAdvice Pipeline::encode(const Graph& g, const PipelineConfig& cfg) const
 
 PipelineOutput Pipeline::decode(const Graph& g, const PipelineAdvice& adv,
                                 const PipelineConfig& cfg) const {
+  LAD_CHECK_MSG(adv.carrier != AdviceCarrier::kUniformBits || adv.bits.empty() ||
+                    static_cast<int>(adv.bits.size()) == g.n(),
+                "uniform advice must carry exactly one bit per node");
   LAD_TM_SPAN(span, std::string("pipeline.decode/") + name(), "pipeline");
   PipelineOutput out = do_decode(g, adv, cfg);
   LAD_TM({
@@ -497,6 +500,9 @@ PipelineOutput Pipeline::decode(const Graph& g, const PipelineAdvice& adv,
 
 PipelineOutput Pipeline::decode_tolerant(const Graph& g, const PipelineAdvice& adv,
                                          const PipelineConfig& cfg) const {
+  LAD_CHECK_MSG(adv.carrier != AdviceCarrier::kUniformBits || adv.bits.empty() ||
+                    static_cast<int>(adv.bits.size()) == g.n(),
+                "uniform advice must carry exactly one bit per node");
   LAD_TM_SPAN(span, std::string("pipeline.decode_tolerant/") + name(), "pipeline");
   PipelineOutput out = do_decode_tolerant(g, adv, cfg);
   LAD_TM({

@@ -9,6 +9,7 @@
 #include "graph/distance.hpp"
 #include "graph/euler.hpp"
 #include "graph/ruling_set.hpp"
+#include "util/contracts.hpp"
 
 namespace lad {
 namespace {
@@ -185,6 +186,9 @@ RunningExampleDecodeResult decode_running_example_one_bit(const Graph& g,
                                                           const std::vector<char>& bits,
                                                           int max_payload_bits,
                                                           const RunningExampleParams& params) {
+  LAD_CHECK_MSG(static_cast<int>(bits.size()) == g.n(),
+                "one-bit advice must carry exactly one bit per node");
+  LAD_CHECK(max_payload_bits >= 0);
   const auto advice = decode_var_advice_one_bit(g, bits, max_payload_bits);
   return decode_running_example(g, advice, params);
 }

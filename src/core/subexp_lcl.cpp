@@ -8,6 +8,7 @@
 #include "graph/distance.hpp"
 #include "graph/distance_coloring.hpp"
 #include "lcl/solver.hpp"
+#include "util/contracts.hpp"
 
 namespace lad {
 namespace {
@@ -573,6 +574,8 @@ SubexpLclDecodeResult decode_subexp_lcl_impl(const Graph& g, const LclProblem& p
 SubexpLclDecodeResult decode_subexp_lcl(const Graph& g, const LclProblem& p,
                                         const std::vector<char>& bits,
                                         const SubexpLclParams& params) {
+  LAD_CHECK_MSG(static_cast<int>(bits.size()) == g.n(),
+                "subexp-LCL advice must carry exactly one bit per node");
   return decode_subexp_lcl_impl(g, p, bits, params, nullptr);
 }
 
@@ -580,6 +583,8 @@ SubexpLclDecodeResult decode_subexp_lcl_tolerant(const Graph& g, const LclProble
                                                  const std::vector<char>& bits,
                                                  std::vector<char>& failed,
                                                  const SubexpLclParams& params) {
+  LAD_CHECK_MSG(static_cast<int>(bits.size()) == g.n(),
+                "subexp-LCL advice must carry exactly one bit per node");
   failed.assign(static_cast<std::size_t>(g.n()), 0);
   return decode_subexp_lcl_impl(g, p, bits, params, &failed);
 }

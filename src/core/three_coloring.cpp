@@ -8,6 +8,7 @@
 #include "graph/components.hpp"
 #include "graph/distance.hpp"
 #include "graph/ruling_set.hpp"
+#include "util/contracts.hpp"
 
 namespace lad {
 namespace {
@@ -374,6 +375,8 @@ ThreeColoringDecodeResult decode_three_coloring_impl(const Graph& g,
 
 ThreeColoringDecodeResult decode_three_coloring(const Graph& g, const std::vector<char>& bits,
                                                 const ThreeColoringParams& params) {
+  LAD_CHECK_MSG(static_cast<int>(bits.size()) == g.n(),
+                "3-coloring schema is one bit per node");
   return decode_three_coloring_impl(g, bits, params, nullptr);
 }
 
@@ -381,6 +384,8 @@ ThreeColoringDecodeResult decode_three_coloring_tolerant(const Graph& g,
                                                          const std::vector<char>& bits,
                                                          std::vector<char>& failed,
                                                          const ThreeColoringParams& params) {
+  LAD_CHECK_MSG(static_cast<int>(bits.size()) == g.n(),
+                "3-coloring schema is one bit per node");
   failed.assign(static_cast<std::size_t>(g.n()), 0);
   return decode_three_coloring_impl(g, bits, params, &failed);
 }

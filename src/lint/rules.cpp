@@ -1,0 +1,522 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace lad::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+std::size_t skip_space(const std::string& s, std::size_t i) {
+  while (i < s.size() && is_space(s[i])) ++i;
+  return i;
+}
+
+/// Calls fn(name, offset) for every identifier token in `code`.
+template <typename Fn>
+void for_each_identifier(const std::string& code, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < code.size()) {
+    if (is_ident_char(code[i]) && std::isdigit(static_cast<unsigned char>(code[i])) == 0) {
+      std::size_t j = i + 1;
+      while (j < code.size() && is_ident_char(code[j])) ++j;
+      fn(code.substr(i, j - i), i);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+}
+
+/// Offset just past the bracket matching code[open] (one of ( [ { <), or
+/// npos if unbalanced. For '<' the scan also bails on ';' — a lone
+/// less-than in an expression never closes, and declarations don't span
+/// statements.
+std::size_t match_bracket(const std::string& code, std::size_t open) {
+  const char o = code[open];
+  const char c = o == '(' ? ')' : o == '[' ? ']' : o == '{' ? '}' : '>';
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == o) {
+      ++depth;
+    } else if (code[i] == c) {
+      if (--depth == 0) return i + 1;
+    } else if (o == '<' && code[i] == ';') {
+      return std::string::npos;
+    }
+  }
+  return std::string::npos;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// True for files under the byte-determinism contract (§8): the layers
+/// whose outputs must reproduce bit-for-bit at any seed/thread count.
+bool deterministic_layer(const std::string& path) {
+  static const char* kLayers[] = {"src/graph/", "src/advice/", "src/lcl/",
+                                  "src/local/", "src/core/",   "src/faults/"};
+  return std::any_of(std::begin(kLayers), std::end(kLayers),
+                     [&](const char* p) { return starts_with(path, p); });
+}
+
+void add(std::vector<Finding>& out, const ScannedFile& f, std::size_t offset,
+         const std::string& rule, const std::string& message) {
+  out.push_back({f.path, f.line_of(offset), rule, message});
+}
+
+// ---------------------------------------------------------------------------
+// det-rng / det-wallclock / det-std-hash
+
+void rule_det_tokens(const ScannedFile& f, std::vector<Finding>& out, const RuleConfig& cfg) {
+  // graph/rng.* is the sanctioned seeded-RNG home: the mt19937_64 it wraps
+  // is deterministic under a fixed seed and every caller goes through it.
+  const bool rng_home = f.path == "src/graph/rng.hpp" || f.path == "src/graph/rng.cpp";
+
+  static const std::set<std::string> kRng = {
+      "rand",        "srand",        "rand_r",      "drand48",
+      "random_device", "mt19937",    "mt19937_64",  "minstd_rand",
+      "minstd_rand0",  "default_random_engine",     "knuth_b",
+      "random_shuffle"};
+  static const std::set<std::string> kClock = {
+      "system_clock", "steady_clock", "high_resolution_clock", "localtime",
+      "gmtime",       "strftime",     "timespec_get",          "gettimeofday",
+      "clock_gettime"};
+  // `time` / `clock` only as a direct call, and never as a member access —
+  // `sw.time()` on some object is not the libc wall clock.
+  static const std::set<std::string> kCallOnly = {"time", "clock"};
+
+  for_each_identifier(f.code, [&](const std::string& id, std::size_t off) {
+    const bool member = off >= 1 && (f.code[off - 1] == '.' ||
+                                     (off >= 2 && f.code[off - 1] == '>' &&
+                                      f.code[off - 2] == '-'));
+    if (cfg.enabled("det-rng") && !rng_home && kRng.count(id) != 0 && !member) {
+      add(out, f, off, "det-rng",
+          "banned nondeterminism source '" + id +
+              "' in a deterministic layer; draw through graph/rng.hpp on an "
+              "isolated sub-seed (util/hashing.hpp splitmix) instead");
+      return;
+    }
+    if (!cfg.enabled("det-wallclock")) return;
+    const bool call_only_hit =
+        kCallOnly.count(id) != 0 && !member &&
+        (skip_space(f.code, off + id.size()) < f.code.size() &&
+         f.code[skip_space(f.code, off + id.size())] == '(');
+    if (kClock.count(id) != 0 || call_only_hit) {
+      add(out, f, off, "det-wallclock",
+          "wall-clock read '" + id +
+              "' in a deterministic layer; timing belongs to the obs layer "
+              "(obs/stopwatch.hpp), outputs must not depend on it");
+    }
+  });
+
+  if (cfg.enabled("det-wallclock")) {
+    for (const auto& inc : f.includes) {
+      if (inc.system && (inc.target == "chrono" || inc.target == "ctime")) {
+        out.push_back({f.path, inc.line, "det-wallclock",
+                       "<" + inc.target +
+                           "> included in a deterministic layer; the one "
+                           "sanctioned clock is obs/stopwatch.hpp"});
+      }
+      if (cfg.enabled("det-rng") && inc.system && inc.target == "random" &&
+          f.path != "src/graph/rng.hpp") {
+        out.push_back({f.path, inc.line, "det-rng",
+                       "<random> included in a deterministic layer; use the "
+                       "seeded wrapper in graph/rng.hpp"});
+      }
+    }
+  }
+
+  if (cfg.enabled("det-std-hash")) {
+    // Token sequence std :: hash — std::hash's value is unspecified across
+    // implementations, so it must never touch an output-affecting path.
+    std::size_t pos = 0;
+    while ((pos = f.code.find("std", pos)) != std::string::npos) {
+      const std::size_t tok = pos;
+      pos += 3;
+      if (tok > 0 && is_ident_char(f.code[tok - 1])) continue;
+      std::size_t p = skip_space(f.code, tok + 3);
+      if (p + 1 >= f.code.size() || f.code[p] != ':' || f.code[p + 1] != ':') continue;
+      p = skip_space(f.code, p + 2);
+      if (f.code.compare(p, 4, "hash") != 0) continue;
+      if (p + 4 < f.code.size() && is_ident_char(f.code[p + 4])) continue;
+      add(out, f, tok, "det-std-hash",
+          "std::hash in a deterministic layer; its value is "
+          "implementation-defined — hash with util/hashing.hpp splitmix");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// det-unordered-iter
+
+void rule_unordered_iter(const ScannedFile& f, std::vector<Finding>& out) {
+  // Pass 1: names declared with an unordered container type in this file
+  // (declarations and data members; `using X = std::unordered_map<...>`
+  // aliases are out of scope and documented as such in DESIGN.md §10).
+  std::set<std::string> names;
+  for_each_identifier(f.code, [&](const std::string& id, std::size_t off) {
+    if (id != "unordered_map" && id != "unordered_set" && id != "unordered_multimap" &&
+        id != "unordered_multiset") {
+      return;
+    }
+    std::size_t p = skip_space(f.code, off + id.size());
+    if (p >= f.code.size() || f.code[p] != '<') return;
+    const std::size_t close = match_bracket(f.code, p);
+    if (close == std::string::npos) return;
+    p = skip_space(f.code, close);
+    while (p < f.code.size() && (f.code[p] == '&' || f.code[p] == '*')) {
+      p = skip_space(f.code, p + 1);
+    }
+    if (p >= f.code.size() || !is_ident_char(f.code[p])) return;
+    std::size_t q = p;
+    while (q < f.code.size() && is_ident_char(f.code[q])) ++q;
+    names.insert(f.code.substr(p, q - p));
+  });
+  if (names.empty()) return;
+
+  // Pass 2a: range-for over a collected name.
+  for_each_identifier(f.code, [&](const std::string& id, std::size_t off) {
+    if (id != "for") return;
+    std::size_t p = skip_space(f.code, off + 3);
+    if (p >= f.code.size() || f.code[p] != '(') return;
+    const std::size_t close = match_bracket(f.code, p);
+    if (close == std::string::npos) return;
+    // Top-level ':' that is not '::' marks a range-for.
+    int depth = 0;
+    for (std::size_t i = p + 1; i + 1 < close; ++i) {
+      const char c = f.code[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (depth != 0 || c != ':') continue;
+      if (f.code[i + 1] == ':' || f.code[i - 1] == ':') {
+        ++i;
+        continue;
+      }
+      std::size_t q = skip_space(f.code, i + 1);
+      std::size_t r = q;
+      while (r < f.code.size() && is_ident_char(f.code[r])) ++r;
+      if (names.count(f.code.substr(q, r - q)) != 0) {
+        add(out, f, off, "det-unordered-iter",
+            "range-for over unordered container '" + f.code.substr(q, r - q) +
+                "'; iteration order is implementation-defined — iterate a "
+                "sorted key list or an index instead");
+      }
+      break;
+    }
+  });
+
+  // Pass 2b: explicit iterator walks — name.begin()/cbegin()/rbegin()/....
+  // Only the begin family: comparing a find() result against .end() is the
+  // standard lookup idiom and never observes iteration order.
+  static const std::set<std::string> kIterFns = {"begin", "cbegin", "rbegin", "crbegin"};
+  for_each_identifier(f.code, [&](const std::string& id, std::size_t off) {
+    if (names.count(id) == 0) return;
+    std::size_t p = skip_space(f.code, off + id.size());
+    if (p >= f.code.size() || f.code[p] != '.') return;
+    p = skip_space(f.code, p + 1);
+    std::size_t q = p;
+    while (q < f.code.size() && is_ident_char(f.code[q])) ++q;
+    if (kIterFns.count(f.code.substr(p, q - p)) != 0) {
+      add(out, f, off, "det-unordered-iter",
+          "iterator walk over unordered container '" + id +
+              "'; iteration order is implementation-defined — iterate a "
+              "sorted key list or an index instead");
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// obs-metric-name / obs-span-name
+
+std::string literal_at(const ScannedFile& f, std::size_t quote) {
+  // `code` keeps the quotes and blanks the body; read the body from raw.
+  const std::size_t close = f.code.find('"', quote + 1);
+  if (close == std::string::npos) return {};
+  return f.raw.substr(quote + 1, close - quote - 1);
+}
+
+void rule_metric_names(const ScannedFile& f, std::vector<Finding>& out,
+                       const RuleConfig& cfg) {
+  // obs/telemetry.cpp is the definition site of the catalog itself.
+  if (f.path == "src/obs/telemetry.cpp") return;
+  static const std::set<std::string> kRegFns = {"counter", "gauge", "histogram"};
+  for_each_identifier(f.code, [&](const std::string& id, std::size_t off) {
+    if (kRegFns.count(id) == 0) return;
+    if (off == 0 || f.code[off - 1] != '.') return;  // registry method call
+    std::size_t p = skip_space(f.code, off + id.size());
+    if (p >= f.code.size() || f.code[p] != '(') return;
+    p = skip_space(f.code, p + 1);
+    if (p >= f.code.size() || f.code[p] != '"') return;
+    const std::string name = literal_at(f, p);
+    if (std::find(cfg.metric_catalog.begin(), cfg.metric_catalog.end(), name) !=
+        cfg.metric_catalog.end()) {
+      return;
+    }
+    add(out, f, off, "obs-metric-name",
+        "metric '" + name +
+            "' is not in the MetricsRegistry core catalog "
+            "(obs/telemetry.cpp); register it there so exporters, the "
+            "determinism test, and DESIGN.md §9 stay in sync");
+  });
+}
+
+void rule_span_names(const ScannedFile& f, std::vector<Finding>& out, const RuleConfig& cfg) {
+  if (f.path == "src/obs/telemetry.cpp") return;  // catalog definition site
+  std::size_t pos = 0;
+  while ((pos = f.code.find("LAD_TM_SPAN", pos)) != std::string::npos) {
+    const std::size_t tok = pos;
+    pos += 11;
+    if (tok > 0 && is_ident_char(f.code[tok - 1])) continue;
+    if (pos < f.code.size() && is_ident_char(f.code[pos])) continue;  // the #define itself
+    const std::size_t open = skip_space(f.code, pos);
+    if (open >= f.code.size() || f.code[open] != '(') continue;
+    const std::size_t close = match_bracket(f.code, open);
+    if (close == std::string::npos) continue;
+    // First string literal inside the macro args is the span name (or its
+    // composed prefix); a fully dynamic name has no literal and is skipped.
+    const std::size_t quote = f.code.find('"', open);
+    if (quote == std::string::npos || quote >= close) continue;
+    const std::string name = literal_at(f, quote);
+    if (std::find(cfg.span_catalog.begin(), cfg.span_catalog.end(), name) !=
+        cfg.span_catalog.end()) {
+      continue;
+    }
+    add(out, f, tok, "obs-span-name",
+        "span name '" + name +
+            "' is not in the span catalog (obs::span_name_catalog in "
+            "obs/telemetry.cpp); composed names must use a cataloged "
+            "prefix ending in '/'");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// core-decoder-precondition
+
+void rule_decoder_preconditions(const ScannedFile& f, std::vector<Finding>& out) {
+  if (!starts_with(f.path, "src/core/")) return;
+  for_each_identifier(f.code, [&](const std::string& id, std::size_t off) {
+    const bool decoder_name = starts_with(id, "decode_") || id == "decode" ||
+                              starts_with(id, "decompress");
+    if (!decoder_name) return;
+    std::size_t p = skip_space(f.code, off + id.size());
+    if (p >= f.code.size() || f.code[p] != '(') return;
+    const std::size_t args_end = match_bracket(f.code, p);
+    if (args_end == std::string::npos) return;
+    std::size_t q = skip_space(f.code, args_end);
+    // `const`/`noexcept`/trailing specifiers before the body.
+    while (q < f.code.size() && is_ident_char(f.code[q])) {
+      std::size_t r = q;
+      while (r < f.code.size() && is_ident_char(f.code[r])) ++r;
+      q = skip_space(f.code, r);
+    }
+    if (q >= f.code.size() || f.code[q] != '{') return;  // declaration or call
+    const std::size_t body_end = match_bracket(f.code, q);
+    if (body_end == std::string::npos) return;
+    const std::string body = f.code.substr(q, body_end - q);
+    bool has_contract = false;
+    for_each_identifier(body, [&](const std::string& b, std::size_t) {
+      if (starts_with(b, "LAD_ASSERT") || starts_with(b, "LAD_CHECK")) has_contract = true;
+    });
+    if (!has_contract) {
+      add(out, f, off, "core-decoder-precondition",
+          "decoder entry point '" + id +
+              "' has no LAD_ASSERT/LAD_CHECK precondition; decoders must "
+              "validate the advice they are handed (shape, length) before "
+              "reading it");
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Layering
+
+struct LayerEntry {
+  const char* prefix;
+  int rank;
+  const char* name;
+};
+
+// File-prefix table, most specific first. Ranks encode the DAG
+// obs → util → graph → {advice,lcl} → local → baselines → core →
+// {faults, obs/claims} → lint → bench/tools/tests/examples; an include may
+// only point at an equal or lower rank.
+const LayerEntry kLayers[] = {
+    {"src/obs/claims.", 70, "claims"},  // registry-aware assembly above core
+    {"src/obs/", 0, "obs"},
+    {"src/util/", 10, "util"},
+    {"src/graph/", 20, "graph"},
+    {"src/advice/", 30, "advice"},
+    {"src/lcl/", 30, "lcl"},
+    {"src/local/", 40, "local"},
+    {"src/baselines/", 50, "baselines"},
+    {"src/core/", 60, "core"},
+    {"src/faults/", 70, "faults"},
+    {"src/lint/", 80, "lint"},
+    {"bench/", 90, "bench"},
+    {"tools/", 90, "tools"},
+    {"examples/", 90, "examples"},
+    {"tests/", 90, "tests"},
+};
+
+const LayerEntry* layer_of(const std::string& path) {
+  for (const auto& e : kLayers) {
+    if (starts_with(path, e.prefix)) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int layer_rank(const std::string& path) {
+  const auto* e = layer_of(path);
+  return e != nullptr ? e->rank : -1;
+}
+
+std::string layer_name(const std::string& path) {
+  const auto* e = layer_of(path);
+  return e != nullptr ? e->name : "";
+}
+
+std::vector<Finding> run_layer_rules(const std::vector<ScannedFile>& files,
+                                     const RuleConfig& cfg) {
+  std::vector<Finding> out;
+  // Project includes are written src-root-relative ("graph/graph.hpp") or
+  // repo-root-relative ("bench/bench_runner.hpp"); resolve against the
+  // scanned set and ignore anything else (system headers, generated
+  // obs/version.hpp).
+  std::map<std::string, const ScannedFile*> by_path;
+  for (const auto& f : files) by_path.emplace(f.path, &f);
+  const auto resolve = [&](const std::string& target) -> const ScannedFile* {
+    auto it = by_path.find("src/" + target);
+    if (it != by_path.end()) return it->second;
+    it = by_path.find(target);
+    return it != by_path.end() ? it->second : nullptr;
+  };
+
+  if (cfg.enabled("layer-upward-include")) {
+    for (const auto& f : files) {
+      const auto* from = layer_of(f.path);
+      if (from == nullptr) continue;
+      for (const auto& inc : f.includes) {
+        if (inc.system) continue;
+        const ScannedFile* target = resolve(inc.target);
+        if (target == nullptr) continue;
+        const auto* to = layer_of(target->path);
+        if (to == nullptr || to->rank <= from->rank) continue;
+        out.push_back({f.path, inc.line, "layer-upward-include",
+                       "layer '" + std::string(from->name) + "' includes '" + inc.target +
+                           "' from higher layer '" + to->name +
+                           "'; the architecture DAG (DESIGN.md §10) only "
+                           "allows downward includes"});
+      }
+    }
+  }
+
+  if (cfg.enabled("layer-include-cycle")) {
+    // Iterative DFS over the resolved include graph; each back edge is one
+    // cycle finding, reported at the offending #include.
+    std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+    std::vector<std::string> stack;
+    const std::function<void(const ScannedFile&)> dfs = [&](const ScannedFile& f) {
+      color[f.path] = 1;
+      stack.push_back(f.path);
+      for (const auto& inc : f.includes) {
+        if (inc.system) continue;
+        const ScannedFile* target = resolve(inc.target);
+        if (target == nullptr) continue;
+        const int c = color[target->path];
+        if (c == 0) {
+          dfs(*target);
+        } else if (c == 1) {
+          std::string cycle;
+          const auto at = std::find(stack.begin(), stack.end(), target->path);
+          for (auto it = at; it != stack.end(); ++it) cycle += *it + " -> ";
+          cycle += target->path;
+          out.push_back({f.path, inc.line, "layer-include-cycle",
+                         "include cycle: " + cycle});
+        }
+      }
+      stack.pop_back();
+      color[f.path] = 2;
+    };
+    for (const auto& f : files) {
+      if (color[f.path] == 0) dfs(f);
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"det-rng", "ambient randomness (rand, std::random_device, raw std engines) in a "
+                  "deterministic layer"},
+      {"det-wallclock", "wall-clock reads (<chrono>/<ctime>, *_clock, time()) in a "
+                        "deterministic layer"},
+      {"det-unordered-iter", "iteration over std::unordered_map/unordered_set "
+                             "(implementation-defined order)"},
+      {"det-std-hash", "std::hash in a deterministic layer (not stable across platforms)"},
+      {"layer-upward-include", "#include against the architecture DAG"},
+      {"layer-include-cycle", "cyclic #include chain"},
+      {"obs-metric-name", "metric registered outside the MetricsRegistry core catalog"},
+      {"obs-span-name", "span name literal unknown to the obs span catalog"},
+      {"core-decoder-precondition", "decoder entry point without a LAD_ASSERT/LAD_CHECK "
+                                    "precondition"},
+      {"lint-pragma", "lad-lint pragma with a missing rule list or reason"},
+  };
+  return kCatalog;
+}
+
+bool known_rule(const std::string& name) {
+  const auto& cat = rule_catalog();
+  return std::any_of(cat.begin(), cat.end(),
+                     [&](const RuleInfo& r) { return r.name == name; });
+}
+
+bool RuleConfig::enabled(const std::string& rule) const {
+  return filter.empty() || std::find(filter.begin(), filter.end(), rule) != filter.end();
+}
+
+std::vector<Finding> run_file_rules(const ScannedFile& f, const RuleConfig& cfg) {
+  std::vector<Finding> out;
+
+  if (deterministic_layer(f.path)) {
+    rule_det_tokens(f, out, cfg);
+    if (cfg.enabled("det-unordered-iter")) rule_unordered_iter(f, out);
+  }
+  if (cfg.enabled("obs-metric-name")) rule_metric_names(f, out, cfg);
+  if (cfg.enabled("obs-span-name")) rule_span_names(f, out, cfg);
+  if (cfg.enabled("core-decoder-precondition")) rule_decoder_preconditions(f, out);
+  if (cfg.enabled("lint-pragma")) {
+    for (const int line : f.pragmas_missing_reason) {
+      out.push_back({f.path, line, "lint-pragma",
+                     "lad-lint pragma needs the form `lad-lint: "
+                     "allow(<rule>): <reason>` with a non-empty reason"});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
+  });
+  return out;
+}
+
+}  // namespace lad::lint

@@ -1,0 +1,89 @@
+// Rule engine for `lad lint` (DESIGN.md §10).
+//
+// Three rule families, each guarding an invariant the rest of the stack
+// only checks dynamically:
+//
+//   determinism (det-*)   — the byte-determinism contract (§8). Applies to
+//       the deterministic layers src/{graph,advice,lcl,local,core,faults}:
+//       no ambient randomness (rand(), std::random_device, raw std engines
+//       outside graph/rng.*), no wall-clock reads (obs/stopwatch.hpp is the
+//       one sanctioned clock, in the obs layer), no iteration over
+//       std::unordered_{map,set} (order is implementation-defined), no
+//       std::hash (not stable across platforms; util/hashing.hpp splitmix
+//       is).
+//
+//   layering (layer-*)    — the architecture DAG:
+//       obs → util → graph → {advice, lcl} → local → baselines → core →
+//       {faults, obs/claims} → lint → bench/tools/tests/examples.
+//       An #include from a lower layer into a higher one, or any include
+//       cycle, is a finding. obs/claims.* is the one file-level exception
+//       in obs/: it assembles the claim registry over the core Pipeline
+//       registry and therefore sits beside faults (src/CMakeLists.txt
+//       splits it into lad_claims for the same reason).
+//
+//   hygiene (obs-*, core-*) — code↔catalog drift and contract presence:
+//       metric names registered outside the catalog block and span name
+//       literals unknown to the span catalog are findings, as are public
+//       decoder entry points in core/ without a LAD_ASSERT/LAD_CHECK
+//       precondition.
+//
+// Every finding names its rule, so `// lad-lint: allow(<rule>): <reason>`
+// can suppress exactly that rule on that line (lint/scanner.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/scanner.hpp"
+
+namespace lad::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+/// Every rule `lad lint` knows, in documentation order.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// True iff `name` is a known rule name.
+bool known_rule(const std::string& name);
+
+struct RuleConfig {
+  /// Rules to run; empty = all.
+  std::vector<std::string> filter;
+
+  /// Metric names the MetricsRegistry catalog declares (lad_*_total, ...).
+  std::vector<std::string> metric_catalog;
+
+  /// Span names the obs span catalog declares; entries ending in '/' are
+  /// prefixes for composed names like "pipeline.decode/" + name().
+  std::vector<std::string> span_catalog;
+
+  bool enabled(const std::string& rule) const;
+};
+
+/// Single-file rules: determinism + hygiene. Pragma suppression is NOT
+/// applied here — the driver (lint/lint.hpp) owns it so suppressed counts
+/// are reported uniformly.
+std::vector<Finding> run_file_rules(const ScannedFile& f, const RuleConfig& cfg);
+
+/// Whole-program rules over the include graph: upward includes + cycles.
+/// `files` must be sorted by path for deterministic output.
+std::vector<Finding> run_layer_rules(const std::vector<ScannedFile>& files,
+                                     const RuleConfig& cfg);
+
+/// Layer rank of a root-relative path (higher = closer to the program
+/// edge), or -1 when the path is outside the layered tree. Exposed for the
+/// layering tests and DESIGN.md's DAG table.
+int layer_rank(const std::string& path);
+std::string layer_name(const std::string& path);
+
+}  // namespace lad::lint

@@ -1,0 +1,207 @@
+#include "lint/scanner.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace lad::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a])) != 0) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])) != 0) --b;
+  return s.substr(a, b - a);
+}
+
+// Parses one comment's text for a `lad-lint: allow(r1,r2): reason` pragma.
+// Returns true iff the pragma marker is present; fills `rules` and
+// `has_reason` accordingly (empty rules = malformed allow clause).
+bool parse_pragma(const std::string& comment, std::set<std::string>& rules, bool& has_reason) {
+  const auto at = comment.find("lad-lint:");
+  if (at == std::string::npos) return false;
+  std::size_t p = at + std::string("lad-lint:").size();
+  while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p])) != 0) ++p;
+  const std::string kw = "allow(";
+  if (comment.compare(p, kw.size(), kw) != 0) return true;  // marker without allow(...)
+  p += kw.size();
+  const auto close = comment.find(')', p);
+  if (close == std::string::npos) return true;
+  std::size_t tok = p;
+  while (tok < close) {
+    auto comma = comment.find(',', tok);
+    if (comma == std::string::npos || comma > close) comma = close;
+    const std::string r = trim(comment.substr(tok, comma - tok));
+    if (!r.empty()) rules.insert(r);
+    tok = comma + 1;
+  }
+  std::size_t after = close + 1;
+  while (after < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[after])) != 0) {
+    ++after;
+  }
+  has_reason = after < comment.size() && comment[after] == ':' &&
+               !trim(comment.substr(after + 1)).empty();
+  return true;
+}
+
+}  // namespace
+
+int ScannedFile::line_of(std::size_t offset) const {
+  const auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(), offset);
+  return static_cast<int>(it - line_starts_.begin());
+}
+
+ScannedFile scan_source(const std::string& path, const std::string& text) {
+  ScannedFile f;
+  f.path = path;
+  f.raw = text;
+  f.code = text;
+
+  f.line_starts_.push_back(0);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') f.line_starts_.push_back(i + 1);
+  }
+
+  // One comment at a time: (start offset, text). Handled after the main
+  // lexing loop so pragma attachment can look at the blanked line content.
+  std::vector<std::pair<std::size_t, std::string>> comments;
+
+  const auto blank = [&f](std::size_t from, std::size_t to) {
+    for (std::size_t i = from; i < to && i < f.code.size(); ++i) {
+      if (f.code[i] != '\n') f.code[i] = ' ';
+    }
+  };
+
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      comments.emplace_back(i, text.substr(i + 2, end - i - 2));
+      blank(i, end);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const std::size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) {
+        throw LintParseError(path + ":" + std::to_string(f.line_of(i)) +
+                             ": unterminated block comment");
+      }
+      comments.emplace_back(i, text.substr(i + 2, end - i - 2));
+      blank(i, end + 2);
+      i = end + 2;
+      continue;
+    }
+    // Raw string literal: (u8|u|U|L)?R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+        (i == 0 || !is_ident_char(text[i - 1]) || text[i - 1] == '8' || text[i - 1] == 'u' ||
+         text[i - 1] == 'U' || text[i - 1] == 'L')) {
+      const std::size_t open = text.find('(', i + 2);
+      if (open == std::string::npos) {
+        throw LintParseError(path + ":" + std::to_string(f.line_of(i)) +
+                             ": malformed raw string literal");
+      }
+      const std::string closer = ")" + text.substr(i + 2, open - i - 2) + "\"";
+      const std::size_t end = text.find(closer, open + 1);
+      if (end == std::string::npos) {
+        throw LintParseError(path + ":" + std::to_string(f.line_of(i)) +
+                             ": unterminated raw string literal");
+      }
+      blank(i + 2, end + closer.size());
+      i = end + closer.size();
+      continue;
+    }
+    // Ordinary string / char literal. A quote directly preceded by an
+    // identifier char and not opening a literal (digit separators like
+    // 10'000, or a ud-suffix boundary) is not a literal start; the digit
+    // separator case matters in practice, so treat '…' after [0-9a-fA-F]
+    // followed by an alnum as a separator and skip it.
+    if (c == '"' || c == '\'') {
+      if (c == '\'' && i > 0 && std::isxdigit(static_cast<unsigned char>(text[i - 1])) != 0 &&
+          i + 1 < n && is_ident_char(text[i + 1])) {
+        ++i;  // digit separator inside a numeric literal
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < n && text[j] != c) {
+        if (text[j] == '\\') ++j;
+        if (text[j] == '\n') break;  // unterminated on this line
+        ++j;
+      }
+      if (j >= n || text[j] != c) {
+        throw LintParseError(path + ":" + std::to_string(f.line_of(i)) +
+                             ": unterminated " +
+                             (c == '"' ? std::string("string") : std::string("character")) +
+                             " literal");
+      }
+      blank(i + 1, j);  // keep the quotes, blank the body
+      i = j + 1;
+      continue;
+    }
+    ++i;
+  }
+
+  // Includes: the `#include` token survives blanking iff it is real code;
+  // the target is read from `raw` because a quoted target's body was
+  // blanked in `code`.
+  for (std::size_t ln = 0; ln < f.line_starts_.size(); ++ln) {
+    const std::size_t start = f.line_starts_[ln];
+    std::size_t end = ln + 1 < f.line_starts_.size() ? f.line_starts_[ln + 1] : n;
+    const std::string code_line = f.code.substr(start, end - start);
+    std::size_t p = 0;
+    while (p < code_line.size() && std::isspace(static_cast<unsigned char>(code_line[p])) != 0) {
+      ++p;
+    }
+    if (p >= code_line.size() || code_line[p] != '#') continue;
+    ++p;
+    while (p < code_line.size() && std::isspace(static_cast<unsigned char>(code_line[p])) != 0) {
+      ++p;
+    }
+    if (code_line.compare(p, 7, "include") != 0) continue;
+    const std::string raw_line = f.raw.substr(start, end - start);
+    const std::size_t q1 = raw_line.find_first_of("\"<", p + 7);
+    if (q1 == std::string::npos) continue;
+    const char closing = raw_line[q1] == '<' ? '>' : '"';
+    const std::size_t q2 = raw_line.find(closing, q1 + 1);
+    if (q2 == std::string::npos) continue;
+    IncludeDirective inc;
+    inc.line = static_cast<int>(ln + 1);
+    inc.target = raw_line.substr(q1 + 1, q2 - q1 - 1);
+    inc.system = raw_line[q1] == '<';
+    f.includes.push_back(inc);
+  }
+
+  // Pragmas: attach to the comment's own line; if the line holds nothing
+  // but the comment, also to the next line.
+  for (const auto& [off, body] : comments) {
+    std::set<std::string> rules;
+    bool has_reason = false;
+    if (!parse_pragma(body, rules, has_reason)) continue;
+    const int line = f.line_of(off);
+    if (rules.empty() || !has_reason) {
+      f.pragmas_missing_reason.push_back(line);
+      continue;
+    }
+    f.allow[line].insert(rules.begin(), rules.end());
+    const std::size_t start = f.line_starts_[static_cast<std::size_t>(line - 1)];
+    const std::string before = f.code.substr(start, off - start);
+    const bool comment_only = std::all_of(before.begin(), before.end(), [](char ch) {
+      return std::isspace(static_cast<unsigned char>(ch)) != 0;
+    });
+    if (comment_only) f.allow[line + 1].insert(rules.begin(), rules.end());
+  }
+
+  return f;
+}
+
+}  // namespace lad::lint

@@ -1,0 +1,70 @@
+// Token-level C++ source scanner for `lad lint` (DESIGN.md §10).
+//
+// The rule engine (lint/rules.hpp) must never fire on text inside comments
+// or string/character literals — a README mention of rand() in a doc
+// comment is not a determinism bug. This scanner produces a *blanked* copy
+// of the source in which every comment and every literal body is replaced
+// by spaces, byte positions preserved, so rules can match on `code` and
+// still report line numbers and quote surrounding text from `raw`.
+//
+// It also extracts the two pieces of per-file structure the rules need:
+//
+//   * #include directives (project "..." and system <...>), for the
+//     layering rule's include graph;
+//   * `// lad-lint: allow(<rule>[,<rule>...]): <reason>` suppression
+//     pragmas. A pragma applies to the line it sits on; a pragma alone on
+//     its line also covers the next line. The reason is mandatory — a
+//     pragma without one is itself reported (rule `lint-pragma`).
+//
+// This is deliberately not a parser: it understands exactly as much C++
+// lexing as the rules need (escapes, raw strings, digraph-free code) and
+// throws LintParseError on input it cannot lex (unterminated block
+// comment / string / raw string), which `lad lint` maps to exit code 4.
+#pragma once
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lad::lint {
+
+/// Lexing failed; the message names file:line and what was unterminated.
+class LintParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct IncludeDirective {
+  int line = 0;        // 1-based
+  std::string target;  // path between the quotes/brackets
+  bool system = false; // <...> form
+};
+
+struct ScannedFile {
+  std::string path;  // root-relative, '/'-separated (e.g. "src/graph/io.cpp")
+  std::string raw;   // original bytes
+  std::string code;  // same length as raw; comments + literal bodies blanked
+
+  std::vector<IncludeDirective> includes;
+
+  /// line -> rule names a pragma on (or just above) that line allows.
+  std::map<int, std::set<std::string>> allow;
+
+  /// Lines carrying a lad-lint pragma with a missing/empty reason.
+  std::vector<int> pragmas_missing_reason;
+
+  /// 1-based line number of a byte offset into raw/code.
+  int line_of(std::size_t offset) const;
+
+ private:
+  friend ScannedFile scan_source(const std::string& path, const std::string& text);
+  std::vector<std::size_t> line_starts_;
+};
+
+/// Lexes `text` into a ScannedFile. Throws LintParseError on input that
+/// cannot be lexed (the caller maps this to exit code 4).
+ScannedFile scan_source(const std::string& path, const std::string& text);
+
+}  // namespace lad::lint

@@ -100,6 +100,14 @@ std::vector<std::string> MetricsRegistry::thread_variant_names() const {
   return out;
 }
 
+std::vector<std::string> MetricsRegistry::names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e->name);
+  return out;
+}
+
 std::vector<MetricValue> MetricsRegistry::snapshot(bool skip_zero) const {
   std::lock_guard<std::mutex> lk(mu_);
   std::vector<MetricValue> out;
@@ -188,6 +196,19 @@ CoreMetrics& core() {
     };
   }();
   return m;
+}
+
+const std::vector<std::string>& span_name_catalog() {
+  // Every LAD_TM_SPAN site's name, or its literal prefix for composed
+  // names (prefix entries end in '/'). `lad lint` rule obs-span-name
+  // checks span literals in instrumented code against this list.
+  static const std::vector<std::string> kSpans = {
+      "engine.run",        "engine.round",      "parallel_engine.run",
+      "gather.balls",      "gather.views",      "pool.chunk",
+      "campaign.trial",    "guarded.decode/",   "pipeline.encode/",
+      "pipeline.decode/",  "pipeline.decode_tolerant/", "pipeline.verify/",
+  };
+  return kSpans;
 }
 
 // ---------------------------------------------------------------------------

@@ -152,6 +152,10 @@ class MetricsRegistry {
   bool is_thread_variant(const std::string& name) const;
   /// All thread-variant metric names, in registration order.
   std::vector<std::string> thread_variant_names() const;
+  /// All registered metric names (raw entry names, histograms without the
+  /// _sum/_count expansion), in registration order. `lad lint` checks
+  /// metric-name literals in instrumented code against this list.
+  std::vector<std::string> names() const;
 
   /// Scalar values in registration order. Histograms contribute
   /// `<name>_sum` and `<name>_count`. `skip_zero` drops zero-valued entries
@@ -228,6 +232,13 @@ struct CoreMetrics {
 };
 
 CoreMetrics& core();
+
+/// The span-name catalog: every name LAD_TM_SPAN may use. Entries ending in
+/// '/' are prefixes for composed names (e.g. "pipeline.decode/" +
+/// pipeline name). Like the metric catalog it is the single source of
+/// truth `lad lint` checks span literals against, so adding a span site
+/// means adding its name here (and to DESIGN.md §9).
+const std::vector<std::string>& span_name_catalog();
 
 // ---------------------------------------------------------------------------
 // Span tracing

@@ -1,0 +1,29 @@
+# Pins the uniform `lad` exit-code convention (tools/lad_cli.cpp header):
+#   0 — success / checked property holds
+#   2 — usage error
+#   3 — soft failure (checked property does not hold)
+#   4 — hard failure (internal error, contract violation)
+# Soft-fail 3 is covered per-verb by cli_diffbench.cmake and
+# cli_lint.cmake; this script pins the 0 / 2 / 4 corners every verb
+# shares through main().
+#
+# Usage: cmake -DLAD_CLI=<path> -P cli_exit_codes.cmake
+if(NOT LAD_CLI)
+  message(FATAL_ERROR "cli_exit_codes.cmake needs LAD_CLI")
+endif()
+
+function(expect_exit code)
+  execute_process(
+    COMMAND ${LAD_CLI} ${ARGN}
+    OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+  if(NOT rc EQUAL ${code})
+    message(FATAL_ERROR "`lad ${ARGN}` must exit ${code}, got ${rc}:\n${out}${err}")
+  endif()
+endfunction()
+
+expect_exit(2)                      # no verb at all
+expect_exit(2 definitely-no-verb)   # unknown verb
+expect_exit(2 gen)                  # verb with missing required args
+expect_exit(0 gen cycle 12 1)       # a working verb succeeds with 0
+expect_exit(0 lint --list-rules)    # informational paths are 0 too
+expect_exit(4 orient /nonexistent/graph.txt)  # contract violation is hard

@@ -1,0 +1,96 @@
+# Pins the `lad lint` exit-code contract end to end against the seeded
+# violation tree in tests/golden/lint_fixture/:
+#   3 — new findings (every rule family fires on the fixture)
+#   0 — after --write-baseline grandfathers them all
+#   2 — usage error / missing lint root
+# The fixture is scanned, never compiled; tests/test_lint.cpp covers the
+# per-rule semantics, this script covers the CLI and baseline plumbing.
+#
+# Usage: cmake -DLAD_CLI=<path> -DFIXTURE=<dir> -DOUT_DIR=<dir>
+#              -P cli_lint.cmake
+foreach(v LAD_CLI FIXTURE OUT_DIR)
+  if(NOT ${v})
+    message(FATAL_ERROR "cli_lint.cmake needs -D${v}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${LAD_CLI} lint --root ${FIXTURE}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "seeded fixture must exit 3, got ${rc}:\n${out}${err}")
+endif()
+foreach(rule det-rng det-wallclock det-unordered-iter det-std-hash
+        core-decoder-precondition layer-upward-include layer-include-cycle
+        obs-metric-name obs-span-name)
+  if(NOT out MATCHES "\\[${rule}\\]")
+    message(FATAL_ERROR "fixture run does not report [${rule}]:\n${out}")
+  endif()
+endforeach()
+if(NOT out MATCHES "1 suppressed by pragma")
+  message(FATAL_ERROR "pragma-forgiven rand() not counted as suppressed:\n${out}")
+endif()
+
+# --rule restricts the run to one rule.
+execute_process(
+  COMMAND ${LAD_CLI} lint --root ${FIXTURE} --rule det-rng
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "--rule det-rng on the fixture must exit 3, got ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "\\[det-rng\\]" OR out MATCHES "\\[det-wallclock\\]")
+  message(FATAL_ERROR "--rule det-rng must report only det-rng:\n${out}")
+endif()
+
+# --json carries the machine-readable counters CI's lint job gates on.
+execute_process(
+  COMMAND ${LAD_CLI} lint --root ${FIXTURE} --json
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "--json fixture run must exit 3, got ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "\"new_findings\"")
+  message(FATAL_ERROR "JSON report has no new_findings field:\n${out}")
+endif()
+
+# --write-baseline grandfathers everything; the rerun against it is clean.
+execute_process(
+  COMMAND ${LAD_CLI} lint --root ${FIXTURE}
+          --write-baseline ${OUT_DIR}/lint_fixture_baseline.json
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "--write-baseline run must still exit 3, got ${rc}:\n${out}${err}")
+endif()
+execute_process(
+  COMMAND ${LAD_CLI} lint --root ${FIXTURE}
+          --baseline ${OUT_DIR}/lint_fixture_baseline.json
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rerun against the written baseline must exit 0, got ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "grandfathered")
+  message(FATAL_ERROR "baselined rerun does not mark findings grandfathered:\n${out}")
+endif()
+
+# Usage errors: unknown rule, unknown flag, missing root.
+execute_process(
+  COMMAND ${LAD_CLI} lint --rule not-a-rule
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "unknown rule must exit 2, got ${rc}:\n${out}${err}")
+endif()
+if(NOT err MATCHES "not-a-rule")
+  message(FATAL_ERROR "stderr does not name the unknown rule:\n${err}")
+endif()
+execute_process(
+  COMMAND ${LAD_CLI} lint --definitely-not-a-flag
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "unknown flag must exit 2, got ${rc}:\n${out}${err}")
+endif()
+execute_process(
+  COMMAND ${LAD_CLI} lint --root ${FIXTURE}/does-not-exist
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "missing lint root must exit 2, got ${rc}:\n${out}${err}")
+endif()

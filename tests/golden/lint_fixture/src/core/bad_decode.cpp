@@ -1,0 +1,12 @@
+// Seeded violations for tests/cli_lint.cmake: a core/ decoder definition
+// with no precondition, an unordered-container walk, and std::hash. This
+// file is a lint fixture — it is scanned by `lad lint`, never compiled.
+#include <unordered_map>
+
+int decode_widget(const std::unordered_map<int, int>& advice) {
+  std::unordered_map<int, int> copy = advice;
+  int sum = 0;
+  for (const auto& kv : copy) sum += kv.second;
+  std::hash<int> h;
+  return sum + static_cast<int>(h(sum));
+}

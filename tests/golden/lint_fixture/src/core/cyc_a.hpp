@@ -1,0 +1,4 @@
+// Half of a seeded include cycle for tests/cli_lint.cmake.
+#pragma once
+
+#include "core/cyc_b.hpp"

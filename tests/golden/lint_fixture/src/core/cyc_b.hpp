@@ -1,0 +1,4 @@
+// Other half of the seeded include cycle for tests/cli_lint.cmake.
+#pragma once
+
+#include "core/cyc_a.hpp"

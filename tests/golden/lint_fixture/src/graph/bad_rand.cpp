@@ -1,0 +1,9 @@
+// Seeded violations for tests/cli_lint.cmake: ambient randomness and
+// wall-clock reads in a deterministic layer, plus one pragma-forgiven copy
+// proving suppression is counted. Scanned by `lad lint`, never compiled.
+#include <ctime>
+
+int noisy_seed() { return static_cast<int>(time(nullptr)) + rand(); }
+
+// lad-lint: allow(det-rng): fixture — demonstrates pragma suppression
+int forgiven_seed() { return rand(); }

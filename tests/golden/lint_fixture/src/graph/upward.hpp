@@ -1,0 +1,5 @@
+// Seeded violation for tests/cli_lint.cmake: the graph layer reaching up
+// into core against the architecture DAG. Scanned, never compiled.
+#pragma once
+
+#include "core/cyc_a.hpp"

@@ -1,0 +1,10 @@
+// Seeded violations for tests/cli_lint.cmake: a span name and a metric
+// name unknown to the obs catalogs. Scanned by `lad lint`, never compiled.
+struct Registry {
+  int& counter(const char* name, const char* help);
+};
+
+void instrument(Registry& reg) {
+  LAD_TM_SPAN(sp, "bogus.span", "fixture");
+  reg.counter("bogus_total", "a metric the core catalog never declared");
+}

@@ -1,0 +1,304 @@
+// Unit tests for `lad lint` (src/lint/): the scanner's comment/string
+// blanking, each rule firing exactly once on a minimal trigger and being
+// silenced by its allow() pragma, the layering DAG, and the baseline
+// grandfathering contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lint/lint.hpp"
+#include "lint/rules.hpp"
+#include "lint/scanner.hpp"
+
+namespace lad::lint {
+namespace {
+
+RuleConfig test_config() {
+  RuleConfig cfg;
+  cfg.metric_catalog = {"lad_test_total"};
+  cfg.span_catalog = {"engine.run", "pipeline.decode/"};
+  return cfg;
+}
+
+LintReport lint_one(const std::string& path, const std::string& text,
+                    const std::string& baseline = "") {
+  return run_lint({{path, text}}, test_config(), baseline);
+}
+
+std::vector<std::string> rules_of(const LintReport& r) {
+  std::vector<std::string> out;
+  for (const auto& it : r.items) out.push_back(it.finding.rule);
+  return out;
+}
+
+int count_rule(const LintReport& r, const std::string& rule) {
+  const auto rules = rules_of(r);
+  return static_cast<int>(std::count(rules.begin(), rules.end(), rule));
+}
+
+// ---------------------------------------------------------------------------
+// Scanner
+
+TEST(LintScanner, BlanksCommentsButKeepsOffsets) {
+  const std::string text = "int a; // rand() here\nint b; /* time(0) */ int c;\n";
+  const ScannedFile f = scan_source("src/core/x.cpp", text);
+  EXPECT_EQ(f.code.size(), f.raw.size());
+  EXPECT_EQ(f.code.find("rand"), std::string::npos);
+  EXPECT_EQ(f.code.find("time"), std::string::npos);
+  EXPECT_NE(f.code.find("int c;"), std::string::npos);
+  EXPECT_EQ(f.line_of(f.code.find("int b")), 2);
+}
+
+TEST(LintScanner, BlanksStringAndCharLiteralBodies) {
+  const std::string text = "const char* s = \"rand() inside\"; char c = 'r';\n";
+  const ScannedFile f = scan_source("src/core/x.cpp", text);
+  EXPECT_EQ(f.code.find("rand"), std::string::npos);
+  // Quotes survive so rules can locate literals and read them from raw.
+  EXPECT_NE(f.code.find('"'), std::string::npos);
+  EXPECT_NE(f.raw.find("rand() inside"), std::string::npos);
+}
+
+TEST(LintScanner, BlanksRawStringBodies) {
+  const std::string text = "auto s = R\"x(srand(7) in raw)x\";\nint rain = 0;\n";
+  const ScannedFile f = scan_source("src/core/x.cpp", text);
+  EXPECT_EQ(f.code.find("srand"), std::string::npos);
+  EXPECT_NE(f.code.find("rain"), std::string::npos);
+}
+
+TEST(LintScanner, ExtractsIncludes) {
+  const std::string text = "#include <vector>\n#include \"graph/graph.hpp\"\n";
+  const ScannedFile f = scan_source("src/core/x.cpp", text);
+  ASSERT_EQ(f.includes.size(), 2u);
+  EXPECT_TRUE(f.includes[0].system);
+  EXPECT_EQ(f.includes[0].target, "vector");
+  EXPECT_FALSE(f.includes[1].system);
+  EXPECT_EQ(f.includes[1].target, "graph/graph.hpp");
+  EXPECT_EQ(f.includes[1].line, 2);
+}
+
+TEST(LintScanner, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(scan_source("src/core/x.cpp", "int a; /* never closed\n"), LintParseError);
+}
+
+TEST(LintScanner, PragmaAttachesToOwnAndNextLine) {
+  const std::string text =
+      "// lad-lint: allow(det-rng): seeded upstream\nint a = rand();\n";
+  const ScannedFile f = scan_source("src/graph/x.cpp", text);
+  ASSERT_TRUE(f.allow.count(1));
+  ASSERT_TRUE(f.allow.count(2));
+  EXPECT_TRUE(f.allow.at(2).count("det-rng"));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism rules: each fires exactly once, and its pragma silences it.
+
+TEST(LintRules, DetRngFiresOnceAndPragmaSilences) {
+  auto r = lint_one("src/graph/x.cpp", "int a = rand();\n");
+  EXPECT_EQ(count_rule(r, "det-rng"), 1);
+
+  auto s = lint_one("src/graph/x.cpp",
+                    "int a = rand();  // lad-lint: allow(det-rng): test fixture\n");
+  EXPECT_EQ(count_rule(s, "det-rng"), 0);
+  EXPECT_EQ(s.suppressed, 1);
+  EXPECT_TRUE(s.clean());
+}
+
+TEST(LintRules, DetRngExemptInRngHomeAndOutsideDetLayers) {
+  EXPECT_TRUE(lint_one("src/graph/rng.hpp", "std::mt19937_64 eng_;\n").clean());
+  EXPECT_TRUE(lint_one("src/obs/x.cpp", "int a = rand();\n").clean());
+}
+
+TEST(LintRules, DetWallclockFiresOnceAndPragmaSilences) {
+  auto r = lint_one("src/core/x.cpp", "long t = time(nullptr);\n");
+  EXPECT_EQ(count_rule(r, "det-wallclock"), 1);
+
+  // Member access is some object's own time(), not the libc wall clock.
+  EXPECT_TRUE(lint_one("src/core/x.cpp", "double d = sw.time();\n").clean());
+
+  auto s = lint_one("src/core/x.cpp",
+                    "long t = time(nullptr);  // lad-lint: allow(det-wallclock): fixture\n");
+  EXPECT_EQ(count_rule(s, "det-wallclock"), 0);
+  EXPECT_EQ(s.suppressed, 1);
+}
+
+TEST(LintRules, DetWallclockFlagsChronoInclude) {
+  auto r = lint_one("src/local/x.cpp", "#include <chrono>\n");
+  EXPECT_EQ(count_rule(r, "det-wallclock"), 1);
+  EXPECT_EQ(r.items[0].finding.line, 1);
+}
+
+TEST(LintRules, DetStdHashFiresOnceAndPragmaSilences) {
+  auto r = lint_one("src/lcl/x.cpp", "std::hash<int> h;\n");
+  EXPECT_EQ(count_rule(r, "det-std-hash"), 1);
+
+  auto s = lint_one("src/lcl/x.cpp",
+                    "std::hash<int> h;  // lad-lint: allow(det-std-hash): fixture\n");
+  EXPECT_EQ(count_rule(s, "det-std-hash"), 0);
+}
+
+TEST(LintRules, DetUnorderedIterFlagsRangeForNotLookups) {
+  const std::string decl = "std::unordered_map<int, int> m;\n";
+  auto r = lint_one("src/advice/x.cpp", decl + "void f() { for (const auto& kv : m) use(kv); }\n");
+  EXPECT_EQ(count_rule(r, "det-unordered-iter"), 1);
+
+  // Lookup idioms never observe iteration order.
+  EXPECT_TRUE(lint_one("src/advice/x.cpp",
+                       decl + "bool f(int k) { return m.find(k) != m.end(); }\n")
+                  .clean());
+
+  auto b = lint_one("src/advice/x.cpp", decl + "auto it = m.begin();\n");
+  EXPECT_EQ(count_rule(b, "det-unordered-iter"), 1);
+
+  auto s = lint_one(
+      "src/advice/x.cpp",
+      decl + "void f() { for (const auto& kv : m) use(kv); }  "
+             "// lad-lint: allow(det-unordered-iter): fixture\n");
+  EXPECT_EQ(count_rule(s, "det-unordered-iter"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Hygiene rules
+
+TEST(LintRules, ObsMetricNameChecksCatalog) {
+  auto r = lint_one("src/local/x.cpp", "auto& c = reg.counter(\"bogus_total\", \"h\");\n");
+  EXPECT_EQ(count_rule(r, "obs-metric-name"), 1);
+
+  EXPECT_TRUE(
+      lint_one("src/local/x.cpp", "auto& c = reg.counter(\"lad_test_total\", \"h\");\n").clean());
+
+  auto s = lint_one("src/local/x.cpp",
+                    "auto& c = reg.counter(\"bogus_total\", \"h\");  "
+                    "// lad-lint: allow(obs-metric-name): fixture\n");
+  EXPECT_EQ(count_rule(s, "obs-metric-name"), 0);
+}
+
+TEST(LintRules, ObsSpanNameChecksCatalogAndPrefixes) {
+  auto r = lint_one("src/local/x.cpp", "LAD_TM_SPAN(sp, \"bogus.span\", \"x\");\n");
+  EXPECT_EQ(count_rule(r, "obs-span-name"), 1);
+
+  EXPECT_TRUE(lint_one("src/local/x.cpp", "LAD_TM_SPAN(sp, \"engine.run\", \"x\");\n").clean());
+  // Composed names lead with a cataloged prefix literal.
+  EXPECT_TRUE(lint_one("src/local/x.cpp",
+                       "LAD_TM_SPAN(sp, std::string(\"pipeline.decode/\") + name, \"x\");\n")
+                  .clean());
+
+  auto s = lint_one("src/local/x.cpp",
+                    "LAD_TM_SPAN(sp, \"bogus.span\", \"x\");  "
+                    "// lad-lint: allow(obs-span-name): fixture\n");
+  EXPECT_EQ(count_rule(s, "obs-span-name"), 0);
+}
+
+TEST(LintRules, CoreDecoderPreconditionWantsContractInDefinition) {
+  auto r = lint_one("src/core/x.cpp", "int decode_thing(int n) { return n + 1; }\n");
+  EXPECT_EQ(count_rule(r, "core-decoder-precondition"), 1);
+
+  EXPECT_TRUE(lint_one("src/core/x.cpp",
+                       "int decode_thing(int n) { LAD_CHECK(n >= 0); return n + 1; }\n")
+                  .clean());
+  // Declarations and call sites are not definitions.
+  EXPECT_TRUE(lint_one("src/core/x.cpp", "int decode_thing(int n);\n").clean());
+  EXPECT_TRUE(lint_one("src/core/x.cpp", "void f() { g(decode_thing(3)); }\n").clean());
+  // Only src/core/ carries the rule.
+  EXPECT_TRUE(lint_one("src/local/x.cpp", "int decode_thing(int n) { return n; }\n").clean());
+
+  auto s = lint_one("src/core/x.cpp",
+                    "int decode_thing(int n) { return n + 1; }  "
+                    "// lad-lint: allow(core-decoder-precondition): fixture\n");
+  EXPECT_EQ(count_rule(s, "core-decoder-precondition"), 0);
+}
+
+TEST(LintRules, LintPragmaFlagsMissingReasonAndIsNotSuppressible) {
+  auto r = lint_one("src/graph/x.cpp", "int a = rand();  // lad-lint: allow(det-rng)\n");
+  EXPECT_EQ(count_rule(r, "lint-pragma"), 1);
+  EXPECT_FALSE(r.clean());
+}
+
+// ---------------------------------------------------------------------------
+// Layering
+
+TEST(LintLayers, RanksFollowTheDag) {
+  EXPECT_EQ(layer_rank("src/obs/telemetry.cpp"), 0);
+  EXPECT_LT(layer_rank("src/util/thread_pool.cpp"), layer_rank("src/graph/graph.cpp"));
+  EXPECT_LT(layer_rank("src/graph/graph.cpp"), layer_rank("src/local/engine.cpp"));
+  EXPECT_LT(layer_rank("src/core/pipeline.cpp"), layer_rank("src/faults/campaign.cpp"));
+  // The one file-level exception: obs/claims.* assembles over core.
+  EXPECT_GT(layer_rank("src/obs/claims.cpp"), layer_rank("src/core/pipeline.cpp"));
+  EXPECT_EQ(layer_rank("weird/other.cpp"), -1);
+  EXPECT_EQ(layer_name("src/lcl/solver.cpp"), "lcl");
+}
+
+TEST(LintLayers, UpwardIncludeIsAFinding) {
+  const std::vector<MemSource> sources = {
+      {"src/core/high.hpp", "#pragma once\n"},
+      {"src/graph/bad.hpp", "#pragma once\n#include \"core/high.hpp\"\n"},
+  };
+  auto r = run_lint(sources, test_config());
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_EQ(r.items[0].finding.rule, "layer-upward-include");
+  EXPECT_EQ(r.items[0].finding.file, "src/graph/bad.hpp");
+  EXPECT_EQ(r.items[0].finding.line, 2);
+}
+
+TEST(LintLayers, DownwardIncludeIsClean) {
+  const std::vector<MemSource> sources = {
+      {"src/graph/low.hpp", "#pragma once\n"},
+      {"src/core/good.hpp", "#pragma once\n#include \"graph/low.hpp\"\n"},
+  };
+  EXPECT_TRUE(run_lint(sources, test_config()).clean());
+}
+
+TEST(LintLayers, IncludeCycleIsAFinding) {
+  const std::vector<MemSource> sources = {
+      {"src/core/cyc_a.hpp", "#pragma once\n#include \"core/cyc_b.hpp\"\n"},
+      {"src/core/cyc_b.hpp", "#pragma once\n#include \"core/cyc_a.hpp\"\n"},
+  };
+  auto r = run_lint(sources, test_config());
+  EXPECT_EQ(count_rule(r, "layer-include-cycle"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline + config plumbing
+
+TEST(LintBaseline, GrandfathersByFileAndRuleIgnoringLines) {
+  const std::string baseline =
+      "{\"schema\": 1, \"findings\": ["
+      "{\"file\": \"src/graph/x.cpp\", \"rule\": \"det-rng\", \"line\": 999}]}";
+  auto r = lint_one("src/graph/x.cpp", "\n\nint a = rand();\n", baseline);
+  ASSERT_EQ(r.items.size(), 1u);
+  EXPECT_TRUE(r.items[0].grandfathered);
+  EXPECT_TRUE(r.clean());
+
+  // A second finding of the same rule exceeds the baseline's multiplicity.
+  auto two = lint_one("src/graph/x.cpp", "int a = rand();\nint b = rand();\n", baseline);
+  EXPECT_EQ(two.new_count(), 1);
+  EXPECT_FALSE(two.clean());
+}
+
+TEST(LintBaseline, MalformedBaselineThrows) {
+  EXPECT_THROW(lint_one("src/graph/x.cpp", "int a;\n", "{\"bogus\": 1}"), std::runtime_error);
+}
+
+TEST(LintConfig, RuleFilterRestrictsWhatRuns) {
+  RuleConfig cfg = test_config();
+  cfg.filter = {"det-rng"};
+  auto r = run_lint({{"src/core/x.cpp", "int a = rand();\nlong t = time(nullptr);\n"}}, cfg);
+  EXPECT_EQ(count_rule(r, "det-rng"), 1);
+  EXPECT_EQ(count_rule(r, "det-wallclock"), 0);
+}
+
+TEST(LintConfig, KnownRuleMatchesCatalog) {
+  EXPECT_TRUE(known_rule("det-rng"));
+  EXPECT_TRUE(known_rule("layer-include-cycle"));
+  EXPECT_FALSE(known_rule("not-a-rule"));
+  EXPECT_EQ(rule_catalog().size(), 10u);
+}
+
+TEST(LintReportOutput, JsonCarriesNewFindingCount) {
+  auto r = lint_one("src/graph/x.cpp", "int a = rand();\n");
+  const std::string js = r.to_json();
+  EXPECT_NE(js.find("\"new_findings\": 1"), std::string::npos);
+  EXPECT_NE(js.find("\"det-rng\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lad::lint

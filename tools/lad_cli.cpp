@@ -14,7 +14,15 @@
 //   lad verify-claims [--family F] [--json]   # claims observatory (DESIGN.md §9.6)
 //   lad diffbench <baseline.json> <candidate.json> [--tol-ms X] [--tol-rel R] [--json]
 //   lad report   [--out EXPERIMENTS-generated.md]   # regenerable claims report
+//   lad lint     [--root DIR] [--rule R] [--baseline FILE] [--json]   # static analysis
 //   lad dot      <graph.txt>          # Graphviz export
+//
+// Exit-code convention, uniform across verbs (pinned by cli_exit_codes):
+//   0 — success / the checked property holds
+//   2 — usage error or unparseable input document
+//   3 — soft failure: the property checked does not hold (audit violation,
+//       claim FAIL, silent corruption, digest drift, new lint findings)
+//   4 — hard failure: internal error, contract violation, unlexable source
 //
 // Decoder-facing commands (audit, faultsim) dispatch through the Pipeline
 // registry (core/pipeline.hpp): any pipeline name the registry knows is a
@@ -46,6 +54,7 @@
 #include "graph/rng.hpp"
 #include "lcl/problems.hpp"
 #include "lcl/solver.hpp"
+#include "lint/lint.hpp"
 #include "local/audit.hpp"
 #include "local/engine.hpp"
 #include "obs/benchdiff.hpp"
@@ -101,7 +110,14 @@ int usage() {
                "            regenerates the claims-conformance report (markdown) from the\n"
                "            real encode/decode/verify stack; default out:\n"
                "            EXPERIMENTS-generated.md\n"
-               "  lad dot <graph.txt>\n");
+               "  lad lint [--root DIR] [--rule R]... [--baseline FILE]\n"
+               "            [--write-baseline FILE] [--list-rules] [--json]\n"
+               "            static analysis of src/ and tools/ under --root (default .):\n"
+               "            determinism, layering, and telemetry-catalog hygiene rules\n"
+               "            (DESIGN.md §10); default baseline ROOT/lint_baseline.json when\n"
+               "            present; exit 0 clean, 3 new findings, 4 unlexable source\n"
+               "  lad dot <graph.txt>\n"
+               "exit codes: 0 ok | 2 usage/parse | 3 checked property fails | 4 internal\n");
   return 2;
 }
 
@@ -159,9 +175,10 @@ int cmd_orient(const std::string& path) {
   std::printf("n=%d m=%d Δ=%d\n", g.n(), g.m(), g.max_degree());
   std::printf("advice: 1 bit/node, ones ratio %.4f, marked trails %d\n", stats.ones_ratio,
               enc.num_marked_trails);
+  const bool balanced = is_balanced_orientation(g, dec.orientation, 1);
   std::printf("decoded in %d LOCAL rounds; almost-balanced: %s\n", dec.rounds,
-              is_balanced_orientation(g, dec.orientation, 1) ? "yes" : "NO");
-  return 0;
+              balanced ? "yes" : "NO");
+  return balanced ? 0 : 3;
 }
 
 int cmd_compress(const std::string& path, double density) {
@@ -181,7 +198,7 @@ int cmd_compress(const std::string& path, double density) {
               static_cast<double>(ours) / g.n(), static_cast<double>(trivial) / g.n());
   std::printf("decompressed in %d rounds; exact recovery: %s\n", r.rounds,
               r.in_x == x ? "yes" : "NO");
-  return 0;
+  return r.in_x == x ? 0 : 3;
 }
 
 int cmd_color3(const std::string& path) {
@@ -191,14 +208,14 @@ int cmd_color3(const std::string& path) {
   const auto witness = solve_lcl(g, p);
   if (!witness) {
     std::printf("graph is not 3-colorable\n");
-    return 1;
+    return 3;
   }
   const auto enc = encode_three_coloring_advice(g, witness->node_labels);
   const auto dec = decode_three_coloring(g, enc.bits);
+  const bool proper = is_proper_coloring(g, dec.coloring, 3);
   std::printf("3-coloring schema: 1 bit/node, %d parity groups, %d LOCAL rounds, valid: %s\n",
-              enc.num_groups, dec.rounds,
-              is_proper_coloring(g, dec.coloring, 3) ? "yes" : "NO");
-  return 0;
+              enc.num_groups, dec.rounds, proper ? "yes" : "NO");
+  return proper ? 0 : 3;
 }
 
 int cmd_proof(const std::string& path, const std::string& which) {
@@ -221,7 +238,7 @@ int cmd_proof(const std::string& path, const std::string& which) {
   std::printf("certificate for %s: 1 bit/node (ones ratio %.4f), verifier %s in %d rounds\n",
               p->name().c_str(), stats.ones_ratio, res.accepted ? "ACCEPTS" : "rejects",
               res.rounds);
-  return res.accepted ? 0 : 1;
+  return res.accepted ? 0 : 3;
 }
 
 void print_provenance(const EngineAuditLog& log) {
@@ -252,7 +269,7 @@ int print_report(const LocalityAuditReport& report, int declared_rounds) {
     return 0;
   }
   for (const auto& v : report.violations) std::printf("VIOLATION: %s\n", v.detail.c_str());
-  return 1;
+  return 3;
 }
 
 // Flooding for `radius` rounds under the provenance auditor: the canonical
@@ -295,7 +312,7 @@ int cmd_audit(int argc, char** argv) {
     const auto run = eng.run(alg, radius + 2);
     std::printf("flooding gather, radius %d, on n=%d m=%d\n", radius, g.n(), g.m());
     print_provenance(eng.audit_log());
-    return run.all_halted && eng.audit_log().clean() ? 0 : 1;
+    return run.all_halted && eng.audit_log().clean() ? 0 : 3;
   }
 
   if (which == "cv") {
@@ -303,7 +320,7 @@ int cmd_audit(int argc, char** argv) {
     const auto res = cole_vishkin_cycle(g, cycle_successors(g), &log);
     std::printf("Cole-Vishkin 3-coloring, %d rounds, on n=%d\n", res.rounds, g.n());
     print_provenance(log);
-    return log.clean() ? 0 : 1;
+    return log.clean() ? 0 : 3;
   }
 
   // Decoder audits: re-encode and re-decode on a perturbed instance; any
@@ -449,7 +466,7 @@ int cmd_bench(int argc, char** argv) {
   }
   // A thread count changing any output byte is a determinism-contract
   // violation — fail loudly so CI catches it.
-  return all_identical ? 0 : 1;
+  return all_identical ? 0 : 3;
 }
 
 int cmd_faultsim(int argc, char** argv) {
@@ -479,7 +496,7 @@ int cmd_faultsim(int argc, char** argv) {
   }
   // The layer's contract: a campaign never ends in silent corruption. A
   // nonzero exit makes that machine-checkable for scripts and CI.
-  return s.silent_corruptions == 0 ? 0 : 1;
+  return s.silent_corruptions == 0 ? 0 : 3;
 }
 
 // One observed end-to-end run of a pipeline: encode -> decode -> verify on
@@ -577,7 +594,7 @@ int cmd_trace(int argc, char** argv) {
   }
 
   obs::set_enabled(false);
-  return ok && echo.unverified_nodes.empty() ? 0 : 1;
+  return ok && echo.unverified_nodes.empty() ? 0 : 3;
 }
 
 // Parses "256,512,1024" into sweep sizes; empty result = parse error.
@@ -645,7 +662,7 @@ int cmd_verify_claims(int argc, char** argv) {
     return 2;
   }
   std::printf("%s", (args.json ? report.to_json() : report.to_text()).c_str());
-  return report.pass() ? 0 : 1;
+  return report.pass() ? 0 : 3;
 }
 
 int cmd_report(int argc, char** argv) {
@@ -664,7 +681,7 @@ int cmd_report(int argc, char** argv) {
   out << report.to_markdown();
   std::printf("wrote %s (%zu pipeline(s), overall %s)\n", args.out_path.c_str(),
               report.pipelines.size(), report.pass() ? "PASS" : "FAIL");
-  return report.pass() ? 0 : 1;
+  return report.pass() ? 0 : 3;
 }
 
 int cmd_diffbench(int argc, char** argv) {
@@ -713,6 +730,86 @@ int cmd_dot(const std::string& path) {
   return 0;
 }
 
+// Static analysis over the repository's own sources (DESIGN.md §10):
+// determinism rules for the deterministic layers, the architecture-DAG
+// layering rule, and telemetry-catalog hygiene. Exit codes follow the
+// benchdiff convention: 0 clean, 2 usage, 3 new findings, 4 parse failure.
+int cmd_lint(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  bool baseline_explicit = false;
+  std::string write_baseline;
+  bool json = false;
+  lint::RuleConfig cfg = lint::repo_rule_config();
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (a == "--rule" && i + 1 < argc) {
+      const std::string r = argv[++i];
+      if (!lint::known_rule(r)) {
+        std::fprintf(stderr, "error: unknown lint rule '%s' (try --list-rules)\n", r.c_str());
+        return 2;
+      }
+      cfg.filter.push_back(r);
+    } else if (a == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+      baseline_explicit = true;
+    } else if (a == "--write-baseline" && i + 1 < argc) {
+      write_baseline = argv[++i];
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--list-rules") {
+      for (const auto& r : lint::rule_catalog()) {
+        std::printf("%-26s %s\n", r.name.c_str(), r.summary.c_str());
+      }
+      return 0;
+    } else {
+      return usage();
+    }
+  }
+  if (!baseline_explicit) {
+    // Convention mirror of BENCH_baseline.json: the checked-in baseline at
+    // the lint root is picked up automatically when present.
+    const std::string candidate = root + "/lint_baseline.json";
+    if (std::ifstream(candidate).good()) baseline_path = candidate;
+  }
+
+  std::string baseline_json;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in.good()) {
+      std::fprintf(stderr, "error: cannot open baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    baseline_json = ss.str();
+  }
+
+  lint::LintReport report;
+  try {
+    const auto sources = lint::collect_repo_sources(root);
+    report = lint::run_lint(sources, cfg, baseline_json);
+  } catch (const lint::LintParseError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 4;
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  if (!write_baseline.empty()) {
+    std::ofstream out(write_baseline);
+    LAD_CHECK_MSG(out.good(), "cannot write " << write_baseline);
+    out << report.to_baseline_json();
+    std::printf("wrote %s (%zu finding(s) grandfathered)\n", write_baseline.c_str(),
+                report.items.size());
+  }
+  std::printf("%s", (json ? report.to_json() : report.to_text()).c_str());
+  return report.clean() ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -731,10 +828,12 @@ int main(int argc, char** argv) {
     if (cmd == "verify-claims") return cmd_verify_claims(argc - 2, argv + 2);
     if (cmd == "diffbench") return cmd_diffbench(argc - 2, argv + 2);
     if (cmd == "report") return cmd_report(argc - 2, argv + 2);
+    if (cmd == "lint") return cmd_lint(argc - 2, argv + 2);
     if (cmd == "dot" && argc >= 3) return cmd_dot(argv[2]);
   } catch (const std::exception& e) {
+    // Hard failure: a contract violation or any other internal error.
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return 4;
   }
   return usage();
 }
