@@ -70,6 +70,7 @@ class OrientationPipeline final : public Pipeline {
   AdviceCarrier carrier() const override { return AdviceCarrier::kUniformBits; }
   SchemaType schema_type() const override { return SchemaType::kUniformFixedLength; }
   const char* graph_requirements() const override { return "any graph"; }
+  FallbackKind fallback_kind() const override { return FallbackKind::kCanonical; }
 
   Graph make_instance(int n, std::uint64_t seed) const override {
     return make_cycle(even_cycle_len(n), IdMode::kRandomDense, seed);
@@ -393,6 +394,7 @@ class DecompressPipeline final : public Pipeline {
   AdviceCarrier carrier() const override { return AdviceCarrier::kNodeLabels; }
   SchemaType schema_type() const override { return SchemaType::kVariableLength; }
   const char* graph_requirements() const override { return "any graph"; }
+  FallbackKind fallback_kind() const override { return FallbackKind::kFlagOnly; }
 
   Graph make_instance(int n, std::uint64_t seed) const override {
     return make_cycle(even_cycle_len(n), IdMode::kRandomDense, seed);
@@ -560,6 +562,18 @@ std::vector<std::string> PipelineAdvice::node_strings(int n) const {
       return out;
   }
   LAD_UNREACHABLE("unknown AdviceCarrier");
+}
+
+const char* to_string(FallbackKind kind) {
+  switch (kind) {
+    case FallbackKind::kRecompute:
+      return "recompute";
+    case FallbackKind::kCanonical:
+      return "canonical";
+    case FallbackKind::kFlagOnly:
+      return "flag_only";
+  }
+  LAD_UNREACHABLE("unknown FallbackKind");
 }
 
 const std::vector<const Pipeline*>& pipelines() {

@@ -130,6 +130,19 @@ struct PipelineClaims {
   const char* statement = "";
 };
 
+/// The fallback-ladder rung a pipeline offers below local repair when
+/// repair budgets are exhausted (DESIGN.md §11): tolerant decode -> local
+/// repair -> this rung -> flag.
+enum class FallbackKind {
+  kRecompute,  // advice-free baseline recompute of the failed scope
+  kCanonical,  // a canonical advice-free answer always exists (orientation
+               // falls back to canonical trail directions)
+  kFlagOnly,   // information-theoretically unrecoverable: membership bits
+               // carry no redundancy (decompress), so flagging is the floor
+};
+
+const char* to_string(FallbackKind kind);
+
 class Pipeline {
  public:
   virtual ~Pipeline() = default;
@@ -145,6 +158,10 @@ class Pipeline {
   virtual const char* graph_requirements() const = 0;
   /// True if decode_tolerant provides real containment (not strict decode).
   virtual bool supports_tolerant() const { return false; }
+
+  /// The pipeline's variant of the §11 fallback ladder's last pre-flag rung
+  /// (what a guarded decode does when local repair is exhausted).
+  virtual FallbackKind fallback_kind() const { return FallbackKind::kRecompute; }
 
   /// A graph family instance (seeded IDs) satisfying graph_requirements(),
   /// with roughly `n` nodes — the uniform way for benches, smoke tests, and

@@ -115,6 +115,15 @@ class EchoVerify final : public SyncAlgorithm {
     }
   }
 
+  void on_recover(const Graph& g, int v) override {
+    // Blank state for a crash-recovery rejoin: the node restarts the echo
+    // protocol. The copies it missed while down keep it from certifying
+    // (counted as a detection), exactly like a crash-stop victim.
+    first_[static_cast<std::size_t>(v)].assign(static_cast<std::size_t>(g.degree(v)), "");
+    copies_[static_cast<std::size_t>(v)].assign(static_cast<std::size_t>(g.degree(v)), 0);
+    ok_[static_cast<std::size_t>(v)] = 1;
+  }
+
  private:
   std::vector<std::string> digests_;
   int rounds_;
@@ -141,7 +150,10 @@ EchoResult run_verification_echo(const Graph& g, const std::vector<std::string>&
   res.rounds = run.rounds;
   res.dropped = eng.fault_stats().dropped;
   res.corrupted = eng.fault_stats().corrupted;
+  res.duplicated = eng.fault_stats().duplicated;
+  res.delayed = eng.fault_stats().delayed;
   res.crashed = eng.fault_stats().crashed_nodes;
+  res.recovered = eng.fault_stats().recovered_nodes;
   return res;
 }
 
@@ -260,7 +272,10 @@ CampaignSummary run_fault_campaign(const CampaignConfig& config) {
           run_verification_echo(g, digests, config.echo_rounds, &inj.engine_faults());
       rep.engine_dropped = echo.dropped;
       rep.engine_corrupted = echo.corrupted;
+      rep.engine_duplicated = echo.duplicated;
+      rep.engine_delayed = echo.delayed;
       rep.engine_crashed = echo.crashed;
+      rep.engine_recovered = echo.recovered;
       rep.detected_violations += static_cast<long long>(echo.unverified_nodes.size());
       merge_sorted_unique(rep.rejecting_nodes, echo.unverified_nodes);
       rep.rounds += echo.rounds;
@@ -268,8 +283,13 @@ CampaignSummary run_fault_campaign(const CampaignConfig& config) {
 
     // Blast radius: how far from a fault site did repair / flagging reach.
     std::vector<int> touched = rep.repaired_nodes;
+    merge_sorted_unique(touched, rep.degraded_nodes);
     merge_sorted_unique(touched, rep.flagged_nodes);
     rep.blast_radius = robust::blast_radius(g, inj.fault_site_nodes(g), touched);
+
+    // Every node lands in exactly one DegradeStatus bucket (§11); the echo
+    // rejections above are already merged, so this is the final word.
+    rep.finalize_degradation(g.n());
     return rep;
   };
 
@@ -297,6 +317,11 @@ CampaignSummary run_fault_campaign(const CampaignConfig& config) {
     sum.total_detected += rep.detected_violations;
     sum.total_repaired_nodes += static_cast<long long>(rep.repaired_nodes.size());
     sum.total_flagged_nodes += static_cast<long long>(rep.flagged_nodes.size());
+    sum.total_degraded_nodes += static_cast<long long>(rep.degraded_nodes.size());
+    sum.total_repair_retries += rep.degradation.retries;
+    sum.total_budget_exhausted += rep.degradation.budget_exhausted;
+    sum.total_deadline_exhausted += rep.degradation.deadline_exhausted;
+    if (!rep.degradation.accounted(sum.n)) sum.all_nodes_accounted = false;
     sum.reports.push_back(std::move(rep));
   }
   // Campaign totals, folded once from the trial-order aggregate — identical

@@ -94,6 +94,17 @@ struct CampaignSummary {
   long long total_repaired_nodes = 0;
   long long total_flagged_nodes = 0;
 
+  // Degradation aggregates (DESIGN.md §11), folded from the per-trial
+  // DegradationSummary. Not part of to_string() — the chaos layer renders
+  // them; the legacy aggregate rendering (and its goldens) is unchanged.
+  long long total_degraded_nodes = 0;
+  long long total_repair_retries = 0;
+  long long total_budget_exhausted = 0;
+  long long total_deadline_exhausted = 0;
+  /// True iff every trial's DegradeStatus buckets sum to n — the
+  /// "every non-verified node is accounted for" acceptance criterion.
+  bool all_nodes_accounted = true;
+
   /// Per-trial reports, in trial order (trial i used fault seed
   /// hash2(config.seed, i)).
   std::vector<robust::RobustnessReport> reports;
@@ -121,7 +132,10 @@ struct EchoResult {
   int rounds = 0;
   long long dropped = 0;
   long long corrupted = 0;
+  long long duplicated = 0;
+  long long delayed = 0;
   int crashed = 0;
+  int recovered = 0;
 };
 
 /// Runs the verification echo on g: every node broadcasts its digest for

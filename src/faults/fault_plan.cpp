@@ -1,8 +1,10 @@
 #include "faults/fault_plan.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
+#include "graph/ruling_set.hpp"
 #include "util/contracts.hpp"
 
 namespace lad::faults {
@@ -24,6 +26,11 @@ constexpr std::uint64_t kTagDrop = 0x0c;
 constexpr std::uint64_t kTagCorruptSel = 0x0d;
 constexpr std::uint64_t kTagCorruptPos = 0x0e;
 constexpr std::uint64_t kTagEdgeDel = 0x0f;
+constexpr std::uint64_t kTagDup = 0x10;
+constexpr std::uint64_t kTagDelaySel = 0x11;
+constexpr std::uint64_t kTagDelayLen = 0x12;
+constexpr std::uint64_t kTagBurstPick = 0x13;
+constexpr std::uint64_t kTagTargetRank = 0x14;
 
 std::uint64_t pack_pair(int a, int b) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
@@ -54,6 +61,18 @@ const char* to_string(AdviceFaultKind kind) {
   LAD_UNREACHABLE("bad AdviceFaultKind");
 }
 
+const char* to_string(AdviceTargeting targeting) {
+  switch (targeting) {
+    case AdviceTargeting::kUniform:
+      return "uniform";
+    case AdviceTargeting::kHighDegree:
+      return "high_degree";
+    case AdviceTargeting::kRegionBoundary:
+      return "region_boundary";
+  }
+  LAD_UNREACHABLE("bad AdviceTargeting");
+}
+
 const char* to_string(FaultLayer layer) {
   switch (layer) {
     case FaultLayer::kAdvice:
@@ -78,7 +97,11 @@ bool HashedEngineFaults::crashed(int round, int v) const {
   const int crash_round =
       1 + static_cast<int>(hash3(seed_, kTagCrashRound, static_cast<std::uint64_t>(v)) %
                            static_cast<std::uint64_t>(window));
-  return round >= crash_round;
+  if (round < crash_round) return false;
+  // crash_recovery_rounds == 0: crash-stop, down forever. k > 0: down for
+  // exactly [crash_round, crash_round + k), then rejoined for good.
+  if (spec_.crash_recovery_rounds <= 0) return true;
+  return round < crash_round + spec_.crash_recovery_rounds;
 }
 
 bool HashedEngineFaults::drop_message(int round, int from, int to) const {
@@ -106,6 +129,23 @@ bool HashedEngineFaults::corrupt_message(int round, int from, int to,
   return true;
 }
 
+bool HashedEngineFaults::duplicate_message(int round, int from, int to) const {
+  if (spec_.message_duplicate_prob <= 0.0) return false;
+  const std::uint64_t h =
+      hash4(seed_, kTagDup, static_cast<std::uint64_t>(round), pack_pair(from, to));
+  return unit_from_hash(h) < spec_.message_duplicate_prob;
+}
+
+int HashedEngineFaults::delay_rounds(int round, int from, int to) const {
+  if (spec_.message_delay_prob <= 0.0 || spec_.max_delay_rounds <= 0) return 0;
+  const std::uint64_t h =
+      hash4(seed_, kTagDelaySel, static_cast<std::uint64_t>(round), pack_pair(from, to));
+  if (unit_from_hash(h) >= spec_.message_delay_prob) return 0;
+  const std::uint64_t len =
+      hash4(seed_, kTagDelayLen, static_cast<std::uint64_t>(round), pack_pair(from, to));
+  return 1 + static_cast<int>(len % static_cast<std::uint64_t>(spec_.max_delay_rounds));
+}
+
 FaultInjector::FaultInjector(const FaultPlan& plan)
     : plan_(plan), engine_model_(hash2(plan.seed, 0xE6u), plan.engine) {}
 
@@ -113,6 +153,82 @@ bool FaultInjector::node_targeted(std::uint64_t layer_seed, NodeId id, double fr
   if (fraction <= 0.0) return false;
   return unit_from_hash(hash3(layer_seed, kTagTarget, static_cast<std::uint64_t>(id))) <
          fraction;
+}
+
+std::vector<char> FaultInjector::advice_target_mask(const Graph& g) const {
+  std::vector<char> mask(static_cast<std::size_t>(g.n()), 0);
+  const double fraction = plan_.advice.node_fraction;
+  if (fraction <= 0.0 || g.n() == 0) return mask;
+
+  if (plan_.advice.targeting == AdviceTargeting::kUniform) {
+    // The legacy oblivious adversary: independent per-node hash.
+    for (int v = 0; v < g.n(); ++v) {
+      if (node_targeted(advice_seed(), g.id(v), fraction)) {
+        mask[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+    return mask;
+  }
+
+  // Targeted modes attack exactly round(fraction * n) victims, worst first.
+  const int budget = std::clamp(
+      static_cast<int>(std::llround(fraction * g.n())), 0, g.n());
+  if (budget == 0) return mask;
+  const auto rank = [&](int v) {
+    return hash3(advice_seed(), kTagTargetRank, static_cast<std::uint64_t>(g.id(v)));
+  };
+  std::vector<int> order(static_cast<std::size_t>(g.n()));
+  for (int v = 0; v < g.n(); ++v) order[static_cast<std::size_t>(v)] = v;
+
+  if (plan_.advice.targeting == AdviceTargeting::kHighDegree) {
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+      if (rank(a) != rank(b)) return rank(a) < rank(b);
+      return a < b;
+    });
+  } else {
+    // kRegionBoundary: carve the graph into ruling-set regions (nearest
+    // ruling node, BFS tie-break by queue order — deterministic) and put
+    // region-boundary nodes first.
+    std::vector<int> candidates(static_cast<std::size_t>(g.n()));
+    for (int v = 0; v < g.n(); ++v) candidates[static_cast<std::size_t>(v)] = v;
+    const std::vector<int> rulers = ruling_set(g, /*alpha=*/3, candidates);
+    std::vector<int> region(static_cast<std::size_t>(g.n()), -1);
+    std::vector<int> queue;
+    queue.reserve(static_cast<std::size_t>(g.n()));
+    for (std::size_t i = 0; i < rulers.size(); ++i) {
+      region[static_cast<std::size_t>(rulers[i])] = static_cast<int>(i);
+      queue.push_back(rulers[i]);
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const int v = queue[head];
+      for (const int w : g.neighbors(v)) {
+        if (region[static_cast<std::size_t>(w)] != -1) continue;
+        region[static_cast<std::size_t>(w)] = region[static_cast<std::size_t>(v)];
+        queue.push_back(w);
+      }
+    }
+    std::vector<char> is_boundary(static_cast<std::size_t>(g.n()), 0);
+    for (int v = 0; v < g.n(); ++v) {
+      for (const int w : g.neighbors(v)) {
+        if (region[static_cast<std::size_t>(w)] != region[static_cast<std::size_t>(v)]) {
+          is_boundary[static_cast<std::size_t>(v)] = 1;
+          break;
+        }
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const char ba = is_boundary[static_cast<std::size_t>(a)];
+      const char bb = is_boundary[static_cast<std::size_t>(b)];
+      if (ba != bb) return ba > bb;  // boundary nodes first
+      if (rank(a) != rank(b)) return rank(a) < rank(b);
+      return a < b;
+    });
+  }
+  for (int i = 0; i < budget; ++i) {
+    mask[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = 1;
+  }
+  return mask;
 }
 
 AdviceFaultKind FaultInjector::kind_for(NodeId id) const {
@@ -126,9 +242,10 @@ void FaultInjector::corrupt_advice(const Graph& g, Advice& advice) {
   LAD_CHECK_MSG(static_cast<int>(advice.size()) == g.n(),
                 "corrupt_advice: advice size " << advice.size() << " != n " << g.n());
   if (!plan_.any_advice_faults()) return;
+  const std::vector<char> targeted = advice_target_mask(g);
   for (int v = 0; v < g.n(); ++v) {
     const NodeId id = g.id(v);
-    if (!node_targeted(advice_seed(), id, plan_.advice.node_fraction)) continue;
+    if (!targeted[static_cast<std::size_t>(v)]) continue;
     BitString& label = advice[static_cast<std::size_t>(v)];
     const AdviceFaultKind kind = kind_for(id);
     FaultEvent ev;
@@ -188,9 +305,9 @@ void FaultInjector::corrupt_bits(const Graph& g, std::vector<char>& bits) {
   LAD_CHECK_MSG(static_cast<int>(bits.size()) == g.n(),
                 "corrupt_bits: bit vector size " << bits.size() << " != n " << g.n());
   if (!plan_.any_advice_faults()) return;
+  const std::vector<char> targeted = advice_target_mask(g);
   for (int v = 0; v < g.n(); ++v) {
-    const NodeId id = g.id(v);
-    if (!node_targeted(advice_seed(), id, plan_.advice.node_fraction)) continue;
+    if (!targeted[static_cast<std::size_t>(v)]) continue;
     // A single bit admits only one attack; every kind degenerates to a flip.
     bits[static_cast<std::size_t>(v)] = bits[static_cast<std::size_t>(v)] ? 0 : 1;
     FaultEvent ev;
@@ -210,10 +327,11 @@ void FaultInjector::corrupt_var_advice(const Graph& g, VarAdvice& advice) {
     (void)entries;
     storage_nodes.push_back(node);
   }
+  const std::vector<char> targeted = advice_target_mask(g);
   for (const int s : storage_nodes) {
     LAD_CHECK_MSG(s >= 0 && s < g.n(), "corrupt_var_advice: storage node out of range");
     const NodeId id = g.id(s);
-    if (!node_targeted(advice_seed(), id, plan_.advice.node_fraction)) continue;
+    if (!targeted[static_cast<std::size_t>(s)]) continue;
     auto& entries = advice[s];
     const AdviceFaultKind kind = kind_for(id);
     FaultEvent ev;
@@ -287,6 +405,44 @@ void FaultInjector::corrupt_var_advice(const Graph& g, VarAdvice& advice) {
 
 Graph FaultInjector::apply_graph_faults(const Graph& g) {
   if (!plan_.any_graph_faults()) return g;
+
+  // Burst (regional) faults: hash-rank every node, take the burst_count
+  // best-ranked as epicenters, and mark every node within burst_radius hops
+  // of an epicenter. Edges with both endpoints marked are deleted.
+  std::vector<char> in_burst;
+  if (plan_.graph.burst_count > 0 && g.n() > 0) {
+    std::vector<int> order(static_cast<std::size_t>(g.n()));
+    for (int v = 0; v < g.n(); ++v) order[static_cast<std::size_t>(v)] = v;
+    const auto rank = [&](int v) {
+      return hash3(graph_seed(), kTagBurstPick, static_cast<std::uint64_t>(g.id(v)));
+    };
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      if (rank(a) != rank(b)) return rank(a) < rank(b);
+      return a < b;
+    });
+    const int epicenters = std::min(plan_.graph.burst_count, g.n());
+    in_burst.assign(static_cast<std::size_t>(g.n()), 0);
+    std::vector<int> dist(static_cast<std::size_t>(g.n()), -1);
+    std::vector<int> queue;
+    for (int i = 0; i < epicenters; ++i) {
+      const int v = order[static_cast<std::size_t>(i)];
+      dist[static_cast<std::size_t>(v)] = 0;
+      in_burst[static_cast<std::size_t>(v)] = 1;
+      queue.push_back(v);
+    }
+    const int radius = std::max(0, plan_.graph.burst_radius);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const int v = queue[head];
+      if (dist[static_cast<std::size_t>(v)] >= radius) continue;
+      for (const int w : g.neighbors(v)) {
+        if (dist[static_cast<std::size_t>(w)] != -1) continue;
+        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
+        in_burst[static_cast<std::size_t>(w)] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+
   Graph::Builder builder;
   for (int v = 0; v < g.n(); ++v) builder.add_node(g.id(v));
   for (int e = 0; e < g.m(); ++e) {
@@ -296,15 +452,18 @@ Graph FaultInjector::apply_graph_faults(const Graph& g) {
     // is stable under any edge renumbering.
     const NodeId a = std::min(g.id(u), g.id(v));
     const NodeId b = std::max(g.id(u), g.id(v));
+    const bool burst_hit = !in_burst.empty() && in_burst[static_cast<std::size_t>(u)] &&
+                           in_burst[static_cast<std::size_t>(v)];
     const std::uint64_t h = hash4(graph_seed(), kTagEdgeDel, static_cast<std::uint64_t>(a),
                                   static_cast<std::uint64_t>(b));
-    if (unit_from_hash(h) < plan_.graph.edge_delete_fraction) {
+    if (burst_hit || unit_from_hash(h) < plan_.graph.edge_delete_fraction) {
       FaultEvent ev;
       ev.layer = FaultLayer::kGraph;
       ev.node = u;
       ev.other = v;
       std::ostringstream detail;
-      detail << "deleted edge {" << a << ", " << b << "} after encoding";
+      detail << (burst_hit ? "burst-deleted" : "deleted") << " edge {" << a << ", " << b
+             << "} after encoding";
       ev.detail = detail.str();
       events_.push_back(std::move(ev));
       continue;

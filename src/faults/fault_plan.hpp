@@ -9,11 +9,13 @@
 //   * advice faults  — per-node bit flips, erasure to the empty string,
 //     byzantine rewrites, variable-length truncation (Definition 2 schemas
 //     and VarAdvice schema entries alike);
-//   * graph faults   — edge deletions between encode and decode, i.e. the
-//     advice is *stale* for the graph being decoded;
-//   * engine faults  — per-(round, directed edge) message drop and payload
-//     corruption plus node crash-stop, applied inside Engine::run behind
-//     the EngineFaultModel hook.
+//   * graph faults   — edge deletions between encode and decode (scattered
+//     or burst/regional), i.e. the advice is *stale* for the graph being
+//     decoded;
+//   * engine faults  — per-(round, directed edge) message drop, payload
+//     corruption, duplication and bounded delay, plus node crash-stop or
+//     crash-recovery, applied inside Engine::run behind the
+//     EngineFaultModel hook.
 //
 // Every decision is a pure function of (seed, site): two runs with the same
 // FaultPlan inject byte-identical faults regardless of iteration order, so
@@ -51,6 +53,20 @@ enum class AdviceFaultKind {
 
 const char* to_string(AdviceFaultKind kind);
 
+/// How the adversary picks its advice victims. All modes are deterministic
+/// pure functions of (sub-seed, graph): kUniform hashes each node ID
+/// independently (the oblivious adversary); the other two target the nodes
+/// a worst-case adversary would — high-degree hubs, or nodes on the
+/// boundary between ruling-set regions, where a corrupted label poisons
+/// the most downstream decisions.
+enum class AdviceTargeting {
+  kUniform,         // independent per-node hash < fraction
+  kHighDegree,      // the ceil(fraction*n) nodes of highest degree
+  kRegionBoundary,  // nodes with a neighbor in a different ruling-set region
+};
+
+const char* to_string(AdviceTargeting targeting);
+
 struct AdviceFaultSpec {
   /// Fraction of nodes whose advice is attacked (selected by hash).
   double node_fraction = 0.0;
@@ -59,6 +75,9 @@ struct AdviceFaultSpec {
   std::vector<AdviceFaultKind> kinds;
   /// Upper bound on flipped bits per label for kBitFlip.
   int max_flips_per_label = 3;
+  /// Victim selection; non-uniform modes attack exactly
+  /// round(fraction * n) nodes, worst ones first.
+  AdviceTargeting targeting = AdviceTargeting::kUniform;
 };
 
 struct EngineFaultSpec {
@@ -66,19 +85,40 @@ struct EngineFaultSpec {
   double message_drop_prob = 0.0;
   /// Per delivered message probability the payload is corrupted in place.
   double message_corrupt_prob = 0.0;
-  /// Fraction of nodes that crash-stop during the run.
+  /// Fraction of nodes that crash during the run.
   double crash_fraction = 0.0;
   /// Crash rounds are drawn from [1, crash_round_window].
   int crash_round_window = 4;
+  /// 0 = crash-stop (a crashed node stays down forever). k > 0 =
+  /// crash-recovery: the node is down for exactly k rounds, then rejoins
+  /// with blank state (Engine discards its pending messages and calls
+  /// SyncAlgorithm::on_recover) and must re-converge.
+  int crash_recovery_rounds = 0;
+  /// Per delivered message probability a stale duplicate arrives again one
+  /// round later (discarded if a fresh message occupies the port).
+  double message_duplicate_prob = 0.0;
+  /// Per message probability delivery is delayed by 1..max_delay_rounds
+  /// extra rounds instead of arriving next round.
+  double message_delay_prob = 0.0;
+  int max_delay_rounds = 2;
 };
 
 struct GraphFaultSpec {
   /// Fraction of edges deleted between encode and decode (stale advice).
   double edge_delete_fraction = 0.0;
+  /// Burst (regional) faults: every edge inside the radius-`burst_radius`
+  /// ball around each of `burst_count` hash-chosen epicenter nodes is
+  /// deleted — a localized outage instead of scattered deletions.
+  int burst_count = 0;
+  int burst_radius = 1;
 };
 
 /// A complete, self-describing adversary. Same plan => same faults.
 struct FaultPlan {
+  /// Base seed every layer sub-seed derives from. NOTE: fault *campaigns*
+  /// (faults/campaign.hpp) ignore this field — each trial overwrites it
+  /// with a seed derived from (CampaignConfig::seed, trial index). It is
+  /// honored only when a FaultInjector is constructed directly.
   std::uint64_t seed = 0;
   AdviceFaultSpec advice;
   EngineFaultSpec engine;
@@ -89,9 +129,12 @@ struct FaultPlan {
   }
   bool any_engine_faults() const {
     return engine.message_drop_prob > 0.0 || engine.message_corrupt_prob > 0.0 ||
-           engine.crash_fraction > 0.0;
+           engine.crash_fraction > 0.0 || engine.message_duplicate_prob > 0.0 ||
+           engine.message_delay_prob > 0.0;
   }
-  bool any_graph_faults() const { return graph.edge_delete_fraction > 0.0; }
+  bool any_graph_faults() const {
+    return graph.edge_delete_fraction > 0.0 || graph.burst_count > 0;
+  }
 };
 
 enum class FaultLayer { kAdvice, kGraph, kEngine };
@@ -108,8 +151,10 @@ struct FaultEvent {
 };
 
 /// Stateless EngineFaultModel driven by an EngineFaultSpec and a sub-seed.
-/// Crash decisions are monotone in the round: once `crashed` answers true
-/// for (r, v) it answers true for every r' >= r, matching crash-stop.
+/// With crash_recovery_rounds == 0 crash decisions are monotone in the
+/// round (crash-stop); with k > 0 each victim is down for exactly the
+/// interval [crash_round, crash_round + k) and then rejoins (crash-
+/// recovery). Either way every answer is a pure function of (seed, site).
 class HashedEngineFaults final : public EngineFaultModel {
  public:
   HashedEngineFaults() = default;
@@ -118,6 +163,8 @@ class HashedEngineFaults final : public EngineFaultModel {
   bool crashed(int round, int v) const override;
   bool drop_message(int round, int from, int to) const override;
   bool corrupt_message(int round, int from, int to, std::string& payload) const override;
+  bool duplicate_message(int round, int from, int to) const override;
+  int delay_rounds(int round, int from, int to) const override;
 
   /// True if node v is a crash victim (it will crash at some round >= 1).
   bool crash_selected(int v) const;
@@ -155,6 +202,12 @@ class FaultInjector {
 
   /// Everything injected so far through this injector.
   const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// The advice-layer victim set on g, one flag per node index, as selected
+  /// by the plan's AdviceTargeting mode. A pure function of (sub-seed,
+  /// graph); kUniform reproduces the legacy independent per-node hash
+  /// bit-for-bit. Exposed for tests and reports.
+  std::vector<char> advice_target_mask(const Graph& g) const;
 
   /// Distinct node indices touched by injected faults, plus the crash
   /// victims the engine model would select on g — the sources for

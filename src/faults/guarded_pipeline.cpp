@@ -152,14 +152,23 @@ GuardedOutcome GuardedPipeline::decode_guarded(const Graph& g, const PipelineAdv
                                                const PipelineConfig& cfg,
                                                const robust::RepairPolicy& policy) const {
   LAD_TM_SPAN(span, std::string("guarded.decode/") + name(), "guarded");
-  GuardedOutcome out = do_decode_guarded(g, adv, cfg, policy);
+  // The advice-free rung only exists for kRecompute pipelines: orientation
+  // already owns a built-in canonical fallback, and decompressed membership
+  // bits are information-theoretically unrecoverable (kFlagOnly).
+  robust::RepairPolicy eff = policy;
+  if (base().fallback_kind() != FallbackKind::kRecompute) eff.advice_free_fallback = false;
+  GuardedOutcome out = do_decode_guarded(g, adv, cfg, eff);
   LAD_TM({
     auto& m = obs::core();
     const auto& r = out.report;
     m.guard_detections.add(r.detected_violations);
     m.repaired_nodes.add(static_cast<long long>(r.repaired_nodes.size()));
+    m.degraded_nodes.add(static_cast<long long>(r.degraded_nodes.size()));
     m.flagged_nodes.add(static_cast<long long>(r.flagged_nodes.size()));
     m.repair_regions.add(static_cast<long long>(r.regions.size()));
+    m.repair_retries.add(r.degradation.retries);
+    m.repair_budget_exhausted.add(r.degradation.budget_exhausted);
+    m.repair_deadline_exhausted.add(r.degradation.deadline_exhausted);
     for (const auto& region : r.regions) {
       m.repair_region_radius.observe(region.radius);
       if (region.radius > 1) m.repair_escalations.add(1);

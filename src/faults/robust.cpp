@@ -196,6 +196,79 @@ int blast_radius(const Graph& g, const std::vector<int>& sites,
   return radius;
 }
 
+const char* to_string(DegradeStatus status) {
+  switch (status) {
+    case DegradeStatus::kVerified:
+      return "verified";
+    case DegradeStatus::kRepaired:
+      return "repaired";
+    case DegradeStatus::kDegraded:
+      return "degraded";
+    case DegradeStatus::kFlagged:
+      return "flagged";
+  }
+  LAD_UNREACHABLE("bad DegradeStatus");
+}
+
+void RobustnessReport::finalize_degradation(int n) {
+  node_status.assign(static_cast<std::size_t>(n), DegradeStatus::kVerified);
+  const auto mark = [&](const std::vector<int>& nodes, DegradeStatus s) {
+    for (const int v : nodes) {
+      if (v >= 0 && v < n) node_status[static_cast<std::size_t>(v)] = s;
+    }
+  };
+  // Later marks win: a rejection resolved by repair is repaired; an explicit
+  // ladder downgrade or a flag overrides everything before it.
+  mark(rejecting_nodes, DegradeStatus::kDegraded);
+  mark(repaired_nodes, DegradeStatus::kRepaired);
+  mark(degraded_nodes, DegradeStatus::kDegraded);
+  mark(flagged_nodes, DegradeStatus::kFlagged);
+  degradation.verified = 0;
+  degradation.repaired = 0;
+  degradation.degraded = 0;
+  degradation.flagged = 0;
+  for (const DegradeStatus s : node_status) {
+    switch (s) {
+      case DegradeStatus::kVerified:
+        ++degradation.verified;
+        break;
+      case DegradeStatus::kRepaired:
+        ++degradation.repaired;
+        break;
+      case DegradeStatus::kDegraded:
+        ++degradation.degraded;
+        break;
+      case DegradeStatus::kFlagged:
+        ++degradation.flagged;
+        break;
+    }
+  }
+}
+
+namespace {
+
+// Attempt radii for one region under `policy`: legacy linear escalation
+// (max_retries == 0), or exponential backoff capped at max_repair_radius
+// with at most max_retries attempts beyond the first.
+std::vector<int> repair_radius_schedule(const RepairPolicy& policy) {
+  std::vector<int> rads;
+  if (policy.max_retries <= 0) {
+    for (int r = policy.repair_radius; r <= policy.max_repair_radius; ++r) rads.push_back(r);
+    return rads;
+  }
+  long long r = std::max(1, policy.repair_radius);
+  const long long backoff = std::max(2, policy.retry_backoff);
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    const int capped = static_cast<int>(std::min<long long>(r, policy.max_repair_radius));
+    rads.push_back(capped);
+    if (capped >= policy.max_repair_radius) break;
+    r *= backoff;
+  }
+  return rads;
+}
+
+}  // namespace
+
 void repair_labeling_locally(const Graph& g, const LclProblem& p, Labeling& lab,
                              const std::vector<int>& bad_nodes, const RepairPolicy& policy,
                              RobustnessReport& report) {
@@ -214,18 +287,43 @@ void repair_labeling_locally(const Graph& g, const LclProblem& p, Labeling& lab,
   }
 
   const int rbar = p.radius();
+  const std::vector<int> schedule = repair_radius_schedule(policy);
+  long long nodes_spent = 0;   // against repair_node_budget
+  long long radius_spent = 0;  // against repair_round_deadline
+
+  // Lazy component decomposition for the advice-free fallback rung.
+  Components comps;
+  bool comps_built = false;
+  std::vector<char> comp_resolved;
+
   for (const auto& group : group_by_distance(g, bad, 2 * policy.repair_radius + 1)) {
     bool repaired = false;
+    bool budget_hit = false;
+    bool deadline_hit = false;
+    bool first_attempt = true;
     RepairRegion region_out;
-    for (int rad = policy.repair_radius; rad <= policy.max_repair_radius; ++rad) {
-      auto region = ball_nodes(g, group.front(), 0);  // placeholder, rebuilt below
+    for (const int rad : schedule) {
+      if (policy.repair_round_deadline > 0 &&
+          radius_spent + rad > policy.repair_round_deadline) {
+        deadline_hit = true;
+        break;
+      }
+      std::vector<int> region;
       {
         const auto dist = bfs_distances_multi(g, group, {}, rad);
-        region.clear();
         for (int v = 0; v < g.n(); ++v) {
           if (dist[static_cast<std::size_t>(v)] != kUnreachable) region.push_back(v);
         }
       }
+      if (policy.repair_node_budget > 0 &&
+          nodes_spent + static_cast<long long>(region.size()) > policy.repair_node_budget) {
+        budget_hit = true;
+        break;
+      }
+      if (!first_attempt) ++report.degradation.retries;
+      first_attempt = false;
+      nodes_spent += static_cast<long long>(region.size());
+      radius_spent += rad;
       std::vector<char> in_region(static_cast<std::size_t>(g.n()), 0);
       for (const int v : region) in_region[static_cast<std::size_t>(v)] = 1;
 
@@ -302,15 +400,77 @@ void repair_labeling_locally(const Graph& g, const LclProblem& p, Labeling& lab,
         break;
       }
     }
+    if (deadline_hit) ++report.degradation.deadline_exhausted;
+    if (budget_hit) ++report.degradation.budget_exhausted;
+
+    // Fallback-ladder rung below local repair: re-solve the whole connected
+    // component(s) containing the group advice-free. Correctness is kept,
+    // locality is not — the touched component members are *degraded*.
+    if (!repaired && policy.advice_free_fallback) {
+      if (!comps_built) {
+        comps = connected_components(g);
+        comps_built = true;
+        comp_resolved.assign(comps.members.size(), 0);
+      }
+      std::vector<int> comp_ids;
+      for (const int v : group) {
+        comp_ids.push_back(comps.comp_of[static_cast<std::size_t>(v)]);
+      }
+      sort_unique(comp_ids);
+      bool all_solved = true;
+      std::vector<int> members_all;
+      for (const int c : comp_ids) {
+        const auto& members = comps.members[static_cast<std::size_t>(c)];
+        members_all.insert(members_all.end(), members.begin(), members.end());
+        if (comp_resolved[static_cast<std::size_t>(c)]) continue;
+        std::vector<int> free_nodes;
+        std::vector<int> free_edges;
+        if (p.num_node_labels() > 0) free_nodes = members;
+        if (p.num_edge_labels() > 0) {
+          for (const int v : members) {
+            for (const int e : g.incident_edges(v)) free_edges.push_back(e);
+          }
+          sort_unique(free_edges);
+        }
+        Labeling pinned = lab;
+        for (const int v : free_nodes) pinned.node_labels[static_cast<std::size_t>(v)] = -1;
+        for (const int e : free_edges) pinned.edge_labels[static_cast<std::size_t>(e)] = -1;
+        std::optional<Labeling> solved;
+        try {
+          // Every member's radius-rbar ball stays inside its component and
+          // is fully labeled after the assignment, so all members are
+          // checkable here.
+          solved = solve_lcl(g, p, pinned, free_nodes, free_edges, members,
+                             policy.solver_budget);
+        } catch (const ContractViolation&) {
+          solved = std::nullopt;
+        }
+        if (solved.has_value()) {
+          lab = std::move(*solved);
+          comp_resolved[static_cast<std::size_t>(c)] = 1;
+        } else {
+          all_solved = false;
+          break;
+        }
+      }
+      if (all_solved) {
+        sort_unique(members_all);
+        region_out.degraded = true;
+        region_out.nodes = members_all;
+        for (const int v : members_all) report.degraded_nodes.push_back(v);
+      }
+    }
+
     region_out.repaired = repaired;
     if (repaired) {
       for (const int v : region_out.nodes) report.repaired_nodes.push_back(v);
-    } else {
+    } else if (!region_out.degraded) {
       for (const int v : group) report.flagged_nodes.push_back(v);
     }
     report.regions.push_back(std::move(region_out));
   }
   sort_unique(report.repaired_nodes);
+  sort_unique(report.degraded_nodes);
   sort_unique(report.flagged_nodes);
 }
 
@@ -319,11 +479,16 @@ std::string RobustnessReport::to_string() const {
   os << "RobustnessReport{decoder=" << decoder << "\n"
      << "  faults: advice=" << advice_faults << " graph=" << graph_faults
      << " engine{dropped=" << engine_dropped << " corrupted=" << engine_corrupted
-     << " crashed=" << engine_crashed << "} total=" << faults_injected() << "\n"
+     << " duplicated=" << engine_duplicated << " delayed=" << engine_delayed
+     << " crashed=" << engine_crashed << " recovered=" << engine_recovered
+     << "} total=" << faults_injected() << "\n"
      << "  detection: violations=" << detected_violations
      << " rejecting=" << rejecting_nodes.size() << "\n"
-     << "  repair: repaired=" << repaired_nodes.size() << " flagged=" << flagged_nodes.size()
-     << " regions=" << regions.size() << "\n"
+     << "  repair: repaired=" << repaired_nodes.size() << " degraded=" << degraded_nodes.size()
+     << " flagged=" << flagged_nodes.size() << " regions=" << regions.size()
+     << " retries=" << degradation.retries
+     << " budget_exhausted=" << degradation.budget_exhausted
+     << " deadline_exhausted=" << degradation.deadline_exhausted << "\n"
      << "  outcome: valid=" << (output_valid ? 1 : 0)
      << " residual=" << residual_violations << " blast=" << blast_radius
      << " silent=" << (silent_corruption ? 1 : 0) << " rounds=" << rounds << "}";

@@ -42,6 +42,11 @@
 
 namespace lad::robust {
 
+/// Repair policy framework (DESIGN.md §11). The first four fields are the
+/// original knobs; the rest bound the work repair may do and select the
+/// fallback-ladder rung taken when those bounds are hit. Every default
+/// reproduces the legacy behavior exactly (unbounded linear escalation,
+/// no budgets, flag on failure), so existing goldens are unaffected.
 struct RepairPolicy {
   /// Initial ball radius around a rejecting region.
   int repair_radius = 2;
@@ -51,13 +56,64 @@ struct RepairPolicy {
   std::int64_t solver_budget = 2'000'000;
   /// Marker votes sampled per long trail for the consensus direction.
   int trail_samples = 16;
+
+  /// Retry cap per region beyond the first attempt. 0 = legacy linear
+  /// escalation (radius + 1 per attempt, unlimited attempts up to
+  /// max_repair_radius). k > 0 = at most k retries with exponential radius
+  /// backoff: repair_radius, *retry_backoff, ... capped at
+  /// max_repair_radius.
+  int max_retries = 0;
+  /// Radius multiplier between attempts when max_retries > 0.
+  int retry_backoff = 2;
+  /// Global repair budget: total region nodes one run may re-solve across
+  /// all attempts (0 = unlimited). Exhausted regions skip local repair and
+  /// fall down the ladder.
+  long long repair_node_budget = 0;
+  /// Per-run repair deadline in radius units: the attempted region radii
+  /// summed over the run may not exceed this (0 = unlimited). The radius of
+  /// a local re-solve is its round cost in the LOCAL model, so this is a
+  /// round budget for the repair phase.
+  long long repair_round_deadline = 0;
+  /// Fallback-ladder rung below local repair: re-solve the whole connected
+  /// component advice-free (correct output, locality lost — the component's
+  /// nodes are *degraded*, not repaired) instead of flagging outright.
+  bool advice_free_fallback = false;
 };
 
 /// One locally re-solved (or flagged) region.
 struct RepairRegion {
   std::vector<int> nodes;  // sorted node indices
   int radius = 0;          // ball radius that succeeded (or was given up at)
-  bool repaired = false;   // false = flagged
+  bool repaired = false;   // false = degraded or flagged
+  bool degraded = false;   // advice-free fallback rung succeeded (non-local)
+};
+
+/// Per-node service level after a guarded decode, ordered worst-first:
+/// flagged > degraded > repaired > verified. A node's final status is the
+/// worst that applies (the status lattice of DESIGN.md §11).
+enum class DegradeStatus {
+  kVerified,  // untouched by faults, passed the independent check
+  kRepaired,  // output re-derived locally; full guarantee restored
+  kDegraded,  // served by a ladder rung below local repair (correct but
+              // non-local, or rejected-yet-unrepaired output)
+  kFlagged,   // unservable; surfaced, never guessed
+};
+
+const char* to_string(DegradeStatus status);
+
+/// Bucket counts plus the policy-exhaustion events that caused them.
+/// total() == n iff every node is accounted for — the acceptance criterion
+/// the chaos campaign checks.
+struct DegradationSummary {
+  int verified = 0;
+  int repaired = 0;
+  int degraded = 0;
+  int flagged = 0;
+  long long retries = 0;       // repair attempts beyond the first, summed
+  int budget_exhausted = 0;    // regions abandoned to repair_node_budget
+  int deadline_exhausted = 0;  // regions abandoned to repair_round_deadline
+  int total() const { return verified + repaired + degraded + flagged; }
+  bool accounted(int n) const { return total() == n; }
 };
 
 /// Per-run accounting of one guarded decode. The decoder-facing fields are
@@ -74,9 +130,13 @@ struct RobustnessReport {
   long long graph_faults = 0;
   long long engine_dropped = 0;
   long long engine_corrupted = 0;
+  long long engine_duplicated = 0;
+  long long engine_delayed = 0;
   int engine_crashed = 0;
+  int engine_recovered = 0;
   long long faults_injected() const {
-    return advice_faults + graph_faults + engine_dropped + engine_corrupted + engine_crashed;
+    return advice_faults + graph_faults + engine_dropped + engine_corrupted +
+           engine_duplicated + engine_delayed + static_cast<long long>(engine_crashed);
   }
 
   // Detection (guarded decoder).
@@ -85,8 +145,22 @@ struct RobustnessReport {
 
   // Repair (guarded decoder).
   std::vector<int> repaired_nodes;  // output re-derived locally, now valid
+  std::vector<int> degraded_nodes;  // served by a sub-repair ladder rung
   std::vector<int> flagged_nodes;   // repair impossible; surfaced, not guessed
   std::vector<RepairRegion> regions;
+
+  // Degradation accounting (DESIGN.md §11). node_status and the summary's
+  // bucket counts are filled by finalize_degradation; the summary's
+  // exhaustion counters accumulate during repair.
+  std::vector<DegradeStatus> node_status;
+  DegradationSummary degradation;
+
+  /// Assigns every node its final DegradeStatus (worst applicable wins:
+  /// flagged > degraded > repaired > verified; a rejecting node that was
+  /// never repaired or flagged counts as degraded) and fills the summary's
+  /// bucket counts. Call once the rejecting/repaired/degraded/flagged sets
+  /// are final; idempotent.
+  void finalize_degradation(int n);
 
   // Outcome.
   bool output_valid = false;  // final independent check (flagged scope excluded)
@@ -97,7 +171,7 @@ struct RobustnessReport {
 
   bool degraded() const {
     return detected_violations > 0 || !rejecting_nodes.empty() || !repaired_nodes.empty() ||
-           !flagged_nodes.empty();
+           !degraded_nodes.empty() || !flagged_nodes.empty();
   }
 
   std::string to_string() const;

@@ -159,11 +159,64 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
 
   alg.init(g_);
 
+  // Messages in transit beyond the synchronous one-round latency: delayed
+  // originals and stale duplicates, due at the delivery phase of `due`.
+  // Insertion order is the serial (sender, port) scan order, so replaying
+  // the queue is deterministic at any thread count.
+  struct PendingMsg {
+    int due = 0;
+    int slot = 0;  // receiver inbox slot
+    std::string payload;
+    std::vector<int> prov;
+  };
+  std::vector<PendingMsg> pending;
+
   RunResult res;
   for (int round = 1; round <= max_rounds; ++round) {
     // One span per synchronous round (compute + audit + delivery). Short
     // SSO name: no allocation even with telemetry enabled.
     LAD_TM_SPAN(round_span, "engine.round", "engine");
+    // Fault transitions, serial: crash decisions are pure functions of
+    // (round, v), so hoisting them out of the parallel compute phase keeps
+    // results byte-identical while letting crash-*recovery* mutate shared
+    // per-node state (inbox, outbox, algorithm state) race-free.
+    if (faults_ != nullptr) {
+      for (int v = 0; v < n; ++v) {
+        if (halted_[v]) continue;
+        const bool down = faults_->crashed(round, v);
+        if (down && !crashed_[v]) {
+          // Crash: the node executes nothing while down and never halts,
+          // but it does not count as active, so runs still terminate.
+          crashed_[v] = 1;
+          ++fault_stats_.crashed_nodes;
+        } else if (!down && crashed_[v]) {
+          // Recovery: rejoin with blank state. Everything the node held or
+          // was about to receive is discarded; the algorithm resets its
+          // per-node state and the node re-converges from scratch.
+          crashed_[v] = 0;
+          ++fault_stats_.recovered_nodes;
+          for (int s = offsets_[v]; s < offsets_[v + 1]; ++s) {
+            inbox_present_[static_cast<std::size_t>(s)] = 0;
+            inbox_[static_cast<std::size_t>(s)].clear();
+            outbox_present_[static_cast<std::size_t>(s)] = 0;
+            outbox_[static_cast<std::size_t>(s)].clear();
+            if (audit_) {
+              inbox_prov_[static_cast<std::size_t>(s)].clear();
+              outbox_prov_[static_cast<std::size_t>(s)].clear();
+            }
+          }
+          alg.on_recover(g_, v);
+          if (audit_) {
+            // Blank state resets knowledge to the initial radius-1 ball.
+            auto& pv = prov_[static_cast<std::size_t>(v)];
+            const auto nb = g_.neighbors(v);
+            pv.assign(nb.begin(), nb.end());
+            pv.push_back(v);
+            std::sort(pv.begin(), pv.end());
+          }
+        }
+      }
+    }
     // Compute phase. Node steps within a synchronous round are independent
     // (LOCAL-model semantics), and every per-node effect — outbox slots,
     // halt state, the reader-side provenance set — lands in slots owned by
@@ -172,16 +225,9 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
     // chunk -> node mapping deterministic; per-chunk accumulators are folded
     // with order-independent reductions (OR / sum).
     bool any_active = false;
-    auto step_nodes = [&](int begin, int end, bool& active, int& crashed_count) {
+    auto step_nodes = [&](int begin, int end, bool& active) {
       for (int v = begin; v < end; ++v) {
         if (halted_[v] || crashed_[v]) continue;
-        if (faults_ != nullptr && faults_->crashed(round, v)) {
-          // Crash-stop: the node executes no further rounds and never halts,
-          // but it does not count as active, so runs still terminate.
-          crashed_[v] = 1;
-          ++crashed_count;
-          continue;
-        }
         active = true;
         NodeCtx ctx(*this, v, round);
         alg.round(ctx);
@@ -189,18 +235,14 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
     };
     if (pool_ != nullptr && pool_->threads() > 1) {
       std::vector<char> chunk_active(static_cast<std::size_t>(pool_->threads()), 0);
-      std::vector<int> chunk_crashed(static_cast<std::size_t>(pool_->threads()), 0);
       pool_->parallel_for(n, [&](int begin, int end, int c) {
         bool active = false;
-        step_nodes(begin, end, active, chunk_crashed[static_cast<std::size_t>(c)]);
+        step_nodes(begin, end, active);
         chunk_active[static_cast<std::size_t>(c)] = active ? 1 : 0;
       });
       for (const char a : chunk_active) any_active = any_active || a != 0;
-      for (const int c : chunk_crashed) fault_stats_.crashed_nodes += c;
     } else {
-      int crashed_count = 0;
-      step_nodes(0, n, any_active, crashed_count);
-      fault_stats_.crashed_nodes += crashed_count;
+      step_nodes(0, n, any_active);
     }
     if (!any_active) break;
     res.rounds = round;
@@ -226,6 +268,23 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
         const int q = g_.port_of(u, v);
         LAD_ASSERT_MSG(q >= 0, "delivery to a non-neighbor port");
         const int t = offsets[u] + q;
+        const int delay = faults_ != nullptr ? faults_->delay_rounds(round, v, u) : 0;
+        if (delay > 0) {
+          // Held in transit: accounted (messages/bytes) at actual delivery.
+          // The payload keeps the sender's tag; reading it later only
+          // increases the round, so ball containment still holds.
+          ++fault_stats_.delayed;
+          PendingMsg pm;
+          pm.due = round + delay;
+          pm.slot = t;
+          pm.payload = std::move(outbox_[s]);
+          if (audit_) pm.prov = std::move(outbox_prov_[static_cast<std::size_t>(s)]);
+          pending.push_back(std::move(pm));
+          outbox_present_[s] = 0;
+          outbox_[s].clear();
+          if (audit_) outbox_prov_[static_cast<std::size_t>(s)].clear();
+          continue;
+        }
         res.messages += 1;
         res.bytes += static_cast<long long>(outbox_[s].size());
         inbox_[t] = std::move(outbox_[s]);
@@ -242,7 +301,41 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
               std::move(outbox_prov_[static_cast<std::size_t>(s)]);
           outbox_prov_[static_cast<std::size_t>(s)].clear();
         }
+        if (faults_ != nullptr && faults_->duplicate_message(round, v, u)) {
+          // A stale copy of the (possibly corrupted) delivered payload
+          // arrives again next round; same provenance tag, so sound.
+          ++fault_stats_.duplicated;
+          PendingMsg pm;
+          pm.due = round + 1;
+          pm.slot = t;
+          pm.payload = inbox_[t];
+          if (audit_) pm.prov = inbox_prov_[static_cast<std::size_t>(t)];
+          pending.push_back(std::move(pm));
+        }
       }
+    }
+    // Late deliveries due this round, in insertion (send) order. Fresh
+    // messages win port conflicts: a stale copy landing on an occupied
+    // port is discarded and counted, never overwrites.
+    if (!pending.empty()) {
+      std::vector<PendingMsg> still_pending;
+      still_pending.reserve(pending.size());
+      for (auto& pm : pending) {
+        if (pm.due != round) {
+          still_pending.push_back(std::move(pm));
+          continue;
+        }
+        if (inbox_present_[pm.slot]) {
+          ++fault_stats_.stale_discarded;
+          continue;
+        }
+        res.messages += 1;
+        res.bytes += static_cast<long long>(pm.payload.size());
+        inbox_[static_cast<std::size_t>(pm.slot)] = std::move(pm.payload);
+        inbox_present_[static_cast<std::size_t>(pm.slot)] = 1;
+        if (audit_) inbox_prov_[static_cast<std::size_t>(pm.slot)] = std::move(pm.prov);
+      }
+      pending.swap(still_pending);
     }
   }
 
@@ -262,7 +355,10 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
     m.engine_message_bits.add(res.bytes * 8);
     m.engine_messages_dropped.add(fault_stats_.dropped);
     m.engine_messages_corrupted.add(fault_stats_.corrupted);
+    m.engine_messages_duplicated.add(fault_stats_.duplicated);
+    m.engine_messages_delayed.add(fault_stats_.delayed);
     m.engine_crashed_nodes.add(fault_stats_.crashed_nodes);
+    m.engine_recovered_nodes.add(fault_stats_.recovered_nodes);
     m.engine_run_messages.observe(res.messages);
   });
   return res;

@@ -75,6 +75,17 @@ class SyncAlgorithm {
   virtual ~SyncAlgorithm() = default;
   virtual void init(const Graph& g) { (void)g; }
   virtual void round(NodeCtx& ctx) = 0;
+
+  /// Called when the fault model recovers node `v` from a crash
+  /// (crash-recovery faults): the node rejoins with *blank* state — the
+  /// engine has already discarded its pending inbox and outbox — and this
+  /// hook must reset whatever per-node state the algorithm keeps for `v`
+  /// so that it genuinely re-converges instead of resuming mid-protocol.
+  /// Default: the algorithm keeps no resettable per-node state.
+  virtual void on_recover(const Graph& g, int v) {
+    (void)g;
+    (void)v;
+  }
 };
 
 struct RunResult {
@@ -88,27 +99,34 @@ struct RunResult {
   /// Message complexity: messages delivered and their total payload bytes.
   long long messages = 0;
   long long bytes = 0;
-  /// Nodes that crash-stopped during the run (empty when no fault model
-  /// is installed).
+  /// Nodes down at the end of the run (empty when no fault model is
+  /// installed). Under crash-stop this is every node that ever crashed;
+  /// under crash-recovery a node that rejoined is no longer marked.
   std::vector<char> crashed;
 };
 
 /// Optional fault model consulted by the engine while running an algorithm.
 ///
-/// All three hooks must be *deterministic pure functions* of their arguments
+/// All hooks must be *deterministic pure functions* of their arguments
 /// (plus any seed baked into the implementation): the engine may consult
 /// them in any order, and reproducibility of fault campaigns depends on the
 /// answers not varying with iteration order. Faults are applied so that the
 /// audit/provenance machinery stays sound: a dropped message removes
-/// information (never adds any), and a corrupted payload keeps the sender's
-/// provenance tag, which over-approximates what the reader can now know.
+/// information (never adds any); a corrupted, duplicated, or delayed
+/// payload keeps the sender's provenance tag, which over-approximates what
+/// the reader can now know (delay only increases the round at read time, so
+/// ball containment still holds).
 class EngineFaultModel {
  public:
   virtual ~EngineFaultModel() = default;
 
-  /// True if node `v` crash-stops at the beginning of `round` (1-based).
-  /// A crashed node stops executing and sending forever; it never halts and
-  /// does not count as active, so runs still terminate.
+  /// True if node `v` is down during `round` (1-based). A down node
+  /// executes nothing and sends nothing; it does not count as active, so
+  /// runs still terminate. A model whose answer is monotone in the round
+  /// describes crash-stop; a model that answers true on a bounded interval
+  /// describes crash-*recovery* — when the answer flips back to false the
+  /// engine discards the node's pending messages, calls
+  /// SyncAlgorithm::on_recover, and lets it rejoin with blank state.
   virtual bool crashed(int round, int v) const {
     (void)round;
     (void)v;
@@ -132,13 +150,38 @@ class EngineFaultModel {
     (void)payload;
     return false;
   }
+
+  /// True if the message delivered in `round` from `from` to `to` is also
+  /// duplicated: a stale copy arrives again one round later. The duplicate
+  /// is discarded (and counted) if a fresh message occupies the port when
+  /// it lands — stale information never masks fresh information.
+  virtual bool duplicate_message(int round, int from, int to) const {
+    (void)round;
+    (void)from;
+    (void)to;
+    return false;
+  }
+
+  /// Extra rounds the message sent in `round` from `from` to `to` spends
+  /// in transit (0 = delivered on time). A delayed message lands in the
+  /// receiver's port only if no fresh message occupies it by then.
+  virtual int delay_rounds(int round, int from, int to) const {
+    (void)round;
+    (void)from;
+    (void)to;
+    return 0;
+  }
 };
 
 /// Accounting of faults the engine actually applied during one run().
 struct EngineFaultStats {
   long long dropped = 0;
   long long corrupted = 0;
-  int crashed_nodes = 0;
+  long long duplicated = 0;       // stale copies scheduled by the model
+  long long delayed = 0;          // messages held back at least one round
+  long long stale_discarded = 0;  // late copies that lost to a fresh message
+  int crashed_nodes = 0;          // crash events (a node crashes at most once)
+  int recovered_nodes = 0;        // crash-recovery rejoins with blank state
 };
 
 /// Per-round provenance accounting of an audited run.

@@ -164,7 +164,13 @@ CoreMetrics& core() {
         r.counter("lad_engine_message_bits_total", "payload bits on the wire (bits)"),
         r.counter("lad_engine_messages_dropped_total", "messages dropped by the fault model"),
         r.counter("lad_engine_messages_corrupted_total", "messages corrupted by the fault model"),
-        r.counter("lad_engine_crashed_nodes_total", "nodes crash-stopped by the fault model"),
+        r.counter("lad_engine_messages_duplicated_total",
+                  "stale duplicate deliveries scheduled by the fault model"),
+        r.counter("lad_engine_messages_delayed_total",
+                  "messages the fault model held in transit at least one extra round"),
+        r.counter("lad_engine_crashed_nodes_total", "nodes crashed by the fault model"),
+        r.counter("lad_engine_recovered_nodes_total",
+                  "crash-recovery rejoins with blank state (on_recover calls)"),
         r.histogram("lad_engine_run_messages", "messages delivered per Engine::run (messages)"),
         r.counter("lad_gather_balls_total", "radius-t balls reconstructed from messages"),
         r.counter("lad_gather_cache_hits_total", "canonical-view memo hits (nodes)"),
@@ -178,12 +184,20 @@ CoreMetrics& core() {
         r.histogram("lad_decode_rounds", "LOCAL rounds per pipeline decode (rounds)"),
         r.counter("lad_guard_detections_total", "violations detected by guarded decoders"),
         r.counter("lad_repaired_nodes_total", "nodes whose output was locally repaired"),
+        r.counter("lad_degraded_nodes_total",
+                  "nodes served by a fallback-ladder rung below local repair"),
         r.counter("lad_flagged_nodes_total", "nodes flagged unservable (repair impossible)"),
         r.counter("lad_repair_regions_total", "repair regions grown by guarded decoders"),
         r.counter("lad_repair_escalations_total", "repair regions that escalated past radius 1"),
+        r.counter("lad_repair_retries_total", "repair attempts beyond the first per region"),
+        r.counter("lad_repair_budget_exhausted_total",
+                  "repair regions abandoned to the global node budget"),
+        r.counter("lad_repair_deadline_exhausted_total",
+                  "repair regions abandoned to the per-run round deadline"),
         r.histogram("lad_repair_region_radius", "final radius per repair region (hops)"),
         r.counter("lad_campaign_trials_total", "fault-campaign trials executed"),
         r.counter("lad_campaign_faults_injected_total", "faults injected across campaign trials"),
+        r.counter("lad_chaos_cells_total", "chaos-matrix cells executed (campaign runs)"),
         // The three thread-variant metrics: pool geometry and contract-check
         // multiplicity are functions of the thread count by design, so they
         // are exempt from the byte-identity determinism contract.
@@ -205,8 +219,9 @@ const std::vector<std::string>& span_name_catalog() {
   static const std::vector<std::string> kSpans = {
       "engine.run",        "engine.round",      "parallel_engine.run",
       "gather.balls",      "gather.views",      "pool.chunk",
-      "campaign.trial",    "guarded.decode/",   "pipeline.encode/",
-      "pipeline.decode/",  "pipeline.decode_tolerant/", "pipeline.verify/",
+      "campaign.trial",    "chaos.cell",        "guarded.decode/",
+      "pipeline.encode/",  "pipeline.decode/",  "pipeline.decode_tolerant/",
+      "pipeline.verify/",
   };
   return kSpans;
 }

@@ -198,7 +198,10 @@ struct CoreMetrics {
   Counter& engine_message_bits;
   Counter& engine_messages_dropped;
   Counter& engine_messages_corrupted;
+  Counter& engine_messages_duplicated;
+  Counter& engine_messages_delayed;
   Counter& engine_crashed_nodes;
+  Counter& engine_recovered_nodes;
   Histogram& engine_run_messages;
 
   // Ball gather + §8 canonical-view memo (local/gather.cpp).
@@ -218,12 +221,17 @@ struct CoreMetrics {
   // Guarded decoding + fault campaigns (faults/).
   Counter& guard_detections;
   Counter& repaired_nodes;
+  Counter& degraded_nodes;
   Counter& flagged_nodes;
   Counter& repair_regions;
   Counter& repair_escalations;
+  Counter& repair_retries;
+  Counter& repair_budget_exhausted;
+  Counter& repair_deadline_exhausted;
   Histogram& repair_region_radius;
   Counter& campaign_trials;
   Counter& campaign_faults_injected;
+  Counter& chaos_cells;
 
   // Execution substrate (util/thread_pool.cpp) + contracts.
   Counter& pool_chunks;

@@ -27,3 +27,21 @@ expect_exit(2 gen)                  # verb with missing required args
 expect_exit(0 gen cycle 12 1)       # a working verb succeeds with 0
 expect_exit(0 lint --list-rules)    # informational paths are 0 too
 expect_exit(4 orient /nonexistent/graph.txt)  # contract violation is hard
+
+# faultsim fault/policy flags: bad names are usage errors, and a run with
+# every new knob engaged still honors the silent-corruption contract (0).
+expect_exit(2 faultsim orientation cycle 64 5 1 --targeting bogus)
+expect_exit(2 faultsim orientation cycle 64 5 1 --policy bogus)
+expect_exit(2 faultsim orientation cycle 64 5 1 --no-such-flag)
+expect_exit(0 faultsim orientation cycle 64 5 1
+            --crash-recovery 2 --dup 0.02 --delay 0.02 --max-delay 2
+            --targeting high_degree --burst 1 --burst-radius 1 --policy budgeted)
+
+# chaos: unknown matrix coordinates are usage errors; a tiny passing matrix
+# exits 0 (markdown goes to a scratch file, not the source tree).
+expect_exit(2 chaos --pipelines bogus)
+expect_exit(2 chaos --models bogus)
+expect_exit(2 chaos --policies bogus)
+expect_exit(0 chaos --pipelines orientation --families cycle --models mixed
+            --policies strict -n 48 --trials 2
+            --out ${CMAKE_CURRENT_BINARY_DIR}/chaos_exit_scratch.md)

@@ -1,0 +1,47 @@
+# Golden-output check for `lad chaos`: runs a pinned small matrix twice and
+# compares the generated markdown byte-for-byte against the committed golden
+# file AND between the two runs (end-to-end determinism of the whole
+# cross-product, including the report rendering).
+#
+# Usage:
+#   cmake -DLAD_CLI=<path-to-lad> -DGOLDEN=<golden.md> -DOUT_DIR=<dir>
+#         -P golden_chaos.cmake
+if(NOT LAD_CLI OR NOT GOLDEN OR NOT OUT_DIR)
+  message(FATAL_ERROR "golden_chaos.cmake needs LAD_CLI, GOLDEN, OUT_DIR")
+endif()
+
+set(args chaos --pipelines orientation,three_coloring --families cycle
+         --models mixed,adversarial,churn --policies strict,budgeted
+         -n 64 --trials 3 --seed 7)
+
+execute_process(
+  COMMAND ${LAD_CLI} ${args} --out ${OUT_DIR}/chaos_golden_a.md
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc_a)
+if(NOT rc_a EQUAL 0)
+  message(FATAL_ERROR "lad chaos exited with ${rc_a} (cell failed the layer guarantee)")
+endif()
+
+execute_process(
+  COMMAND ${LAD_CLI} ${args} --threads 4 --out ${OUT_DIR}/chaos_golden_b.md
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc_b)
+if(NOT rc_b EQUAL 0)
+  message(FATAL_ERROR "lad chaos (threaded rerun) exited with ${rc_b}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${OUT_DIR}/chaos_golden_a.md ${OUT_DIR}/chaos_golden_b.md
+  RESULT_VARIABLE rerun_diff)
+if(NOT rerun_diff EQUAL 0)
+  message(FATAL_ERROR "two `lad chaos` runs of the same matrix differ (threads leaked?)")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT_DIR}/chaos_golden_a.md ${GOLDEN}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E cat ${OUT_DIR}/chaos_golden_a.md)
+  message(FATAL_ERROR "chaos markdown differs from golden file ${GOLDEN}")
+endif()

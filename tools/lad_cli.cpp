@@ -7,7 +7,8 @@
 //   lad color3   <graph.txt>          # §7: solve witness + 1-bit schema
 //   lad proof    <graph.txt> <mis|matching|3col>   # §1.2 certificate demo
 //   lad audit    <graph.txt> <alg>    # locality-conformance audit
-//   lad faultsim <decoder> <family> <n> [trials] [seed]   # seeded fault campaign
+//   lad faultsim <decoder> <family> <n> [trials] [seed] [--flags]  # fault campaign
+//   lad chaos    [--pipelines ...] [--models ...] [--policies ...]  # chaos matrix
 //   lad bench    <suite> [--threads K] [--reps K] [--json out.json] [--trace]
 //   lad trace    <pipeline> [--family F] [-n N] [--out t.json] [--metrics m.prom]
 //                                     # telemetry: spans + metric counters
@@ -48,6 +49,7 @@
 #include "core/splitting.hpp"
 #include "core/three_coloring.hpp"
 #include "faults/campaign.hpp"
+#include "faults/chaos.hpp"
 #include "graph/distance.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -87,6 +89,18 @@ int usage() {
                "            delta_coloring, subexp_lcl, decompress; orient/split/compress\n"
                "            are accepted aliases)\n"
                "  lad faultsim <pipeline> <cycle|grid|torus> <n> [trials] [seed]\n"
+               "            [--crash-recovery K] [--dup P] [--delay P] [--max-delay K]\n"
+               "            [--targeting uniform|high_degree|region_boundary]\n"
+               "            [--burst K] [--burst-radius R]\n"
+               "            [--policy strict|backoff|budgeted]\n"
+               "  lad chaos [--pipelines p1,p2,...] [--families f1,f2,...]\n"
+               "            [--models mixed,adversarial,churn] [--rates 50,100,...]\n"
+               "            [--policies strict,backoff,budgeted] [-n N] [--trials T]\n"
+               "            [--seed S] [--threads K] [--out FILE] [--json FILE]\n"
+               "            cross-product fault campaign; every cell must end with zero\n"
+               "            silent corruptions and all nodes accounted in a DegradeStatus\n"
+               "            bucket; writes byte-deterministic markdown (default out:\n"
+               "            ROBUSTNESS-generated.md); exit 0 pass, 3 any cell fails\n"
                "  lad bench <suite> [--threads K] [--reps K] [--json out.json] [--trace]\n"
                "            suites: e1..e9 r1 gather smoke all; --trace embeds per-case\n"
                "            telemetry counters in the JSON; --reps K times each case as\n"
@@ -480,8 +494,54 @@ int cmd_faultsim(int argc, char** argv) {
   cfg.family = *family;
   cfg.n = std::atoi(argv[2]);
   if (cfg.n < 8) return usage();
-  cfg.trials = argc >= 4 ? std::atoi(argv[3]) : 20;
-  cfg.seed = argc >= 5 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
+  cfg.trials = 20;
+  cfg.seed = 1;
+  int i = 3;
+  if (i < argc && argv[i][0] != '-') cfg.trials = std::atoi(argv[i++]);
+  if (i < argc && argv[i][0] != '-') cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[i++]));
+  // Fault/policy knobs all default to the legacy plan, so the flag-free
+  // invocation stays byte-identical to the pinned faultsim goldens.
+  for (; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--crash-recovery" && i + 1 < argc) {
+      cfg.plan.engine.crash_recovery_rounds = std::atoi(argv[++i]);
+      if (cfg.plan.engine.crash_recovery_rounds < 0) return usage();
+    } else if (a == "--dup" && i + 1 < argc) {
+      cfg.plan.engine.message_duplicate_prob = std::atof(argv[++i]);
+      if (cfg.plan.engine.message_duplicate_prob < 0.0) return usage();
+    } else if (a == "--delay" && i + 1 < argc) {
+      cfg.plan.engine.message_delay_prob = std::atof(argv[++i]);
+      if (cfg.plan.engine.message_delay_prob < 0.0) return usage();
+    } else if (a == "--max-delay" && i + 1 < argc) {
+      cfg.plan.engine.max_delay_rounds = std::atoi(argv[++i]);
+      if (cfg.plan.engine.max_delay_rounds < 1) return usage();
+    } else if (a == "--targeting" && i + 1 < argc) {
+      const std::string t = argv[++i];
+      if (t == "uniform") {
+        cfg.plan.advice.targeting = faults::AdviceTargeting::kUniform;
+      } else if (t == "high_degree") {
+        cfg.plan.advice.targeting = faults::AdviceTargeting::kHighDegree;
+      } else if (t == "region_boundary") {
+        cfg.plan.advice.targeting = faults::AdviceTargeting::kRegionBoundary;
+      } else {
+        std::fprintf(stderr, "error: unknown targeting '%s'\n", t.c_str());
+        return 2;
+      }
+    } else if (a == "--burst" && i + 1 < argc) {
+      cfg.plan.graph.burst_count = std::atoi(argv[++i]);
+      if (cfg.plan.graph.burst_count < 0) return usage();
+    } else if (a == "--burst-radius" && i + 1 < argc) {
+      cfg.plan.graph.burst_radius = std::atoi(argv[++i]);
+      if (cfg.plan.graph.burst_radius < 0) return usage();
+    } else if (a == "--policy" && i + 1 < argc) {
+      if (!faults::chaos_repair_policy(argv[++i], cfg.policy)) {
+        std::fprintf(stderr, "error: unknown repair policy '%s'\n", argv[i]);
+        return 2;
+      }
+    } else {
+      return usage();
+    }
+  }
   if (cfg.decoder == faults::DecoderKind::kSubexpLcl) cfg.subexp.x = 60;
 
   const auto s = faults::run_fault_campaign(cfg);
@@ -497,6 +557,119 @@ int cmd_faultsim(int argc, char** argv) {
   // The layer's contract: a campaign never ends in silent corruption. A
   // nonzero exit makes that machine-checkable for scripts and CI.
   return s.silent_corruptions == 0 ? 0 : 3;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+int cmd_chaos(int argc, char** argv) {
+  faults::ChaosConfig cfg;
+  std::string out_path = "ROBUSTNESS-generated.md";
+  std::string json_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--pipelines" && i + 1 < argc) {
+      for (const auto& tok : split_csv(argv[++i])) {
+        const auto d = faults::parse_decoder(tok);
+        if (!d) {
+          std::fprintf(stderr, "error: unknown pipeline '%s'\n", tok.c_str());
+          return 2;
+        }
+        cfg.pipelines.push_back(*d);
+      }
+    } else if (a == "--families" && i + 1 < argc) {
+      for (const auto& tok : split_csv(argv[++i])) {
+        const auto f = faults::parse_family(tok);
+        if (!f) {
+          std::fprintf(stderr, "error: unknown family '%s'\n", tok.c_str());
+          return 2;
+        }
+        cfg.families.push_back(*f);
+      }
+    } else if (a == "--models" && i + 1 < argc) {
+      for (const auto& tok : split_csv(argv[++i])) {
+        faults::FaultPlan probe;
+        if (!faults::chaos_fault_model(tok, probe)) {
+          std::fprintf(stderr, "error: unknown fault model '%s'\n", tok.c_str());
+          return 2;
+        }
+        cfg.models.push_back(tok);
+      }
+    } else if (a == "--rates" && i + 1 < argc) {
+      for (const auto& tok : split_csv(argv[++i])) {
+        const int r = std::atoi(tok.c_str());
+        if (r < 1 || r > 1000) return usage();
+        cfg.rate_percents.push_back(r);
+      }
+    } else if (a == "--policies" && i + 1 < argc) {
+      for (const auto& tok : split_csv(argv[++i])) {
+        lad::robust::RepairPolicy probe;
+        if (!faults::chaos_repair_policy(tok, probe)) {
+          std::fprintf(stderr, "error: unknown repair policy '%s'\n", tok.c_str());
+          return 2;
+        }
+        cfg.policies.push_back(tok);
+      }
+    } else if (a == "-n" && i + 1 < argc) {
+      cfg.n = std::atoi(argv[++i]);
+      if (cfg.n < 8) return usage();
+    } else if (a == "--trials" && i + 1 < argc) {
+      cfg.trials = std::atoi(argv[++i]);
+      if (cfg.trials < 1) return usage();
+    } else if (a == "--seed" && i + 1 < argc) {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (a == "--threads" && i + 1 < argc) {
+      cfg.threads = std::atoi(argv[++i]);
+      if (cfg.threads < 1) return usage();
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  const auto report = faults::run_chaos_campaign(cfg);
+  std::printf("chaos: %zu cells, n=%d, trials=%d per cell, seed=%llu\n", report.cells.size(),
+              report.n, report.trials, static_cast<unsigned long long>(report.seed));
+  for (const auto& c : report.cells) {
+    std::printf("%-14s %-6s %-12s %4d%% %-9s faults=%-6lld valid=%d/%d silent=%d "
+                "accounted=%s%s\n",
+                faults::to_string(c.decoder), faults::to_string(c.family), c.model.c_str(),
+                c.rate_percent, c.policy.c_str(), c.summary.faults_injected,
+                c.summary.trials_output_valid, c.summary.trials,
+                c.summary.silent_corruptions, c.summary.all_nodes_accounted ? "yes" : "NO",
+                c.ok() ? "" : "  CELL-FAIL");
+  }
+  {
+    std::ofstream out(out_path);
+    LAD_CHECK_MSG(out.good(), "cannot write " << out_path);
+    out << report.to_markdown();
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    LAD_CHECK_MSG(out.good(), "cannot write " << json_path);
+    out << report.to_json();
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  std::printf("chaos %s\n", report.pass() ? "PASS" : "FAIL");
+  // Same contract as faultsim, matrix-wide: any cell with a silent
+  // corruption or an unaccounted node fails the run.
+  return report.pass() ? 0 : 3;
 }
 
 // One observed end-to-end run of a pipeline: encode -> decode -> verify on
@@ -823,6 +996,7 @@ int main(int argc, char** argv) {
     if (cmd == "proof" && argc >= 4) return cmd_proof(argv[2], argv[3]);
     if (cmd == "audit") return cmd_audit(argc - 2, argv + 2);
     if (cmd == "faultsim") return cmd_faultsim(argc - 2, argv + 2);
+    if (cmd == "chaos") return cmd_chaos(argc - 2, argv + 2);
     if (cmd == "bench") return cmd_bench(argc - 2, argv + 2);
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
     if (cmd == "verify-claims") return cmd_verify_claims(argc - 2, argv + 2);
