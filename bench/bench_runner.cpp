@@ -15,6 +15,7 @@
 #include "core/proofs.hpp"
 #include "faults/campaign.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
 #include "lcl/problems.hpp"
 #include "local/gather.hpp"
 #include "obs/export.hpp"
@@ -36,6 +37,9 @@ struct CaseRun {
   int rounds = 0;
   double bits_per_node = 0;
   long long total_bits = 0;
+  /// Provenance (source-driven cases only; see BenchCaseResult).
+  std::string source;
+  std::string graph_digest;
 };
 
 struct Case {
@@ -200,6 +204,56 @@ Case proofs_case(std::string problem, int n, int batch) {
   return {std::move(name), std::move(run)};
 }
 
+/// Source-driven case (`lad bench --graph` and the scale suite): load or
+/// generate the graph, then run one full pipeline stack over it. The
+/// serial run builds the CSR serially; at `threads` > 1 the CSR is rebuilt
+/// from raw edges through Graph::Builder::build(pool), so the `identical`
+/// verdict certifies the parallel-construction determinism contract — the
+/// graph digest leads the case digest, and the same graph_digest field is
+/// where load-from-.ladg and in-memory generation meet.
+Case source_case(const GraphSource& src, const Pipeline* p) {
+  std::string name = "source/" + src.spec + "/" + p->name();
+  auto run = [src, p](int threads) {
+    LoadedGraph lg = load_graph_source(src);
+    Graph g = std::move(lg.graph);
+    if (threads > 1) {
+      ThreadPool pool(threads);
+      Graph::Builder b;
+      b.reserve(static_cast<std::size_t>(g.n()), static_cast<std::size_t>(g.m()));
+      for (const NodeId id : g.raw_ids()) b.add_node(id);
+      const auto eu = g.raw_edge_u();
+      const auto ev = g.raw_edge_v();
+      for (int e = 0; e < g.m(); ++e) {
+        b.add_edge(eu[static_cast<std::size_t>(e)], ev[static_cast<std::size_t>(e)]);
+      }
+      g = std::move(b).build(&pool);
+    }
+    PipelineConfig cfg = p->sweep_config(g.n());
+    cfg.seed = hash2(1, static_cast<std::uint64_t>(g.n()));
+    const auto adv = p->encode(g, cfg);
+    const auto out = p->decode(g, adv, cfg);
+    LAD_CHECK_MSG(p->verify(g, out, cfg),
+                  p->name() << " decode failed verification on " << lg.spec);
+    const AdviceStats stats = adv.stats(g.n());
+    CaseRun r;
+    r.n = g.n();
+    r.m = g.m();
+    r.rounds = out.rounds;
+    r.total_bits = stats.total_bits;
+    r.bits_per_node = obs::per_node(stats.total_bits, g.n());
+    r.source = lg.spec;
+    r.graph_digest = graph_digest_hex(g);
+    r.digest = r.graph_digest;
+    r.digest += '|';
+    for (const auto& d : p->node_digests(g, out)) {
+      r.digest += d;
+      r.digest += ';';
+    }
+    return r;
+  };
+  return {std::move(name), std::move(run)};
+}
+
 PipelineConfig subexp_cfg() {
   PipelineConfig cfg;
   cfg.subexp.x = 60;  // cycle-scale clusters; keeps n <= 256 instances fast
@@ -234,6 +288,19 @@ std::vector<Case> suite_cases(const std::string& suite) {
                           10)};
   }
   if (suite == "gather") return {gather_case("grid", 400, 3), gather_case("cycle", 600, 4)};
+  if (suite == "scale") {
+    // Three decades of n on generated cycles through the source path: the
+    // parallel axis is CSR construction itself. Deliberately not part of
+    // "all" — the top point builds a million-node graph.
+    std::vector<Case> cases;
+    for (const char* spec : {"cycle:4096", "cycle:65536", "cycle:1048576"}) {
+      std::string err;
+      const auto src = parse_graph_source(spec, &err);
+      LAD_CHECK_MSG(src.has_value(), "scale suite spec failed to parse: " << spec << ": " << err);
+      cases.push_back(source_case(*src, &pipeline(PipelineId::kOrientation)));
+    }
+    return cases;
+  }
   if (suite == "smoke") {
     return {pipeline_case(PipelineId::kOrientation, 96, 2),
             pipeline_case(PipelineId::kDecompress, 96, 2),
@@ -270,13 +337,20 @@ std::string fingerprint(const std::string& bytes) {
 }  // namespace
 
 std::vector<std::string> bench_suite_names() {
-  return {"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "r1", "gather", "smoke", "all"};
+  return {"e1", "e2",     "e3",    "e4",    "e5",  "e6", "e7",
+          "e8", "e9",     "r1",    "gather", "scale", "smoke", "all"};
 }
 
-BenchSuiteResult run_bench_suite(const std::string& suite, int threads, bool with_metrics,
-                                 int reps) {
+namespace {
+
+/// The shared measurement loop: min-of-K timing at 1 thread and at
+/// `threads`, digest comparison across thread counts, optional per-case
+/// telemetry attribution. Both the suite registry and the source-driven
+/// bench funnel through here.
+BenchSuiteResult run_cases(const std::string& label, std::vector<Case> cases, int threads,
+                           bool with_metrics, int reps) {
   BenchSuiteResult out;
-  out.suite = suite;
+  out.suite = label;
   out.threads = threads > 0 ? threads : ThreadPool::default_threads();
   out.hardware_threads = ThreadPool::default_threads();
   out.schema_version = obs::kBenchSchemaVersion;
@@ -291,7 +365,7 @@ BenchSuiteResult run_bench_suite(const std::string& suite, int threads, bool wit
   const bool telemetry_was_enabled = obs::enabled();
   if (with_metrics) obs::set_enabled(true);
 
-  for (auto& c : suite_cases(suite)) {
+  for (auto& c : cases) {
     BenchCaseResult res;
     res.name = c.name;
     CaseRun serial;
@@ -328,11 +402,31 @@ BenchSuiteResult run_bench_suite(const std::string& suite, int threads, bool wit
     res.rounds = serial.rounds;
     res.bits_per_node = serial.bits_per_node;
     res.total_bits = serial.total_bits;
+    res.source = serial.source;
+    res.graph_digest = serial.graph_digest;
     res.speedup_vs_1 = res.wall_ms > 0 ? res.wall_ms_1 / res.wall_ms : 1.0;
     out.cases.push_back(std::move(res));
   }
   if (with_metrics) obs::set_enabled(telemetry_was_enabled);
   return out;
+}
+
+}  // namespace
+
+BenchSuiteResult run_bench_suite(const std::string& suite, int threads, bool with_metrics,
+                                 int reps) {
+  return run_cases(suite, suite_cases(suite), threads, with_metrics, reps);
+}
+
+BenchSuiteResult run_source_bench(const std::vector<GraphSource>& sources,
+                                  const std::string& pipeline_name, int threads,
+                                  bool with_metrics, int reps) {
+  const Pipeline* p = find_pipeline(pipeline_name);
+  LAD_CHECK_MSG(p != nullptr, "unknown pipeline: " << pipeline_name);
+  std::vector<Case> cases;
+  cases.reserve(sources.size());
+  for (const GraphSource& src : sources) cases.push_back(source_case(src, p));
+  return run_cases("source", std::move(cases), threads, with_metrics, reps);
 }
 
 std::string BenchSuiteResult::to_json() const {
@@ -354,6 +448,10 @@ std::string BenchSuiteResult::to_json() const {
        << ", \"wall_ms\": " << fmt(c.wall_ms, 3) << ", \"speedup_vs_1\": "
        << fmt(c.speedup_vs_1, 3) << ", \"identical\": " << (c.identical ? "true" : "false")
        << ", \"digest\": \"" << c.digest << "\"";
+    if (!c.source.empty()) {
+      os << ", \"source\": \"" << c.source << "\", \"graph_digest\": \"" << c.graph_digest
+         << "\"";
+    }
     if (!c.metrics.empty()) {
       os << ", \"metrics\": {";
       for (std::size_t j = 0; j < c.metrics.size(); ++j) {

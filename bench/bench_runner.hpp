@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/source.hpp"
 #include "obs/telemetry.hpp"
 
 namespace lad::bench {
@@ -36,6 +37,12 @@ struct BenchCaseResult {
   /// 64-bit splitmix fingerprint (hex) of the serial output bytes — the
   /// machine-portable structural axis `lad diffbench` compares exactly.
   std::string digest;
+  /// Graph provenance (schema v4), populated on source-driven cases only:
+  /// the canonical GraphSource spec this case ran on, and the CSR digest
+  /// of the loaded graph (graph_digest_hex) — byte-identical across
+  /// load-from-.ladg, in-memory generation, and parallel reconstruction.
+  std::string source;
+  std::string graph_digest;
   /// Telemetry counters attributed to the serial run of this case (empty
   /// unless the suite ran with with_metrics; zero-valued metrics skipped).
   std::vector<obs::MetricValue> metrics;
@@ -75,5 +82,18 @@ std::vector<std::string> bench_suite_names();
 /// bench_suite_names()).
 BenchSuiteResult run_bench_suite(const std::string& suite, int threads,
                                  bool with_metrics = false, int reps = 1);
+
+/// Source-driven bench (`lad bench --graph SPEC[,SPEC...]`): one case per
+/// source, each loading/generating the graph and running `pipeline_name`'s
+/// encode -> decode -> verify on it. The serial run builds the CSR
+/// serially; the multi-thread re-run rebuilds it through
+/// Graph::Builder::build(pool), so `identical` certifies the parallel
+/// construction determinism contract on that exact graph. Cases record
+/// provenance (canonical spec + graph digest, the schema-v4 fields).
+/// Throws on an unknown pipeline name (callers validate via
+/// find_pipeline()); source load failures surface as GraphIoError.
+BenchSuiteResult run_source_bench(const std::vector<GraphSource>& sources,
+                                  const std::string& pipeline_name, int threads,
+                                  bool with_metrics = false, int reps = 1);
 
 }  // namespace lad::bench

@@ -35,7 +35,7 @@ Clustering assign_clusters(const Graph& g, std::vector<int> centers) {
     center_index[g.id(centers[i])] = static_cast<int>(i);
   }
 
-  std::vector<int> order = g.all_nodes();
+  std::vector<int> order(g.nodes().begin(), g.nodes().end());
   std::sort(order.begin(), order.end(), [&](int a, int b) { return dist[a] < dist[b]; });
   std::vector<NodeId> choice(static_cast<std::size_t>(g.n()), -1);
   for (const int v : order) {
@@ -59,10 +59,8 @@ Clustering assign_clusters(const Graph& g, std::vector<int> centers) {
 // induced subgraph (a cluster center performs this after gathering its
 // cluster).
 std::vector<int> intra_cluster_coloring(const Graph& g, const Clustering& c) {
-  std::vector<int> order = g.all_nodes();
-  std::sort(order.begin(), order.end(), [&](int a, int b) { return g.id(a) < g.id(b); });
   std::vector<int> intra(static_cast<std::size_t>(g.n()), 0);
-  for (const int v : order) {
+  for (const int v : g.nodes_by_id()) {
     std::set<int> used;
     for (const int u : g.neighbors(v)) {
       if (c.cluster_of[u] == c.cluster_of[v] && intra[u] > 0) used.insert(intra[u]);
@@ -129,7 +127,7 @@ ClusterColoringDecodeResult finish(const Graph& g, const Clustering& clustering,
 
 ClusterColoringEncoding encode_cluster_coloring_advice(const Graph& g,
                                                        const ClusterColoringParams& params) {
-  const auto centers = ruling_set(g, params.cluster_spacing, g.all_nodes());
+  const auto centers = ruling_set(g, params.cluster_spacing, g.nodes_by_id());
   const auto clustering = assign_clusters(g, centers);
   const auto cluster_colors = color_cluster_graph(g, clustering);
 
@@ -157,7 +155,9 @@ ClusterColoringDecodeResult decode_cluster_coloring(const Graph& g, const VarAdv
     (void)node;
     for (const auto& e : entries) {
       if (e.schema_id != params.schema_id) continue;
-      centers.push_back(g.index_of(e.anchor_id));
+      const auto anchor = g.find_index(e.anchor_id);
+      LAD_CHECK_MSG(anchor.has_value(), "advice anchors unknown node ID " << e.anchor_id);
+      centers.push_back(*anchor);
       int pos = 0;
       const std::uint64_t color = e.payload.read_gamma(pos);
       LAD_CHECK_MSG(color <= static_cast<std::uint64_t>(g.n()) + 1,

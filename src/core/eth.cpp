@@ -81,8 +81,7 @@ bool check_order_invariance(const OrderInvariantDecoder& dec, const Graph& g,
   for (int t = 0; t < trials; ++t) {
     // Order-preserving reassignment: sorted IDs get strictly increasing
     // random replacements.
-    std::vector<int> by_id = g.all_nodes();
-    std::sort(by_id.begin(), by_id.end(), [&](int a, int b) { return g.id(a) < g.id(b); });
+    const std::span<const int> by_id = g.nodes_by_id();
     std::vector<NodeId> fresh(static_cast<std::size_t>(g.n()));
     NodeId cur = 0;
     for (std::size_t i = 0; i < by_id.size(); ++i) {

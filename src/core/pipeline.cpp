@@ -76,6 +76,17 @@ class OrientationPipeline final : public Pipeline {
     return make_cycle(even_cycle_len(n), IdMode::kRandomDense, seed);
   }
 
+  std::vector<int> sweep_ns(const std::vector<int>& base) const override {
+    // Every stage is O(m) with m = n on the cycle instances, so the sweep
+    // stays affordable far past the default ceiling; extend it so the
+    // scaling fits span three decades of n (256 -> 262144).
+    std::vector<int> ns = base;
+    for (const int extra : {65536, 262144}) {
+      if (ns.empty() || ns.back() < extra) ns.push_back(extra);
+    }
+    return ns;
+  }
+
   PipelineClaims claims() const override {
     PipelineClaims c;
     c.max_bits_per_node = 1.0;

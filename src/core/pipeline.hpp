@@ -175,6 +175,13 @@ class Pipeline {
   virtual PipelineClaims claims() const = 0;
   virtual PipelineConfig sweep_config(int /*n*/) const { return {}; }
 
+  /// Sweep sizes for the claims observatory, given the caller's base sweep:
+  /// a pipeline whose stack stays affordable at large n extends the base so
+  /// the scaling-law fits span >= 3 decades (the default base covers ~1.5).
+  /// Only applied when the caller did not pin sizes (`lad verify-claims`
+  /// without --ns); must return at least 3 sizes if it changes the base.
+  virtual std::vector<int> sweep_ns(const std::vector<int>& base) const { return base; }
+
   // The four stage entry points are non-virtual wrappers (NVI): every
   // consumer of any of the six pipelines funnels through pipeline.cpp's
   // four wrapper bodies, which is where the telemetry spans and the

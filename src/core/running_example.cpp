@@ -49,7 +49,7 @@ RunningExampleEncoding encode_running_example(const Graph& g,
   enc.params = params;
 
   // Π_v: one 1-bit color hint on a ruling set.
-  for (const int a : ruling_set(g, params.color_anchor_spacing, g.all_nodes())) {
+  for (const int a : ruling_set(g, params.color_anchor_spacing, g.nodes_by_id())) {
     SchemaEntry e;
     e.schema_id = kSchemaNodeColor;
     e.anchor_id = g.id(a);
@@ -98,7 +98,9 @@ RunningExampleDecodeResult decode_running_example(const Graph& g, const VarAdvic
   for (const auto& [node, entries] : advice) {
     (void)node;
     for (const auto& e : entries) {
-      const int a = g.index_of(e.anchor_id);
+      const auto anchor = g.find_index(e.anchor_id);
+      LAD_CHECK_MSG(anchor.has_value(), "advice anchors unknown node ID " << e.anchor_id);
+      const int a = *anchor;
       if (e.schema_id == kSchemaNodeColor) {
         color_anchor_nodes.push_back(a);
         color_of_anchor[a] = e.payload.bit(0) ? 2 : 1;

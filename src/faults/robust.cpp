@@ -791,7 +791,7 @@ GuardedColoring guarded_decode_delta_coloring(const Graph& g, const VarAdvice& a
       }
       std::vector<SchemaEntry> kept;
       for (const auto& entry : entries) {
-        bool ok = g.has_id(entry.anchor_id);
+        bool ok = g.find_index(entry.anchor_id).has_value();
         if (ok && entry.schema_id == 0) {
           try {
             int pos = 0;

@@ -6,9 +6,9 @@
 
 namespace lad {
 
-std::string canonical_view(const Graph& g, const std::vector<int>& nodes, int center,
+std::string canonical_view(const Graph& g, std::span<const int> nodes, int center,
                            const std::vector<int>& labels) {
-  std::vector<int> sorted = nodes;
+  std::vector<int> sorted(nodes.begin(), nodes.end());
   std::sort(sorted.begin(), sorted.end(), [&](int a, int b) { return g.id(a) < g.id(b); });
   std::unordered_map<int, int> rank;
   rank.reserve(sorted.size());

@@ -20,7 +20,7 @@ namespace lad {
 /// input (advice bit, color, ...); pass an empty vector for no labels.
 /// The key depends only on: induced topology, relative ID order of `nodes`,
 /// labels, and which node is the center.
-std::string canonical_view(const Graph& g, const std::vector<int>& nodes, int center,
+std::string canonical_view(const Graph& g, std::span<const int> nodes, int center,
                            const std::vector<int>& labels = {});
 
 }  // namespace lad

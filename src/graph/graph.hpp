@@ -8,11 +8,19 @@
 // Adjacency lists are sorted by neighbor *ID* (not index), which gives every
 // node a deterministic, locally computable port order — the paper's
 // "sorting the neighbors of v by their IDs".
+//
+// Scale contract (DESIGN.md §12): the graph is flat CSR over 32-bit node
+// and edge indices — deliberately, for cache density at n = 10⁶–10⁷ — with
+// LAD_CHECK overflow guards in Builder::build() where the 32-bit choice
+// could silently truncate (2m must fit an int). The ID index is a sorted
+// array (binary search), not a hash map: half the memory, deterministic
+// iteration order for free (`nodes_by_id()`), and no per-node heap nodes.
 #pragma once
 
 #include <cstdint>
+#include <iterator>
+#include <optional>
 #include <span>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -20,10 +28,65 @@
 
 namespace lad {
 
+class ThreadPool;
+
 using NodeId = std::int64_t;
 
 class Graph {
  public:
+  /// Allocation-free view of the dense node indices [0, n): the replacement
+  /// for the old allocate-a-vector-per-call `all_nodes()` (a 10⁷-entry
+  /// std::vector<int> per call is real money). Random-access, so it drops
+  /// into range-for, std algorithms, and vector construction alike.
+  class NodeRange {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::random_access_iterator_tag;
+      using value_type = int;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const int*;
+      using reference = int;
+
+      iterator() = default;
+      explicit iterator(int i) : i_(i) {}
+      int operator*() const { return i_; }
+      int operator[](difference_type k) const { return i_ + static_cast<int>(k); }
+      iterator& operator++() { ++i_; return *this; }
+      iterator operator++(int) { iterator t = *this; ++i_; return t; }
+      iterator& operator--() { --i_; return *this; }
+      iterator operator--(int) { iterator t = *this; --i_; return t; }
+      iterator& operator+=(difference_type k) { i_ += static_cast<int>(k); return *this; }
+      iterator& operator-=(difference_type k) { i_ -= static_cast<int>(k); return *this; }
+      friend iterator operator+(iterator a, difference_type k) { return a += k; }
+      friend iterator operator+(difference_type k, iterator a) { return a += k; }
+      friend iterator operator-(iterator a, difference_type k) { return a -= k; }
+      friend difference_type operator-(iterator a, iterator b) { return a.i_ - b.i_; }
+      friend bool operator==(iterator a, iterator b) { return a.i_ == b.i_; }
+      friend bool operator!=(iterator a, iterator b) { return a.i_ != b.i_; }
+      friend bool operator<(iterator a, iterator b) { return a.i_ < b.i_; }
+      friend bool operator<=(iterator a, iterator b) { return a.i_ <= b.i_; }
+      friend bool operator>(iterator a, iterator b) { return a.i_ > b.i_; }
+      friend bool operator>=(iterator a, iterator b) { return a.i_ >= b.i_; }
+
+     private:
+      int i_ = 0;
+    };
+
+    NodeRange() = default;
+    explicit NodeRange(int n) : n_(n) {}
+    iterator begin() const { return iterator(0); }
+    iterator end() const { return iterator(n_); }
+    int size() const { return n_; }
+    bool empty() const { return n_ == 0; }
+    int operator[](int k) const { return k; }
+    int front() const { return 0; }
+    int back() const { return n_ - 1; }
+
+   private:
+    int n_ = 0;
+  };
+
   /// Incrementally assembles a graph, then `build()`s it.
   class Builder {
    public:
@@ -35,15 +98,44 @@ class Graph {
     /// Parallel edges and self-loops are rejected.
     void add_edge(int u, int v);
 
+    /// Pre-sizes the internal buffers (bulk ingestion at n = 10⁶–10⁷).
+    void reserve(std::size_t nodes, std::size_t edges);
+
     /// Number of nodes added so far.
     int n() const { return static_cast<int>(ids_.size()); }
 
+    /// Serial construction — identical to build(nullptr).
     Graph build() &&;
+
+    /// Parallel counting-sort construction of the CSR arrays: edges are
+    /// merge-sorted in parallel, deduplicated (parallel edges and
+    /// duplicate IDs still throw), scattered through a degree histogram,
+    /// and each adjacency slice is sorted by neighbor ID on the pool.
+    /// Output is byte-identical to the serial path at any thread count
+    /// (the §8 determinism contract): every sort key is a total order, so
+    /// the sorted sequences are unique, and all parallel writes are
+    /// per-index or per-slice.
+    Graph build(ThreadPool* pool) &&;
 
    private:
     std::vector<NodeId> ids_;
     std::vector<std::pair<int, int>> edges_;
   };
+
+  /// Raw CSR parts for direct adoption (the `.ladg` mmap loader in
+  /// graph/io.* materializes these without re-running Builder's sorts).
+  /// `from_parts` validates structure — offsets monotone, endpoints in
+  /// range, adjacency sorted by neighbor ID, incident edges aligned —
+  /// and throws ContractViolation otherwise.
+  struct Parts {
+    std::vector<NodeId> ids;
+    std::vector<int> adj_off;  // size n+1
+    std::vector<int> adj;      // size 2m
+    std::vector<int> inc;      // size 2m
+    std::vector<int> edge_u;   // size m
+    std::vector<int> edge_v;   // size m
+  };
+  static Graph from_parts(Parts&& parts);
 
   Graph() = default;
 
@@ -74,11 +166,16 @@ class Graph {
     return ids_[v];
   }
 
-  /// Dense index of the node with the given ID; throws if absent.
+  /// Dense index of the node with the given ID, or nullopt if absent.
+  /// Binary search over the sorted ID index: O(log n), no hashing.
+  std::optional<int> find_index(NodeId id) const;
+
+  /// Deprecated shim for find_index: throws ContractViolation if absent.
+  /// Prefer `find_index` — one lookup, explicit absence.
   int index_of(NodeId id) const;
 
-  /// True if the graph contains a node with this ID.
-  bool has_id(NodeId id) const { return id_to_ix_.count(id) > 0; }
+  /// Deprecated shim for find_index().has_value().
+  bool has_id(NodeId id) const { return find_index(id).has_value(); }
 
   /// Endpoints of edge e, with endpoint_u(e) < endpoint_v(e) as indices.
   int edge_u(int e) const {
@@ -105,14 +202,33 @@ class Graph {
 
   bool adjacent(int u, int v) const { return edge_between(u, v) >= 0; }
 
-  /// All node indices [0, n).
+  /// All node indices [0, n) as an allocation-free view.
+  NodeRange nodes() const { return NodeRange(n()); }
+
+  /// Node indices ordered by ascending LOCAL identifier — the sorted ID
+  /// index itself, exposed: "iterate nodes in ID order" costs nothing.
+  std::span<const int> nodes_by_id() const { return by_id_ix_; }
+
+  /// Deprecated shim: materializes nodes() into a vector. Prefer the
+  /// nodes() view; this allocates n ints per call.
   std::vector<int> all_nodes() const;
+
+  // Raw contiguous CSR views for serialization and digesting (graph/io.*).
+  std::span<const NodeId> raw_ids() const { return ids_; }
+  std::span<const int> raw_adj_off() const { return adj_off_; }
+  std::span<const int> raw_adj() const { return adj_; }
+  std::span<const int> raw_inc() const { return inc_; }
+  std::span<const int> raw_edge_u() const { return edge_u_; }
+  std::span<const int> raw_edge_v() const { return edge_v_; }
 
  private:
   friend class Builder;
 
+  void rebuild_id_index(ThreadPool* pool);
+
   std::vector<NodeId> ids_;
-  std::unordered_map<NodeId, int> id_to_ix_;
+  std::vector<NodeId> sorted_ids_;  // ids_ in ascending order
+  std::vector<int> by_id_ix_;       // node index owning sorted_ids_[k]
   std::vector<int> adj_off_;  // CSR offsets, size n+1
   std::vector<int> adj_;      // neighbor indices, sorted by neighbor ID per node
   std::vector<int> inc_;      // incident edge ids, aligned with adj_

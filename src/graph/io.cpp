@@ -1,10 +1,24 @@
 #include "graph/io.hpp"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "util/hashing.hpp"
+
 namespace lad {
+
+static_assert(std::endian::native == std::endian::little,
+              ".ladg serialization assumes a little-endian host");
 
 void write_edge_list(std::ostream& os, const Graph& g) {
   os << g.n() << ' ' << g.m() << '\n';
@@ -28,18 +42,26 @@ Graph read_edge_list(std::istream& is) {
   LAD_CHECK_MSG(static_cast<bool>(is >> n >> m), "edge list: missing header");
   LAD_CHECK_MSG(n >= 0 && m >= 0, "edge list: negative counts");
   Graph::Builder b;
-  std::vector<NodeId> ids(static_cast<std::size_t>(n));
+  b.reserve(static_cast<std::size_t>(n), static_cast<std::size_t>(m));
+  std::vector<std::pair<NodeId, int>> ix(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) {
-    LAD_CHECK_MSG(static_cast<bool>(is >> ids[v]), "edge list: truncated ID row");
-    b.add_node(ids[v]);
+    NodeId id = 0;
+    LAD_CHECK_MSG(static_cast<bool>(is >> id), "edge list: truncated ID row");
+    b.add_node(id);
+    ix[static_cast<std::size_t>(v)] = {id, v};
   }
-  std::unordered_map<NodeId, int> ix;
-  for (int v = 0; v < n; ++v) ix[ids[v]] = v;
+  std::sort(ix.begin(), ix.end());
+  auto lookup = [&](NodeId id) -> int {
+    auto it = std::lower_bound(ix.begin(), ix.end(), std::pair<NodeId, int>{id, 0});
+    if (it == ix.end() || it->first != id) return -1;
+    return it->second;
+  };
   for (int e = 0; e < m; ++e) {
     NodeId a = 0, c = 0;
     LAD_CHECK_MSG(static_cast<bool>(is >> a >> c), "edge list: truncated edge row");
-    LAD_CHECK_MSG(ix.count(a) && ix.count(c), "edge list: edge references unknown ID");
-    b.add_edge(ix[a], ix[c]);
+    int u = lookup(a), v = lookup(c);
+    LAD_CHECK_MSG(u >= 0 && v >= 0, "edge list: edge references unknown ID");
+    b.add_edge(u, v);
   }
   return std::move(b).build();
 }
@@ -47,6 +69,229 @@ Graph read_edge_list(std::istream& is) {
 Graph from_edge_list(const std::string& text) {
   std::istringstream is(text);
   return read_edge_list(is);
+}
+
+namespace {
+
+constexpr char kLadgMagic[4] = {'L', 'A', 'D', 'G'};
+constexpr std::uint32_t kLadgVersion = 1;
+constexpr std::uint64_t kDigestInit = 0x9e3779b97f4a7c15ULL;
+
+// Folds `len` bytes into the running digest, one 64-bit word at a time
+// (the tail word is zero-padded and salted with the tail length so
+// truncation cannot collide with padding).
+std::uint64_t fold_bytes(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p + i, 8);
+    h = hash2(h, w);
+  }
+  if (i < len) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p + i, len - i);
+    h = hash2(hash2(h, w), static_cast<std::uint64_t>(len - i));
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t fold_span(std::uint64_t h, std::span<const T> s) {
+  return fold_bytes(h, s.data(), s.size_bytes());
+}
+
+// Streaming equivalent of a single fold_bytes call over the concatenation
+// of every update(): carries a partial word across chunk boundaries, so
+// the writer's per-array folds match the reader's whole-body fold even
+// when an array's byte size is not a multiple of 8 (adj_off for even n).
+struct DigestFolder {
+  std::uint64_t h = kDigestInit;
+  unsigned char pend[8] = {};
+  std::size_t npend = 0;
+
+  void update(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    if (npend > 0) {
+      const std::size_t take = std::min(len, 8 - npend);
+      std::memcpy(pend + npend, p, take);
+      npend += take;
+      p += take;
+      len -= take;
+      if (npend < 8) return;
+      std::uint64_t w = 0;
+      std::memcpy(&w, pend, 8);
+      h = hash2(h, w);
+      npend = 0;
+    }
+    std::size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+      std::uint64_t w = 0;
+      std::memcpy(&w, p + i, 8);
+      h = hash2(h, w);
+    }
+    if (i < len) {
+      std::memcpy(pend, p + i, len - i);
+      npend = len - i;
+    }
+  }
+
+  std::uint64_t digest() const {
+    if (npend == 0) return h;
+    std::uint64_t w = 0;
+    std::memcpy(&w, pend, npend);
+    return hash2(hash2(h, w), static_cast<std::uint64_t>(npend));
+  }
+};
+
+struct LadgHeader {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t n;
+  std::uint64_t m;
+};
+static_assert(sizeof(LadgHeader) == 24, ".ladg header is 24 bytes");
+
+// mmap'd read-only file with RAII cleanup.
+struct MappedFile {
+  const unsigned char* data = nullptr;
+  std::size_t size = 0;
+  int fd = -1;
+
+  explicit MappedFile(const std::string& path) {
+    fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw GraphIoError("cannot open graph file '" + path + "'");
+    struct stat st {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      fd = -1;
+      throw GraphIoError("cannot stat graph file '" + path + "'");
+    }
+    size = static_cast<std::size_t>(st.st_size);
+    if (size > 0) {
+      void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (p == MAP_FAILED) {
+        ::close(fd);
+        fd = -1;
+        throw GraphIoError("cannot mmap graph file '" + path + "'");
+      }
+      data = static_cast<const unsigned char*>(p);
+    }
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() {
+    if (data != nullptr) ::munmap(const_cast<unsigned char*>(data), size);
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+template <typename T>
+std::vector<T> copy_array(const unsigned char* base, std::size_t& off, std::size_t count) {
+  std::vector<T> out(count);
+  if (count > 0) std::memcpy(out.data(), base + off, count * sizeof(T));
+  off += count * sizeof(T);
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t graph_digest(const Graph& g) {
+  std::uint64_t h = hash2(kDigestInit, static_cast<std::uint64_t>(g.n()));
+  h = hash2(h, static_cast<std::uint64_t>(g.m()));
+  h = fold_span(h, g.raw_ids());
+  h = fold_span(h, g.raw_adj_off());
+  h = fold_span(h, g.raw_adj());
+  return h;
+}
+
+std::string graph_digest_hex(const Graph& g) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(graph_digest(g)));
+  return std::string(buf);
+}
+
+void write_ladg(const std::string& path, const Graph& g) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw GraphIoError("cannot create graph file '" + path + "'");
+  DigestFolder folder;
+  bool ok = true;
+  auto put = [&](const void* data, std::size_t len) {
+    if (len == 0) return;
+    folder.update(data, len);
+    ok = ok && std::fwrite(data, 1, len, f) == len;
+  };
+  LadgHeader hdr{};
+  std::memcpy(hdr.magic, kLadgMagic, 4);
+  hdr.version = kLadgVersion;
+  hdr.n = static_cast<std::uint64_t>(g.n());
+  hdr.m = static_cast<std::uint64_t>(g.m());
+  put(&hdr, sizeof(hdr));
+  put(g.raw_ids().data(), g.raw_ids().size_bytes());
+  put(g.raw_adj_off().data(), g.raw_adj_off().size_bytes());
+  put(g.raw_adj().data(), g.raw_adj().size_bytes());
+  put(g.raw_inc().data(), g.raw_inc().size_bytes());
+  put(g.raw_edge_u().data(), g.raw_edge_u().size_bytes());
+  put(g.raw_edge_v().data(), g.raw_edge_v().size_bytes());
+  const std::uint64_t h = folder.digest();
+  ok = ok && std::fwrite(&h, 1, sizeof(h), f) == sizeof(h);
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) throw GraphIoError("short write to graph file '" + path + "'");
+}
+
+Graph read_ladg(const std::string& path) {
+  MappedFile file(path);
+  if (file.size < sizeof(LadgHeader) + sizeof(std::uint64_t)) {
+    throw GraphIoError("truncated .ladg file '" + path + "'");
+  }
+  LadgHeader hdr{};
+  std::memcpy(&hdr, file.data, sizeof(hdr));
+  if (std::memcmp(hdr.magic, kLadgMagic, 4) != 0) {
+    throw GraphIoError("bad magic in .ladg file '" + path + "'");
+  }
+  if (hdr.version != kLadgVersion) {
+    throw GraphIoError("unsupported .ladg version " + std::to_string(hdr.version) +
+                       " in '" + path + "' (expected " + std::to_string(kLadgVersion) + ")");
+  }
+  // 32-bit index scale contract: n and 2m must fit an int.
+  constexpr std::uint64_t kMaxN = 0x7fffffffULL;
+  if (hdr.n > kMaxN || hdr.m > kMaxN / 2) {
+    throw GraphIoError("node/edge counts out of range in .ladg file '" + path + "'");
+  }
+  const std::uint64_t n = hdr.n, m = hdr.m;
+  const std::uint64_t expected = sizeof(LadgHeader) + 8 * n        // ids
+                                 + 4 * (n + 1)                     // adj_off
+                                 + 4 * (2 * m) + 4 * (2 * m)       // adj, inc
+                                 + 4 * m + 4 * m                   // edge_u, edge_v
+                                 + sizeof(std::uint64_t);          // digest footer
+  if (file.size != expected) {
+    throw GraphIoError("truncated .ladg file '" + path + "' (have " +
+                       std::to_string(file.size) + " bytes, expected " +
+                       std::to_string(expected) + ")");
+  }
+  const std::size_t body = file.size - sizeof(std::uint64_t);
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, file.data + body, sizeof(stored));
+  const std::uint64_t computed = fold_bytes(kDigestInit, file.data, body);
+  if (stored != computed) {
+    throw GraphIoError("digest mismatch in .ladg file '" + path + "' (corrupt file)");
+  }
+  std::size_t off = sizeof(LadgHeader);
+  Graph::Parts parts;
+  parts.ids = copy_array<NodeId>(file.data, off, static_cast<std::size_t>(n));
+  parts.adj_off = copy_array<int>(file.data, off, static_cast<std::size_t>(n) + 1);
+  parts.adj = copy_array<int>(file.data, off, static_cast<std::size_t>(2 * m));
+  parts.inc = copy_array<int>(file.data, off, static_cast<std::size_t>(2 * m));
+  parts.edge_u = copy_array<int>(file.data, off, static_cast<std::size_t>(m));
+  parts.edge_v = copy_array<int>(file.data, off, static_cast<std::size_t>(m));
+  try {
+    return Graph::from_parts(std::move(parts));
+  } catch (const ContractViolation& e) {
+    // Structural corruption in a well-framed file is still an input-document
+    // problem: surface it as GraphIoError so the CLI exits 2, not 4.
+    throw GraphIoError("invalid graph structure in .ladg file '" + path + "': " + e.what());
+  }
 }
 
 std::string to_dot(const Graph& g, const std::vector<std::string>& node_label,

@@ -1,13 +1,27 @@
-// Graph serialization: a line-based edge-list format and Graphviz DOT
-// export (for inspecting advice assignments and decoded solutions).
+// Graph serialization: a line-based edge-list format, the `.ladg` versioned
+// little-endian binary format (DESIGN.md §12), and Graphviz DOT export (for
+// inspecting advice assignments and decoded solutions).
 //
 // Edge-list format:
 //   n m
 //   id_0 id_1 ... id_{n-1}
 //   u_id v_id          (m lines, endpoints by LOCAL identifier)
+//
+// .ladg binary format (little-endian throughout):
+//   header   magic "LADG" (4 bytes), u32 version = 1, u64 n, u64 m
+//   arrays   ids      n   × i64
+//            adj_off  n+1 × i32
+//            adj      2m  × i32
+//            inc      2m  × i32
+//            edge_u   m   × i32
+//            edge_v   m   × i32
+//   footer   u64 splitmix digest over all preceding bytes
+// Written by write_ladg / `lad gen --out`; loaded via mmap by read_ladg.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +37,33 @@ std::string to_edge_list(const Graph& g);
 /// malformed input.
 Graph read_edge_list(std::istream& is);
 Graph from_edge_list(const std::string& text);
+
+/// Malformed or unreadable graph *file* input (bad magic, wrong version,
+/// truncation, digest mismatch, unreadable path). The CLI maps this to
+/// exit 2 — an input-document problem, not an internal contract violation
+/// (which stays exit 4).
+class GraphIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Content digest of a graph: a splitmix64 word-fold over n, m, IDs, CSR
+/// offsets, and adjacency. Two graphs have equal digests iff their CSR
+/// representations are byte-identical — the check behind "serial and
+/// parallel construction agree" and "load-from-file equals in-memory".
+std::uint64_t graph_digest(const Graph& g);
+/// graph_digest rendered as 16 lowercase hex digits (bench provenance).
+std::string graph_digest_hex(const Graph& g);
+
+/// Writes g to `path` in the .ladg binary format. Throws GraphIoError if
+/// the file cannot be created or written.
+void write_ladg(const std::string& path, const Graph& g);
+
+/// Loads a .ladg file via mmap: validates magic, version, sizes, and the
+/// digest footer, then materializes the CSR arrays through
+/// Graph::from_parts (which re-checks structure). Throws GraphIoError on
+/// any malformed input.
+Graph read_ladg(const std::string& path);
 
 /// Graphviz DOT export. `node_label[v]` (optional) is rendered next to the
 /// ID; `highlight[v]` (optional) fills the node (e.g. the 1-bits of an

@@ -4,10 +4,10 @@
 
 namespace lad {
 
-std::vector<int> ruling_set(const Graph& g, int alpha, const std::vector<int>& candidates,
+std::vector<int> ruling_set(const Graph& g, int alpha, std::span<const int> candidates,
                             const NodeMask& mask) {
   LAD_CHECK(alpha >= 1);
-  std::vector<int> order = candidates;
+  std::vector<int> order(candidates.begin(), candidates.end());
   std::sort(order.begin(), order.end(), [&](int a, int b) { return g.id(a) < g.id(b); });
 
   std::vector<int> chosen;
@@ -24,7 +24,7 @@ std::vector<int> ruling_set(const Graph& g, int alpha, const std::vector<int>& c
 }
 
 bool is_ruling_set(const Graph& g, const std::vector<int>& s, int alpha, int beta,
-                   const std::vector<int>& candidates, const NodeMask& mask) {
+                   std::span<const int> candidates, const NodeMask& mask) {
   for (std::size_t i = 0; i < s.size(); ++i) {
     const auto dist = bfs_distances(g, s[i], mask, alpha - 1);
     for (std::size_t j = 0; j < s.size(); ++j) {

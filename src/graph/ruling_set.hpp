@@ -17,12 +17,12 @@ namespace lad {
 
 /// Greedy (alpha, alpha-1)-ruling set over `candidates`; distances are
 /// measured in g restricted to `mask`. Candidates must lie inside the mask.
-std::vector<int> ruling_set(const Graph& g, int alpha, const std::vector<int>& candidates,
+std::vector<int> ruling_set(const Graph& g, int alpha, std::span<const int> candidates,
                             const NodeMask& mask = {});
 
 /// Validity check used by tests: pairwise distance >= alpha and domination
 /// radius <= beta over the candidate set.
 bool is_ruling_set(const Graph& g, const std::vector<int>& s, int alpha, int beta,
-                   const std::vector<int>& candidates, const NodeMask& mask = {});
+                   std::span<const int> candidates, const NodeMask& mask = {});
 
 }  // namespace lad

@@ -1,0 +1,60 @@
+// GraphSource: the one spec grammar for "where does the graph come from",
+// shared by every CLI verb (bench, trace, audit, faultsim, chaos,
+// verify-claims, gen). Three forms:
+//
+//   family:params[@seed]   generator, e.g. "cycle:4096", "torus:1000x1000",
+//                          "grid:64x64@7", "banded:500x5x3x6"
+//   path.ladg              binary graph file (graph/io.*, DESIGN.md §12)
+//   path.txt               edge-list file (any spec containing '/' or
+//                          ending in ".txt" is treated as an edge list)
+//
+// Parsing is separated from loading so verbs can reject bad specs with
+// exit 2 (naming the offender) before doing any work.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lad {
+
+struct GraphSource {
+  enum class Kind { kFamily, kLadgFile, kEdgeListFile };
+
+  Kind kind = Kind::kFamily;
+  std::string spec;                // the original spec text
+  std::string family;              // kFamily: generator name
+  std::vector<long long> params;   // kFamily: numeric params ('x'-separated)
+  std::optional<std::uint64_t> seed;  // kFamily: "@seed" suffix, if given
+  std::string path;                // file kinds
+};
+
+/// Generator families parse_graph_source accepts, for error messages.
+const std::vector<std::string>& graph_source_families();
+
+/// Parses a source spec. On failure returns nullopt and, if `error` is
+/// non-null, sets it to a message naming the offending spec (the CLI
+/// prints it and exits 2).
+std::optional<GraphSource> parse_graph_source(const std::string& spec, std::string* error);
+
+/// A loaded graph plus its provenance, recorded by bench JSON schema v4.
+struct LoadedGraph {
+  Graph graph;
+  std::string spec;    // canonical source spec (families: seed resolved)
+  std::string digest;  // graph_digest_hex of the loaded graph
+};
+
+/// Builds or loads the graph a source describes. Generator families draw
+/// IDs with IdMode::kRandomDense from the spec's "@seed" if present, else
+/// from `seed`. Throws GraphIoError on unreadable or malformed files and
+/// ContractViolation on generator parameter misuse.
+LoadedGraph load_graph_source(const GraphSource& src, std::uint64_t seed = 1);
+
+/// parse + load in one call; nullopt + *error on a bad spec.
+std::optional<LoadedGraph> load_graph_source(const std::string& spec, std::string* error,
+                                             std::uint64_t seed = 1);
+
+}  // namespace lad

@@ -172,7 +172,7 @@ std::optional<Labeling> solve_lcl(const Graph& g, const LclProblem& p, const Lab
 }
 
 std::optional<Labeling> solve_lcl(const Graph& g, const LclProblem& p, std::int64_t max_steps) {
-  std::vector<int> nodes = g.all_nodes();
+  std::vector<int> nodes(g.nodes().begin(), g.nodes().end());
   std::vector<int> edges(static_cast<std::size_t>(g.m()));
   for (int e = 0; e < g.m(); ++e) edges[e] = e;
   return solve_lcl(g, p, Labeling::empty(g), nodes, edges, nodes, max_steps);

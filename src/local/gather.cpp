@@ -90,7 +90,9 @@ Ball reconstruct_ball(const Graph& g, const Knowledge& k, int v, int radius) {
   for (const auto id : k.nodes) ix[id] = b.add_node(id);
   for (const auto& [a, c] : k.edges) b.add_edge(ix.at(a), ix.at(c));
   const Graph known = std::move(b).build();
-  const Ball ball = extract_ball(known, known.index_of(g.id(v)), radius);
+  const auto center = known.find_index(g.id(v));
+  LAD_CHECK_MSG(center.has_value(), "flooded knowledge is missing its own center node");
+  const Ball ball = extract_ball(known, *center, radius);
 
   Ball out;
   out.radius = radius;
@@ -101,7 +103,9 @@ Ball reconstruct_ball(const Graph& g, const Knowledge& k, int v, int radius) {
   out.center = ball.center;
   out.dist = ball.dist;
   for (int i = 0; i < ball.graph.n(); ++i) {
-    out.to_parent.push_back(g.index_of(ball.graph.id(i)));
+    const auto parent = g.find_index(ball.graph.id(i));
+    LAD_CHECK_MSG(parent.has_value(), "ball node missing from its parent graph");
+    out.to_parent.push_back(*parent);
   }
   return out;
 }
@@ -157,7 +161,7 @@ CanonicalViews gather_canonical_views(const Graph& g, int radius, const std::vec
       }
     }
     keys[static_cast<std::size_t>(v)] =
-        canonical_view(ball.graph, ball.graph.all_nodes(), ball.center, ball_labels);
+        canonical_view(ball.graph, ball.graph.nodes_by_id(), ball.center, ball_labels);
   };
   if (pool != nullptr && pool->threads() > 1) {
     pool->for_each(g.n(), canon);

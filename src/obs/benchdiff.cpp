@@ -250,6 +250,8 @@ BenchDoc parse_bench_json(const std::string& text) {
     row.wall_ms_1 = num_field(c, "wall_ms_1t", true);
     row.wall_ms = num_field(c, "wall_ms", true);
     row.digest = str_field(c, "digest", /*required=*/false);
+    row.source = str_field(c, "source", /*required=*/false);
+    row.graph_digest = str_field(c, "graph_digest", /*required=*/false);
     if (const JsonValue* m = c.find("metrics"); m != nullptr) {
       if (m->kind != JsonValue::Kind::kObject) {
         throw std::runtime_error("bench JSON: \"metrics\" is not an object");
@@ -347,6 +349,17 @@ BenchDiffResult diff_bench(const BenchDoc& baseline, const BenchDoc& candidate,
       mismatch(base.name, "digest",
                "output digest diverged (baseline " + base.digest + ", candidate " +
                    cand.digest + ")");
+    }
+    if (!base.source.empty() && !cand.source.empty() && base.source != cand.source) {
+      mismatch(base.name, "source",
+               "graph source diverged (baseline '" + base.source + "', candidate '" +
+                   cand.source + "')");
+    }
+    if (!base.graph_digest.empty() && !cand.graph_digest.empty() &&
+        base.graph_digest != cand.graph_digest) {
+      mismatch(base.name, "graph_digest",
+               "graph digest diverged (baseline " + base.graph_digest + ", candidate " +
+                   cand.graph_digest + ")");
     }
 
     // Timing gate: serial min-of-K wall time, absolute + relative slack.

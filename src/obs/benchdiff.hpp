@@ -42,6 +42,11 @@ struct BenchCaseRow {
   double wall_ms_1 = 0;
   double wall_ms = 0;
   std::string digest;
+  /// Graph provenance (schema v4, source-driven cases only; empty
+  /// otherwise): when present in both documents they are deterministic
+  /// fields — a diverged source spec or graph digest is a MISMATCH.
+  std::string source;
+  std::string graph_digest;
   std::map<std::string, long long> metrics;
 };
 

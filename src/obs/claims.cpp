@@ -88,6 +88,28 @@ bool ClaimsReport::pass() const {
 
 std::vector<int> default_sweep_ns() { return {256, 512, 1024, 2048, 4096, 8192}; }
 
+namespace {
+
+/// One encode -> decode -> verify pass on a concrete graph: the shared
+/// measurement body behind both the generated and the source-driven sweeps.
+SweepPoint measure_point(const Pipeline& p, const Graph& g, const PipelineConfig& cfg) {
+  const PipelineAdvice adv = p.encode(g, cfg);
+  const PipelineOutput out = p.decode(g, adv, cfg);
+  const AdviceStats stats = adv.stats(g.n());
+
+  SweepPoint pt;
+  pt.n = g.n();
+  pt.m = g.m();
+  pt.rounds = out.rounds;
+  pt.total_bits = stats.total_bits;
+  pt.bits_per_node = g.n() > 0 ? static_cast<double>(stats.total_bits) / g.n() : 0.0;
+  pt.ones_ratio = stats.ones_ratio;
+  pt.verified = p.verify(g, out, cfg);
+  return pt;
+}
+
+}  // namespace
+
 std::vector<SweepPoint> run_claim_sweep(const Pipeline& p, const std::vector<int>& ns,
                                         std::uint64_t seed) {
   std::vector<SweepPoint> points;
@@ -96,19 +118,21 @@ std::vector<SweepPoint> run_claim_sweep(const Pipeline& p, const std::vector<int
     PipelineConfig cfg = p.sweep_config(n);
     cfg.seed = hash2(seed, static_cast<std::uint64_t>(n));
     const Graph g = p.make_instance(n, cfg.seed);
-    const PipelineAdvice adv = p.encode(g, cfg);
-    const PipelineOutput out = p.decode(g, adv, cfg);
-    const AdviceStats stats = adv.stats(g.n());
+    points.push_back(measure_point(p, g, cfg));
+  }
+  return points;
+}
 
-    SweepPoint pt;
-    pt.n = g.n();
-    pt.m = g.m();
-    pt.rounds = out.rounds;
-    pt.total_bits = stats.total_bits;
-    pt.bits_per_node = g.n() > 0 ? static_cast<double>(stats.total_bits) / g.n() : 0.0;
-    pt.ones_ratio = stats.ones_ratio;
-    pt.verified = p.verify(g, out, cfg);
-    points.push_back(pt);
+std::vector<SweepPoint> run_claim_sweep_sources(const Pipeline& p,
+                                                const std::vector<GraphSource>& sources,
+                                                std::uint64_t seed) {
+  std::vector<SweepPoint> points;
+  points.reserve(sources.size());
+  for (const GraphSource& src : sources) {
+    const LoadedGraph lg = load_graph_source(src, seed);
+    PipelineConfig cfg = p.sweep_config(lg.graph.n());
+    cfg.seed = hash2(seed, static_cast<std::uint64_t>(lg.graph.n()));
+    points.push_back(measure_point(p, lg.graph, cfg));
   }
   return points;
 }
@@ -166,7 +190,7 @@ PipelineClaimReport check_pipeline_claims(const Pipeline& p,
 }
 
 ClaimsReport verify_claims(const std::vector<int>& ns, const std::string& family,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, bool extend_sweeps) {
   if (ns.size() < 3) throw std::invalid_argument("verify_claims: need at least 3 sweep sizes");
   ClaimsReport report;
   report.git_commit = kGitCommit;
@@ -177,7 +201,34 @@ ClaimsReport verify_claims(const std::vector<int>& ns, const std::string& family
   for (const Pipeline* p : pipelines()) {
     if (!family.empty() && family != p->name()) continue;
     matched = true;
-    report.pipelines.push_back(check_pipeline_claims(*p, run_claim_sweep(*p, ns, seed)));
+    const std::vector<int> sweep = extend_sweeps ? p->sweep_ns(ns) : ns;
+    report.pipelines.push_back(check_pipeline_claims(*p, run_claim_sweep(*p, sweep, seed)));
+  }
+  if (!matched) throw std::invalid_argument("verify_claims: unknown pipeline family: " + family);
+  return report;
+}
+
+ClaimsReport verify_claims_sources(const std::vector<GraphSource>& sources,
+                                   const std::string& family, std::uint64_t seed) {
+  if (family.empty()) {
+    throw std::invalid_argument(
+        "verify_claims_sources: --graphs sweeps need an explicit pipeline family "
+        "(imported graphs cannot satisfy every pipeline's instance preconditions)");
+  }
+  if (sources.size() < 3) {
+    throw std::invalid_argument("verify_claims_sources: need at least 3 graph sources");
+  }
+  ClaimsReport report;
+  report.git_commit = kGitCommit;
+  report.timestamp = iso8601_utc_now();
+
+  bool matched = false;
+  for (const Pipeline* p : pipelines()) {
+    if (family != p->name()) continue;
+    matched = true;
+    const std::vector<SweepPoint> points = run_claim_sweep_sources(*p, sources, seed);
+    for (const SweepPoint& pt : points) report.sweep_ns.push_back(pt.n);
+    report.pipelines.push_back(check_pipeline_claims(*p, points));
   }
   if (!matched) throw std::invalid_argument("verify_claims: unknown pipeline family: " + family);
   return report;

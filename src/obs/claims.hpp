@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "graph/source.hpp"
 #include "obs/fit.hpp"
 
 namespace lad::obs {
@@ -91,13 +92,33 @@ std::vector<int> default_sweep_ns();
 std::vector<SweepPoint> run_claim_sweep(const Pipeline& p, const std::vector<int>& ns,
                                         std::uint64_t seed = 1);
 
+/// Like run_claim_sweep, but the sweep points are explicit GraphSources
+/// (generated families, .ladg files, or edge lists) instead of
+/// make_instance sizes — the path by which imported graphs feed the
+/// scaling-law fitter. The graphs must satisfy p.graph_requirements();
+/// as with generated sweeps, verify() is the gate that catches mismatches.
+std::vector<SweepPoint> run_claim_sweep_sources(const Pipeline& p,
+                                                const std::vector<GraphSource>& sources,
+                                                std::uint64_t seed = 1);
+
 /// Fits the measured series and checks them against p.claims().
 PipelineClaimReport check_pipeline_claims(const Pipeline& p, const std::vector<SweepPoint>& points,
                                           const FitOptions& opts = {});
 
 /// The whole observatory: sweep + check for every registered pipeline
-/// (or only `family`, by registry name, when non-empty).
+/// (or only `family`, by registry name, when non-empty). With
+/// `extend_sweeps` set (the no---ns CLI default), each pipeline may grow
+/// the base sweep through Pipeline::sweep_ns so its fits span more
+/// decades of n; with explicit sizes the caller's list is used verbatim.
 ClaimsReport verify_claims(const std::vector<int>& ns, const std::string& family = "",
-                           std::uint64_t seed = 1);
+                           std::uint64_t seed = 1, bool extend_sweeps = false);
+
+/// The observatory over explicit graph sources (`lad verify-claims
+/// --graphs`): one sweep point per source, checked against the claims of
+/// the single pipeline named by `family` (required — arbitrary imported
+/// graphs cannot satisfy every pipeline's instance preconditions).
+/// Needs at least 3 sources, the fitter's minimum.
+ClaimsReport verify_claims_sources(const std::vector<GraphSource>& sources,
+                                   const std::string& family, std::uint64_t seed = 1);
 
 }  // namespace lad::obs

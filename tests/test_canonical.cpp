@@ -11,8 +11,8 @@ TEST(Canonical, OrderInvariance) {
   // identical canonical keys.
   const Graph a = make_graph({10, 20, 30}, {{10, 20}, {20, 30}});
   const Graph b = make_graph({7, 100, 5000}, {{7, 100}, {100, 5000}});
-  const auto ka = canonical_view(a, a.all_nodes(), a.index_of(20));
-  const auto kb = canonical_view(b, b.all_nodes(), b.index_of(100));
+  const auto ka = canonical_view(a, a.nodes_by_id(), a.find_index(20).value());
+  const auto kb = canonical_view(b, b.nodes_by_id(), b.find_index(100).value());
   EXPECT_EQ(ka, kb);
 }
 
@@ -21,42 +21,44 @@ TEST(Canonical, SensitiveToIdOrder) {
   // ID in the other: different relative order, different key.
   const Graph a = make_graph({1, 2, 3}, {{1, 2}, {2, 3}});
   const Graph b = make_graph({1, 5, 3}, {{1, 5}, {5, 3}});
-  const auto ka = canonical_view(a, a.all_nodes(), a.index_of(2));
-  const auto kb = canonical_view(b, b.all_nodes(), b.index_of(5));
+  const auto ka = canonical_view(a, a.nodes_by_id(), a.find_index(2).value());
+  const auto kb = canonical_view(b, b.nodes_by_id(), b.find_index(5).value());
   EXPECT_NE(ka, kb);
 }
 
 TEST(Canonical, SensitiveToTopology) {
   const Graph path = make_graph({1, 2, 3}, {{1, 2}, {2, 3}});
   const Graph tri = make_graph({1, 2, 3}, {{1, 2}, {2, 3}, {1, 3}});
-  EXPECT_NE(canonical_view(path, path.all_nodes(), 0),
-            canonical_view(tri, tri.all_nodes(), 0));
+  EXPECT_NE(canonical_view(path, path.nodes_by_id(), 0),
+            canonical_view(tri, tri.nodes_by_id(), 0));
 }
 
 TEST(Canonical, SensitiveToCenter) {
   const Graph g = make_graph({1, 2, 3}, {{1, 2}, {2, 3}});
-  EXPECT_NE(canonical_view(g, g.all_nodes(), g.index_of(1)),
-            canonical_view(g, g.all_nodes(), g.index_of(2)));
+  EXPECT_NE(canonical_view(g, g.nodes_by_id(), g.find_index(1).value()),
+            canonical_view(g, g.nodes_by_id(), g.find_index(2).value()));
 }
 
 TEST(Canonical, SensitiveToLabels) {
   const Graph g = make_graph({1, 2}, {{1, 2}});
-  EXPECT_NE(canonical_view(g, g.all_nodes(), 0, {0, 1}),
-            canonical_view(g, g.all_nodes(), 0, {1, 0}));
-  EXPECT_EQ(canonical_view(g, g.all_nodes(), 0, {1, 0}),
-            canonical_view(g, g.all_nodes(), 0, {1, 0}));
+  EXPECT_NE(canonical_view(g, g.nodes_by_id(), 0, {0, 1}),
+            canonical_view(g, g.nodes_by_id(), 0, {1, 0}));
+  EXPECT_EQ(canonical_view(g, g.nodes_by_id(), 0, {1, 0}),
+            canonical_view(g, g.nodes_by_id(), 0, {1, 0}));
 }
 
 TEST(Canonical, SubsetView) {
   const Graph g = make_path(5);
-  const auto key = canonical_view(g, {1, 2, 3}, 2);
+  const std::vector<int> subset = {1, 2, 3};
+  const auto key = canonical_view(g, subset, 2);
   const Graph h = make_path(3);
-  EXPECT_EQ(key, canonical_view(h, h.all_nodes(), 1));
+  EXPECT_EQ(key, canonical_view(h, h.nodes_by_id(), 1));
 }
 
 TEST(Canonical, CenterMustBeInSet) {
   const Graph g = make_path(5);
-  EXPECT_THROW(canonical_view(g, {0, 1}, 4), ContractViolation);
+  const std::vector<int> subset = {0, 1};
+  EXPECT_THROW(canonical_view(g, subset, 4), ContractViolation);
 }
 
 }  // namespace

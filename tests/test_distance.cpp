@@ -46,9 +46,9 @@ TEST(Distance, MultiSource) {
 
 TEST(Distance, BallNodes) {
   const Graph g = make_grid(5, 5);
-  const auto ball = ball_nodes(g, g.index_of(13), 1);
+  const auto ball = ball_nodes(g, g.find_index(13).value(), 1);
   EXPECT_EQ(ball.size(), 5u);  // center + 4 neighbors
-  EXPECT_EQ(ball_size(g, g.index_of(13), 0), 1);
+  EXPECT_EQ(ball_size(g, g.find_index(13).value(), 0), 1);
 }
 
 TEST(Distance, ShortestPathEndpoints) {

@@ -153,13 +153,13 @@ TEST(Engine, FloodingMatchesBallExtraction) {
 
 TEST(Ball, StructureAndDistances) {
   const Graph g = make_grid(5, 5);
-  const Ball b = extract_ball(g, g.index_of(13), 2);
+  const Ball b = extract_ball(g, g.find_index(13).value(), 2);
   EXPECT_EQ(b.graph.id(b.center), 13);
   for (int i = 0; i < b.graph.n(); ++i) {
     EXPECT_LE(b.dist[static_cast<std::size_t>(i)], 2);
     EXPECT_EQ(g.id(b.to_parent[static_cast<std::size_t>(i)]), b.graph.id(i));
   }
-  EXPECT_EQ(b.from_parent(g.index_of(13)), b.center);
+  EXPECT_EQ(b.from_parent(g.find_index(13).value()), b.center);
 }
 
 TEST(Ball, MaskRespected) {

@@ -32,8 +32,8 @@ TEST_P(GatherEquivalence, FloodingMatchesExtraction) {
     const Ball direct = extract_ball(g, v, radius);
     // Compare as canonical views (topology + ID order + center).
     const auto key_a =
-        canonical_view(balls[v].graph, balls[v].graph.all_nodes(), balls[v].center);
-    const auto key_b = canonical_view(direct.graph, direct.graph.all_nodes(), direct.center);
+        canonical_view(balls[v].graph, balls[v].graph.nodes_by_id(), balls[v].center);
+    const auto key_b = canonical_view(direct.graph, direct.graph.nodes_by_id(), direct.center);
     EXPECT_EQ(key_a, key_b) << "node " << g.id(v);
   }
 }

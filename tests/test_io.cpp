@@ -12,7 +12,7 @@ void expect_same_graph(const Graph& a, const Graph& b) {
   ASSERT_EQ(a.n(), b.n());
   ASSERT_EQ(a.m(), b.m());
   for (int v = 0; v < a.n(); ++v) {
-    const int w = b.index_of(a.id(v));
+    const int w = b.find_index(a.id(v)).value();
     const auto na = a.neighbors(v);
     const auto nb = b.neighbors(w);
     ASSERT_EQ(na.size(), nb.size());

@@ -78,7 +78,8 @@ TEST(Lcl, PinnedCompletion) {
   pinned.node_labels[0] = 1;
   pinned.node_labels[5] = 1;
   std::vector<int> free_nodes = {1, 2, 3, 4};
-  const auto sol = solve_lcl(g, p, pinned, free_nodes, {}, g.all_nodes());
+  const std::vector<int> all(g.nodes().begin(), g.nodes().end());
+  const auto sol = solve_lcl(g, p, pinned, free_nodes, {}, all);
   ASSERT_TRUE(sol.has_value());
   EXPECT_EQ(sol->node_labels[0], 1);
   EXPECT_EQ(sol->node_labels[5], 1);
@@ -91,7 +92,8 @@ TEST(Lcl, PinnedContradictionUnsolvable) {
   Labeling pinned = Labeling::empty(g);
   pinned.node_labels[0] = 1;
   pinned.node_labels[2] = 2;  // forces node 1 to clash with one end
-  const auto sol = solve_lcl(g, p, pinned, {1}, {}, g.all_nodes());
+  const std::vector<int> all(g.nodes().begin(), g.nodes().end());
+  const auto sol = solve_lcl(g, p, pinned, {1}, {}, all);
   EXPECT_FALSE(sol.has_value());
 }
 
@@ -108,8 +110,8 @@ TEST(Lcl, CheckSubsetOnly) {
 TEST(Lcl, BudgetExhaustionThrows) {
   const Graph g = make_cycle(30);
   VertexColoringLcl p(3);
-  EXPECT_THROW(solve_lcl(g, p, Labeling::empty(g), g.all_nodes(), {}, g.all_nodes(), 3),
-               ContractViolation);
+  const std::vector<int> all(g.nodes().begin(), g.nodes().end());
+  EXPECT_THROW(solve_lcl(g, p, Labeling::empty(g), all, {}, all, 3), ContractViolation);
 }
 
 TEST(Lcl, DistributedChecker) {

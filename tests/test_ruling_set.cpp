@@ -11,8 +11,8 @@ class RulingSetSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
 TEST_P(RulingSetSweep, GreedyIsAlphaAlphaMinusOneRuling) {
   const auto [n, alpha] = GetParam();
   const Graph g = make_cycle(n, IdMode::kRandomDense, 17);
-  const auto s = ruling_set(g, alpha, g.all_nodes());
-  EXPECT_TRUE(is_ruling_set(g, s, alpha, alpha - 1, g.all_nodes()));
+  const auto s = ruling_set(g, alpha, g.nodes_by_id());
+  EXPECT_TRUE(is_ruling_set(g, s, alpha, alpha - 1, g.nodes_by_id()));
   EXPECT_FALSE(s.empty());
 }
 
@@ -22,8 +22,8 @@ INSTANTIATE_TEST_SUITE_P(Sweep, RulingSetSweep,
 
 TEST(RulingSet, OnGrid) {
   const Graph g = make_grid(12, 12, IdMode::kRandomDense, 3);
-  const auto s = ruling_set(g, 4, g.all_nodes());
-  EXPECT_TRUE(is_ruling_set(g, s, 4, 3, g.all_nodes()));
+  const auto s = ruling_set(g, 4, g.nodes_by_id());
+  EXPECT_TRUE(is_ruling_set(g, s, 4, 3, g.nodes_by_id()));
 }
 
 TEST(RulingSet, CandidateSubset) {
@@ -47,7 +47,7 @@ TEST(RulingSet, WithinMask) {
 
 TEST(RulingSet, AlphaOneIsEverything) {
   const Graph g = make_path(5);
-  const auto s = ruling_set(g, 1, g.all_nodes());
+  const auto s = ruling_set(g, 1, g.nodes_by_id());
   EXPECT_EQ(s.size(), 5u);
 }
 
@@ -59,7 +59,7 @@ TEST(RulingSet, EmptyCandidates) {
 
 TEST(RulingSet, MisValidatorRejectsCloseNodes) {
   const Graph g = make_path(6);
-  EXPECT_FALSE(is_ruling_set(g, {0, 1}, 2, 1, g.all_nodes()));
+  EXPECT_FALSE(is_ruling_set(g, {0, 1}, 2, 1, g.nodes_by_id()));
 }
 
 }  // namespace

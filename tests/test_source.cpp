@@ -1,0 +1,116 @@
+// The unified GraphSource spec (graph/source.hpp): grammar, canonical
+// provenance specs, deterministic digests, and offender-naming errors —
+// the one parse/load path every CLI verb shares.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "graph/io.hpp"
+#include "graph/source.hpp"
+
+namespace lad {
+namespace {
+
+GraphSource parse_ok(const std::string& spec) {
+  std::string err;
+  const auto src = parse_graph_source(spec, &err);
+  EXPECT_TRUE(src.has_value()) << spec << ": " << err;
+  return src.value();
+}
+
+std::string parse_error(const std::string& spec) {
+  std::string err;
+  const auto src = parse_graph_source(spec, &err);
+  EXPECT_FALSE(src.has_value()) << spec;
+  return err;
+}
+
+TEST(GraphSource, FamilyDefaults) {
+  const auto src = parse_ok("cycle");
+  EXPECT_EQ(src.kind, GraphSource::Kind::kFamily);
+  EXPECT_EQ(src.family, "cycle");
+  EXPECT_TRUE(src.params.empty());
+  EXPECT_FALSE(src.seed.has_value());
+  EXPECT_EQ(load_graph_source(src).graph.n(), 100);  // `lad gen` default
+}
+
+TEST(GraphSource, ParamsAndSeed) {
+  const auto src = parse_ok("grid:6x5@9");
+  EXPECT_EQ(src.kind, GraphSource::Kind::kFamily);
+  EXPECT_EQ(src.family, "grid");
+  ASSERT_EQ(src.params.size(), 2u);
+  EXPECT_EQ(src.params[0], 6);
+  EXPECT_EQ(src.params[1], 5);
+  ASSERT_TRUE(src.seed.has_value());
+  EXPECT_EQ(*src.seed, 9u);
+
+  const LoadedGraph lg = load_graph_source(src);
+  EXPECT_EQ(lg.graph.n(), 30);
+  EXPECT_EQ(lg.spec, "grid:6x5@9");       // canonical provenance spec
+  EXPECT_EQ(lg.digest.size(), 16u);        // 64-bit hex digest
+  EXPECT_EQ(lg.digest, graph_digest_hex(lg.graph));
+}
+
+TEST(GraphSource, CanonicalSpecPinsAmbientSeed) {
+  // No "@seed" in the spec: the ambient seed is resolved into the
+  // canonical spec so provenance pins the exact instance.
+  const LoadedGraph lg = load_graph_source(parse_ok("cycle:64"), /*seed=*/3);
+  EXPECT_EQ(lg.spec, "cycle:64@3");
+}
+
+TEST(GraphSource, ExplicitSeedWinsOverAmbient) {
+  const LoadedGraph a = load_graph_source(parse_ok("cycle:64@7"), /*seed=*/3);
+  const LoadedGraph b = load_graph_source(parse_ok("cycle:64@7"), /*seed=*/5);
+  EXPECT_EQ(a.spec, "cycle:64@7");
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(GraphSource, DigestDeterministicAndSeedSensitive) {
+  const LoadedGraph a = load_graph_source(parse_ok("cycle:64@1"));
+  const LoadedGraph b = load_graph_source(parse_ok("cycle:64@1"));
+  const LoadedGraph c = load_graph_source(parse_ok("cycle:64@2"));
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_NE(a.digest, c.digest);  // random-dense IDs differ per seed
+}
+
+TEST(GraphSource, FileKindsBySpelling) {
+  EXPECT_EQ(parse_ok("g.ladg").kind, GraphSource::Kind::kLadgFile);
+  EXPECT_EQ(parse_ok("out/big.ladg").kind, GraphSource::Kind::kLadgFile);
+  EXPECT_EQ(parse_ok("g.txt").kind, GraphSource::Kind::kEdgeListFile);
+  EXPECT_EQ(parse_ok("some/dir/graph").kind, GraphSource::Kind::kEdgeListFile);
+}
+
+TEST(GraphSource, ErrorsNameTheOffender) {
+  EXPECT_NE(parse_error("nosuch:4").find("nosuch:4"), std::string::npos);
+  EXPECT_NE(parse_error("cycle:abc").find("cycle:abc"), std::string::npos);
+  EXPECT_NE(parse_error("cycle:10@x").find("bad seed"), std::string::npos);
+  // Too many parameters for the family names its expected shape.
+  EXPECT_NE(parse_error("grid:1x2x3").find("grid:WxH"), std::string::npos);
+  EXPECT_FALSE(parse_error("").empty());
+}
+
+TEST(GraphSource, MissingFilesThrowGraphIoError) {
+  EXPECT_THROW(load_graph_source(parse_ok("definitely/missing.txt")), GraphIoError);
+  EXPECT_THROW(load_graph_source(parse_ok("definitely_missing.ladg")), GraphIoError);
+}
+
+TEST(GraphSource, InvalidEdgeListThrowsGraphIoError) {
+  const std::string path = testing::TempDir() + "source_bad_edge_list.txt";
+  {
+    std::ofstream out(path);
+    out << "3 1\n1 2 3\n";  // malformed: three tokens on an edge line
+  }
+  EXPECT_THROW(load_graph_source(parse_ok(path)), GraphIoError);
+}
+
+TEST(GraphSource, EveryRegisteredFamilyLoadsWithDefaults) {
+  for (const auto& family : graph_source_families()) {
+    const LoadedGraph lg = load_graph_source(parse_ok(family));
+    EXPECT_GT(lg.graph.n(), 0) << family;
+    EXPECT_EQ(lg.digest.size(), 16u) << family;
+  }
+}
+
+}  // namespace
+}  // namespace lad

@@ -49,7 +49,7 @@ TEST(Sparsify, EmptyPayload) {
 
 TEST(Sparsify, WorksOnGrid) {
   const Graph g = make_grid(30, 30, IdMode::kRandomDense, 9);
-  std::map<int, BitString> anchors = {{g.index_of(1), BitString::parse("110")}};
+  std::map<int, BitString> anchors = {{g.find_index(1).value(), BitString::parse("110")}};
   const auto enc = encode_paths_one_bit(g, anchors);
   const auto decoded = decode_paths_one_bit(g, enc.bits, 3);
   ASSERT_EQ(decoded.size(), 1u);

@@ -1,18 +1,19 @@
 // lad — command-line front end for the local-advice library.
 //
 // Usage:
-//   lad gen <cycle|path|grid|ladder|regular|banded> <args...>   > g.txt
+//   lad gen <spec|family args...> [--out g.ladg|g.txt]   # graph generation
 //   lad orient   <graph.txt>          # §5: 1-bit advice, decode, validate
 //   lad compress <graph.txt> <p>      # §1.5: compress a random p-subset
 //   lad color3   <graph.txt>          # §7: solve witness + 1-bit schema
 //   lad proof    <graph.txt> <mis|matching|3col>   # §1.2 certificate demo
-//   lad audit    <graph.txt> <alg>    # locality-conformance audit
+//   lad audit    <source> <alg>       # locality-conformance audit
 //   lad faultsim <decoder> <family> <n> [trials] [seed] [--flags]  # fault campaign
 //   lad chaos    [--pipelines ...] [--models ...] [--policies ...]  # chaos matrix
-//   lad bench    <suite> [--threads K] [--reps K] [--json out.json] [--trace]
-//   lad trace    <pipeline> [--family F] [-n N] [--out t.json] [--metrics m.prom]
+//   lad bench    <suite> | --graph SPEC[,SPEC...] [--pipeline P]
+//                [--threads K] [--reps K] [--json out.json] [--trace]
+//   lad trace    <pipeline> [--graph SPEC | --family F -n N] [--out t.json]
 //                                     # telemetry: spans + metric counters
-//   lad verify-claims [--family F] [--json]   # claims observatory (DESIGN.md §9.6)
+//   lad verify-claims [--family F] [--graphs SPEC,...] [--json]   # DESIGN.md §9.6
 //   lad diffbench <baseline.json> <candidate.json> [--tol-ms X] [--tol-rel R] [--json]
 //   lad report   [--out EXPERIMENTS-generated.md]   # regenerable claims report
 //   lad lint     [--root DIR] [--rule R] [--baseline FILE] [--json]   # static analysis
@@ -29,13 +30,18 @@
 // registry (core/pipeline.hpp): any pipeline name the registry knows is a
 // valid argument, with no per-decoder switch here.
 //
-// Graphs are in the edge-list format of graph/io.hpp.
+// Graph inputs are GraphSource specs (graph/source.hpp): a generator spec
+// "family:params[@seed]" (cycle:1000, torus:32x32@7), a binary ".ladg"
+// file (graph/io.hpp §12 format), or a ".txt" edge list. An unknown source
+// exits 2 naming the offender. The classic verbs (orient, compress,
+// color3, proof, dot) keep reading plain edge-list files.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,6 +60,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/rng.hpp"
+#include "graph/source.hpp"
 #include "lcl/problems.hpp"
 #include "lcl/solver.hpp"
 #include "lint/lint.hpp"
@@ -74,6 +81,11 @@ using namespace lad;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
+               "  lad gen <source> [--out FILE]   # source spec form; FILE ending in\n"
+               "          .ladg writes the binary format of graph/io.hpp, anything else\n"
+               "          (or stdout) the text edge list. Specs: family:params[@seed]\n"
+               "          (cycle:1000000, torus:32x32@7, ...), a .ladg file, or a .txt\n"
+               "          edge list\n"
                "  lad gen cycle <n> [seed] | path <n> [seed] | grid <w> <h> [seed]\n"
                "          | ladder <m> [seed] | regular <n> <d> [seed]\n"
                "          | banded <n> <band> <avgdeg> <maxdeg> [seed]\n"
@@ -82,9 +94,9 @@ int usage() {
                "  lad compress <graph.txt> <density>\n"
                "  lad color3 <graph.txt>\n"
                "  lad proof <graph.txt> <mis|matching|3col>\n"
-               "  lad audit <graph.txt> gather [radius]   # engine provenance stats\n"
-               "  lad audit <graph.txt> cv                # Cole-Vishkin under the auditor\n"
-               "  lad audit <graph.txt> <pipeline>        # decoder locality audit; any\n"
+               "  lad audit <source> gather [radius]      # engine provenance stats\n"
+               "  lad audit <source> cv                   # Cole-Vishkin under the auditor\n"
+               "  lad audit <source> <pipeline>           # decoder locality audit; any\n"
                "            registry pipeline name (orientation, splitting, three_coloring,\n"
                "            delta_coloring, subexp_lcl, decompress; orient/split/compress\n"
                "            are accepted aliases)\n"
@@ -101,21 +113,29 @@ int usage() {
                "            silent corruptions and all nodes accounted in a DegradeStatus\n"
                "            bucket; writes byte-deterministic markdown (default out:\n"
                "            ROBUSTNESS-generated.md); exit 0 pass, 3 any cell fails\n"
-               "  lad bench <suite> [--threads K] [--reps K] [--json out.json] [--trace]\n"
-               "            suites: e1..e9 r1 gather smoke all; --trace embeds per-case\n"
-               "            telemetry counters in the JSON; --reps K times each case as\n"
-               "            min-of-K after one warmup (stable timings for diffbench)\n"
-               "  lad trace <pipeline> [--family cycle|grid|torus] [-n N] [--seed S]\n"
+               "  lad bench <suite> | --graph SPEC[,SPEC...] [--pipeline <name>]\n"
+               "            [--threads K] [--reps K] [--json out.json] [--trace]\n"
+               "            suites: e1..e9 r1 gather scale smoke all; --graph benches one\n"
+               "            pipeline (default orientation) per graph source, with the\n"
+               "            multi-thread re-run rebuilding the CSR in parallel; --trace\n"
+               "            embeds per-case telemetry counters in the JSON; --reps K\n"
+               "            times each case as min-of-K after one warmup\n"
+               "  lad trace <pipeline> [--graph SPEC | --family cycle|grid|torus] [-n N]\n"
+               "            [--seed S]\n"
                "            [--out trace.json] [--jsonl events.jsonl] [--metrics m.prom]\n"
                "            runs encode -> decode -> verify -> verification echo with\n"
                "            telemetry on; prints the metric table, optionally exports a\n"
                "            Chrome trace (chrome://tracing, Perfetto), JSONL events, and\n"
                "            Prometheus text metrics\n"
-               "  lad verify-claims [--family <pipeline>] [--ns n1,n2,...] [--seed S] [--json]\n"
+               "  lad verify-claims [--family <pipeline>] [--ns n1,n2,...]\n"
+               "            [--graphs SPEC,SPEC,SPEC,...] [--seed S] [--json]\n"
                "            runs every registered pipeline (or one family) over an n-sweep\n"
                "            and checks the measured rounds / bits-per-node / ones-ratio\n"
                "            series against the growth classes and bounds its paper theorem\n"
-               "            declares (Pipeline::claims); exit 0 = all claims hold\n"
+               "            declares (Pipeline::claims); without --ns each pipeline may\n"
+               "            extend the default sweep (Pipeline::sweep_ns); --graphs sweeps\n"
+               "            explicit graph sources instead (needs --family and >= 3\n"
+               "            sources); exit 0 = all claims hold\n"
                "  lad diffbench <baseline.json> <candidate.json> [--tol-ms X] [--tol-rel R]\n"
                "            [--json]   structural diff of two bench documents: rounds/\n"
                "            bits/digest/case-set exactly, serial wall time with tolerance;\n"
@@ -141,7 +161,108 @@ Graph load(const std::string& path) {
   return read_edge_list(in);
 }
 
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// The unified GraphSource front door for the migrated verbs: parse + load,
+// naming the offending spec on stderr. A nullopt return means the caller
+// should exit 2 (the error is already printed) — source problems are
+// input-document problems, not internal errors.
+std::optional<GraphSource> parse_source_or_complain(const std::string& spec) {
+  std::string err;
+  auto src = parse_graph_source(spec, &err);
+  if (!src) std::fprintf(stderr, "error: %s\n", err.c_str());
+  return src;
+}
+
+std::optional<LoadedGraph> load_source_or_complain(const std::string& spec,
+                                                   std::uint64_t seed = 1) {
+  const auto src = parse_source_or_complain(spec);
+  if (!src) return std::nullopt;
+  try {
+    return load_graph_source(*src, seed);
+  } catch (const GraphIoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return std::nullopt;
+  }
+}
+
+// Campaign family tokens (faultsim, chaos) route through the GraphSource
+// parser so a bad token names the offender, then narrow to the families
+// the fault harness can perturb.
+std::optional<faults::GraphFamily> parse_campaign_family(const std::string& tok) {
+  const auto src = parse_source_or_complain(tok);
+  if (!src) return std::nullopt;
+  if (src->kind != GraphSource::Kind::kFamily) {
+    std::fprintf(stderr, "error: '%s' is not a campaign family (campaigns generate their "
+                         "own instances; expected cycle|grid|torus)\n",
+                 tok.c_str());
+    return std::nullopt;
+  }
+  const auto f = faults::parse_family(src->family);
+  if (!f) {
+    std::fprintf(stderr, "error: unknown family '%s' (campaigns run on cycle|grid|torus)\n",
+                 tok.c_str());
+  }
+  return f;
+}
+
+// Spec-form generation: `lad gen torus:1000x1000@7 --out g.ladg`. A FILE
+// ending in .ladg gets the binary format; anything else (or stdout) the
+// text edge list.
+int cmd_gen_source(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  const auto lg = load_source_or_complain(argv[0]);
+  if (!lg) return 2;
+  if (out_path.empty()) {
+    write_edge_list(std::cout, lg->graph);
+    return 0;
+  }
+  try {
+    if (out_path.size() >= 5 && out_path.ends_with(".ladg")) {
+      write_ladg(out_path, lg->graph);
+    } else {
+      std::ofstream out(out_path);
+      LAD_CHECK_MSG(out.good(), "cannot write " << out_path);
+      write_edge_list(out, lg->graph);
+    }
+  } catch (const GraphIoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::printf("wrote %s (%s: n=%d m=%d digest %s)\n", out_path.c_str(), lg->spec.c_str(),
+              lg->graph.n(), lg->graph.m(), lg->digest.c_str());
+  return 0;
+}
+
 int cmd_gen(int argc, char** argv) {
+  if (argc < 1) return usage();
+  // Spec form iff the first argument looks like a GraphSource spec
+  // (family:params, a path) or any flag follows; bare legacy spellings
+  // ("gen cycle 500 1") keep the positional path below byte-identical.
+  bool spec_form = std::string(argv[0]).find_first_of(":./") != std::string::npos;
+  for (int i = 1; i < argc && !spec_form; ++i) spec_form = argv[i][0] == '-';
+  if (spec_form) return cmd_gen_source(argc, argv);
   if (argc < 2) return usage();
   const std::string family = argv[0];
   auto arg = [&](int i, long long dflt) {
@@ -314,7 +435,9 @@ class AuditFlooder : public SyncAlgorithm {
 
 int cmd_audit(int argc, char** argv) {
   if (argc < 2) return usage();
-  const Graph g = load(argv[0]);
+  const auto lg = load_source_or_complain(argv[0]);
+  if (!lg) return 2;
+  const Graph& g = lg->graph;
   const std::string which = argv[1];
 
   if (which == "gather") {
@@ -434,12 +557,16 @@ int cmd_audit(int argc, char** argv) {
 
 int cmd_bench(int argc, char** argv) {
   if (argc < 1) return usage();
-  const std::string suite = argv[0];
+  std::string suite;
+  int i = 0;
+  if (argv[0][0] != '-') suite = argv[i++];
   int threads = ThreadPool::default_threads();
   int reps = 1;
   std::string json_path;
+  std::string pipeline_name = "orientation";
+  std::vector<std::string> graph_specs;
   bool with_trace = false;
-  for (int i = 1; i < argc; ++i) {
+  for (; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
@@ -449,19 +576,47 @@ int cmd_bench(int argc, char** argv) {
       if (reps < 1) return usage();
     } else if (a == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (a == "--graph" && i + 1 < argc) {
+      for (auto& tok : split_csv(argv[++i])) graph_specs.push_back(std::move(tok));
+    } else if (a == "--pipeline" && i + 1 < argc) {
+      pipeline_name = argv[++i];
     } else if (a == "--trace") {
       with_trace = true;
     } else {
       return usage();
     }
   }
-  const auto names = bench::bench_suite_names();
-  if (std::find(names.begin(), names.end(), suite) == names.end()) {
-    std::fprintf(stderr, "error: unknown bench suite '%s'\n", suite.c_str());
-    return 2;
-  }
+  if (graph_specs.empty() == suite.empty()) return usage();  // exactly one mode
 
-  const auto res = bench::run_bench_suite(suite, threads, with_trace, reps);
+  bench::BenchSuiteResult res;
+  if (!graph_specs.empty()) {
+    // Source mode: one case per graph source through one pipeline; the
+    // multi-thread re-run rebuilds the CSR on the pool, so `identical`
+    // certifies parallel-construction determinism on that exact graph.
+    if (find_pipeline(pipeline_name) == nullptr) {
+      std::fprintf(stderr, "error: unknown pipeline '%s'\n", pipeline_name.c_str());
+      return 2;
+    }
+    std::vector<GraphSource> sources;
+    for (const auto& spec : graph_specs) {
+      const auto src = parse_source_or_complain(spec);
+      if (!src) return 2;
+      sources.push_back(*src);
+    }
+    try {
+      res = bench::run_source_bench(sources, pipeline_name, threads, with_trace, reps);
+    } catch (const GraphIoError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  } else {
+    const auto names = bench::bench_suite_names();
+    if (std::find(names.begin(), names.end(), suite) == names.end()) {
+      std::fprintf(stderr, "error: unknown bench suite '%s'\n", suite.c_str());
+      return 2;
+    }
+    res = bench::run_bench_suite(suite, threads, with_trace, reps);
+  }
   std::printf("suite %s, %d threads (%d hardware), min of %d rep(s)\n", res.suite.c_str(),
               res.threads, res.hardware_threads, res.reps);
   std::printf("%-34s %8s %6s %10s %10s %8s %5s\n", "case", "n", "rounds", "1t ms", "ms",
@@ -486,8 +641,12 @@ int cmd_bench(int argc, char** argv) {
 int cmd_faultsim(int argc, char** argv) {
   if (argc < 3) return usage();
   const auto decoder = faults::parse_decoder(argv[0]);
-  const auto family = faults::parse_family(argv[1]);
-  if (!decoder || !family) return usage();
+  if (!decoder) {
+    std::fprintf(stderr, "error: unknown pipeline '%s'\n", argv[0]);
+    return 2;
+  }
+  const auto family = parse_campaign_family(argv[1]);
+  if (!family) return 2;
 
   faults::CampaignConfig cfg;
   cfg.decoder = *decoder;
@@ -559,21 +718,6 @@ int cmd_faultsim(int argc, char** argv) {
   return s.silent_corruptions == 0 ? 0 : 3;
 }
 
-std::vector<std::string> split_csv(const std::string& s) {
-  std::vector<std::string> out;
-  std::string cur;
-  for (char c : s) {
-    if (c == ',') {
-      if (!cur.empty()) out.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) out.push_back(cur);
-  return out;
-}
-
 int cmd_chaos(int argc, char** argv) {
   faults::ChaosConfig cfg;
   std::string out_path = "ROBUSTNESS-generated.md";
@@ -591,11 +735,8 @@ int cmd_chaos(int argc, char** argv) {
       }
     } else if (a == "--families" && i + 1 < argc) {
       for (const auto& tok : split_csv(argv[++i])) {
-        const auto f = faults::parse_family(tok);
-        if (!f) {
-          std::fprintf(stderr, "error: unknown family '%s'\n", tok.c_str());
-          return 2;
-        }
+        const auto f = parse_campaign_family(tok);
+        if (!f) return 2;
         cfg.families.push_back(*f);
       }
     } else if (a == "--models" && i + 1 < argc) {
@@ -688,6 +829,7 @@ int cmd_trace(int argc, char** argv) {
   faults::GraphFamily family = faults::GraphFamily::kCycle;
   int n = 96;
   std::uint64_t seed = 1;
+  std::string graph_spec;
   std::string out_path, jsonl_path, metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -695,6 +837,8 @@ int cmd_trace(int argc, char** argv) {
       const auto f = faults::parse_family(argv[++i]);
       if (!f) return usage();
       family = *f;
+    } else if (a == "--graph" && i + 1 < argc) {
+      graph_spec = argv[++i];
     } else if (a == "-n" && i + 1 < argc) {
       n = std::atoi(argv[++i]);
       if (n < 8) return usage();
@@ -725,7 +869,17 @@ int cmd_trace(int argc, char** argv) {
   PipelineConfig cfg;
   cfg.seed = seed;
   if (p.id() == PipelineId::kSubexpLcl) cfg.subexp.x = 60;
-  const Graph g = faults::build_campaign_graph(*decoder, family, n);
+  Graph g;
+  std::string instance_name;
+  if (!graph_spec.empty()) {
+    auto lg = load_source_or_complain(graph_spec, seed);
+    if (!lg) return 2;
+    g = std::move(lg->graph);
+    instance_name = lg->spec;
+  } else {
+    g = faults::build_campaign_graph(*decoder, family, n);
+    instance_name = faults::to_string(family);
+  }
 
   const auto adv = p.encode(g, cfg);
   const auto out = p.decode(g, adv, cfg);
@@ -735,7 +889,7 @@ int cmd_trace(int argc, char** argv) {
   const auto stats = adv.stats(g.n());
   std::printf("lad trace — build %s\n", obs::kGitCommit);
   std::printf("pipeline %s (%s) on %s n=%d m=%d seed=%llu\n", p.name(), p.paper_section(),
-              faults::to_string(family), g.n(), g.m(),
+              instance_name.c_str(), g.n(), g.m(),
               static_cast<unsigned long long>(seed));
   std::printf("advice: %lld bits (%.3f/node); decode: %d LOCAL rounds; verify: %s\n",
               stats.total_bits, obs::per_node(stats.total_bits, g.n()), out.rounds,
@@ -790,6 +944,11 @@ std::vector<int> parse_ns_list(const std::string& s) {
 // (verify-claims and report differ only in output form).
 struct ClaimsArgs {
   std::vector<int> ns = obs::default_sweep_ns();
+  /// --ns pins the sweep exactly; otherwise pipelines may extend it
+  /// (Pipeline::sweep_ns) so their fits span more decades.
+  bool ns_explicit = false;
+  /// --graphs: sweep these sources instead of generated instances.
+  std::vector<GraphSource> sources;
   std::string family;
   std::uint64_t seed = 1;
   bool json = false;
@@ -805,10 +964,20 @@ ClaimsArgs parse_claims_args(int argc, char** argv) {
       args.family = argv[++i];
     } else if (a == "--ns" && i + 1 < argc) {
       args.ns = parse_ns_list(argv[++i]);
+      args.ns_explicit = true;
       if (args.ns.size() < 3) {
         std::fprintf(stderr, "error: --ns needs at least 3 comma-separated sizes >= 8\n");
         args.ok = false;
         return args;
+      }
+    } else if (a == "--graphs" && i + 1 < argc) {
+      for (const auto& tok : split_csv(argv[++i])) {
+        const auto src = parse_source_or_complain(tok);
+        if (!src) {
+          args.ok = false;
+          return args;
+        }
+        args.sources.push_back(*src);
       }
     } else if (a == "--seed" && i + 1 < argc) {
       args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
@@ -824,13 +993,27 @@ ClaimsArgs parse_claims_args(int argc, char** argv) {
   return args;
 }
 
+// Shared claims-observatory run: generated n-sweep by default (with
+// per-pipeline extension unless --ns pinned the sizes), or a --graphs
+// source sweep. Throws are mapped to exit 2 by the callers' catch blocks.
+obs::ClaimsReport run_claims(const ClaimsArgs& args) {
+  if (!args.sources.empty()) {
+    return obs::verify_claims_sources(args.sources, args.family, args.seed);
+  }
+  return obs::verify_claims(args.ns, args.family, args.seed,
+                            /*extend_sweeps=*/!args.ns_explicit);
+}
+
 int cmd_verify_claims(int argc, char** argv) {
   const ClaimsArgs args = parse_claims_args(argc, argv);
   if (!args.ok || !args.out_path.empty()) return usage();
   obs::ClaimsReport report;
   try {
-    report = obs::verify_claims(args.ns, args.family, args.seed);
+    report = run_claims(args);
   } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const GraphIoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
@@ -844,8 +1027,11 @@ int cmd_report(int argc, char** argv) {
   if (args.out_path.empty()) args.out_path = "EXPERIMENTS-generated.md";
   obs::ClaimsReport report;
   try {
-    report = obs::verify_claims(args.ns, args.family, args.seed);
+    report = run_claims(args);
   } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const GraphIoError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
