@@ -19,6 +19,7 @@
 #include "lcl/problems.hpp"
 #include "local/gather.hpp"
 #include "obs/export.hpp"
+#include "obs/profile.hpp"
 #include "obs/stopwatch.hpp"
 #include "obs/version.hpp"
 #include "util/contracts.hpp"
@@ -343,15 +344,24 @@ std::vector<std::string> bench_suite_names() {
 
 namespace {
 
-/// The shared measurement loop: min-of-K timing at 1 thread and at
-/// `threads`, digest comparison across thread counts, optional per-case
-/// telemetry attribution. Both the suite registry and the source-driven
-/// bench funnel through here.
-BenchSuiteResult run_cases(const std::string& label, std::vector<Case> cases, int threads,
-                           bool with_metrics, int reps) {
+/// The shared measurement loop: min-of-K serial timing per case, then one
+/// row per listed thread count (digest-compared against the serial run),
+/// with optional per-case telemetry attribution. Both the suite registry
+/// and the source-driven bench funnel through here.
+BenchSuiteResult run_cases(const std::string& label, std::vector<Case> cases,
+                           std::vector<int> thread_list, bool with_metrics, int reps) {
+  if (thread_list.empty()) thread_list.push_back(0);
+  for (int& t : thread_list) {
+    if (t <= 0) t = ThreadPool::default_threads();
+  }
+  // One row per listed count, named "case/t=K" only when the list has more
+  // than one entry — single-count documents keep their schema-v4 case
+  // names, so existing baselines stay comparable.
+  const bool multi = thread_list.size() > 1;
+
   BenchSuiteResult out;
   out.suite = label;
-  out.threads = threads > 0 ? threads : ThreadPool::default_threads();
+  out.threads = *std::max_element(thread_list.begin(), thread_list.end());
   out.hardware_threads = ThreadPool::default_threads();
   out.schema_version = obs::kBenchSchemaVersion;
   out.git_commit = obs::kGitCommit;
@@ -360,14 +370,12 @@ BenchSuiteResult run_cases(const std::string& label, std::vector<Case> cases, in
 
   // --trace mode: telemetry on for the whole suite; the registry is reset
   // before each case's serial run and snapshotted right after it, so the
-  // JSON attributes each counter delta to exactly one case (the parallel
-  // re-run is excluded — its counters are wiped by the next reset).
+  // JSON attributes each counter delta to exactly one case (the threaded
+  // re-runs are excluded — their counters are wiped by the next reset).
   const bool telemetry_was_enabled = obs::enabled();
   if (with_metrics) obs::set_enabled(true);
 
   for (auto& c : cases) {
-    BenchCaseResult res;
-    res.name = c.name;
     CaseRun serial;
     // Min-of-K timing: one discarded warmup (page-cache / allocator / CPU
     // governor effects land there), then the min over reps timed runs —
@@ -376,36 +384,50 @@ BenchSuiteResult run_cases(const std::string& label, std::vector<Case> cases, in
     // same serial CaseRun and the metric snapshot of the last rep is the
     // metric snapshot of all of them.
     if (out.reps > 1) c.run(1);
-    res.wall_ms_1 = std::numeric_limits<double>::infinity();
+    double wall_ms_1 = std::numeric_limits<double>::infinity();
     for (int rep = 0; rep < out.reps; ++rep) {
       if (with_metrics) obs::MetricsRegistry::instance().reset();
-      res.wall_ms_1 = std::min(res.wall_ms_1, time_ms([&] { serial = c.run(1); }));
+      wall_ms_1 = std::min(wall_ms_1, time_ms([&] { serial = c.run(1); }));
     }
+    std::vector<obs::MetricValue> metrics;
+    std::string top_phase;
     if (with_metrics) {
-      res.metrics = obs::MetricsRegistry::instance().snapshot(/*skip_zero=*/true);
+      metrics = obs::MetricsRegistry::instance().snapshot(/*skip_zero=*/true);
+      top_phase = obs::top_phase_from_trace();
       obs::TraceRecorder::instance().clear();
     }
-    res.digest = fingerprint(serial.digest);
-    if (out.threads > 1) {
-      CaseRun parallel;
-      res.wall_ms = std::numeric_limits<double>::infinity();
-      for (int rep = 0; rep < out.reps; ++rep) {
-        res.wall_ms = std::min(res.wall_ms, time_ms([&] { parallel = c.run(out.threads); }));
+    const std::string digest = fingerprint(serial.digest);
+
+    for (std::size_t ti = 0; ti < thread_list.size(); ++ti) {
+      const int t = thread_list[ti];
+      BenchCaseResult res;
+      res.name = multi ? c.name + "/t=" + std::to_string(t) : c.name;
+      res.threads = t;
+      res.top_phase = top_phase;
+      if (ti == 0) res.metrics = metrics;  // attributed once per case
+      res.wall_ms_1 = wall_ms_1;
+      res.digest = digest;
+      if (t > 1) {
+        CaseRun parallel;
+        res.wall_ms = std::numeric_limits<double>::infinity();
+        for (int rep = 0; rep < out.reps; ++rep) {
+          res.wall_ms = std::min(res.wall_ms, time_ms([&] { parallel = c.run(t); }));
+        }
+        res.identical = parallel.digest == serial.digest;
+      } else {
+        res.wall_ms = res.wall_ms_1;
+        res.identical = true;
       }
-      res.identical = parallel.digest == serial.digest;
-    } else {
-      res.wall_ms = res.wall_ms_1;
-      res.identical = true;
+      res.n = serial.n;
+      res.m = serial.m;
+      res.rounds = serial.rounds;
+      res.bits_per_node = serial.bits_per_node;
+      res.total_bits = serial.total_bits;
+      res.source = serial.source;
+      res.graph_digest = serial.graph_digest;
+      res.speedup_vs_1 = res.wall_ms > 0 ? res.wall_ms_1 / res.wall_ms : 1.0;
+      out.cases.push_back(std::move(res));
     }
-    res.n = serial.n;
-    res.m = serial.m;
-    res.rounds = serial.rounds;
-    res.bits_per_node = serial.bits_per_node;
-    res.total_bits = serial.total_bits;
-    res.source = serial.source;
-    res.graph_digest = serial.graph_digest;
-    res.speedup_vs_1 = res.wall_ms > 0 ? res.wall_ms_1 / res.wall_ms : 1.0;
-    out.cases.push_back(std::move(res));
   }
   if (with_metrics) obs::set_enabled(telemetry_was_enabled);
   return out;
@@ -415,18 +437,30 @@ BenchSuiteResult run_cases(const std::string& label, std::vector<Case> cases, in
 
 BenchSuiteResult run_bench_suite(const std::string& suite, int threads, bool with_metrics,
                                  int reps) {
-  return run_cases(suite, suite_cases(suite), threads, with_metrics, reps);
+  return run_cases(suite, suite_cases(suite), std::vector<int>{threads}, with_metrics, reps);
+}
+
+BenchSuiteResult run_bench_suite(const std::string& suite, const std::vector<int>& thread_list,
+                                 bool with_metrics, int reps) {
+  return run_cases(suite, suite_cases(suite), thread_list, with_metrics, reps);
 }
 
 BenchSuiteResult run_source_bench(const std::vector<GraphSource>& sources,
                                   const std::string& pipeline_name, int threads,
                                   bool with_metrics, int reps) {
+  return run_source_bench(sources, pipeline_name, std::vector<int>{threads}, with_metrics, reps);
+}
+
+BenchSuiteResult run_source_bench(const std::vector<GraphSource>& sources,
+                                  const std::string& pipeline_name,
+                                  const std::vector<int>& thread_list, bool with_metrics,
+                                  int reps) {
   const Pipeline* p = find_pipeline(pipeline_name);
   LAD_CHECK_MSG(p != nullptr, "unknown pipeline: " << pipeline_name);
   std::vector<Case> cases;
   cases.reserve(sources.size());
   for (const GraphSource& src : sources) cases.push_back(source_case(src, p));
-  return run_cases("source", std::move(cases), threads, with_metrics, reps);
+  return run_cases("source", std::move(cases), thread_list, with_metrics, reps);
 }
 
 std::string BenchSuiteResult::to_json() const {
@@ -447,7 +481,10 @@ std::string BenchSuiteResult::to_json() const {
        << ", \"total_bits\": " << c.total_bits << ", \"wall_ms_1t\": " << fmt(c.wall_ms_1, 3)
        << ", \"wall_ms\": " << fmt(c.wall_ms, 3) << ", \"speedup_vs_1\": "
        << fmt(c.speedup_vs_1, 3) << ", \"identical\": " << (c.identical ? "true" : "false")
-       << ", \"digest\": \"" << c.digest << "\"";
+       << ", \"digest\": \"" << c.digest << "\", \"threads\": " << c.threads;
+    if (!c.top_phase.empty()) {
+      os << ", \"top_phase\": \"" << c.top_phase << "\"";
+    }
     if (!c.source.empty()) {
       os << ", \"source\": \"" << c.source << "\", \"graph_digest\": \"" << c.graph_digest
          << "\"";

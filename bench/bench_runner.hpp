@@ -43,13 +43,23 @@ struct BenchCaseResult {
   /// load-from-.ladg, in-memory generation, and parallel reconstruction.
   std::string source;
   std::string graph_digest;
+  /// Thread count this row measured (schema v5). With a thread list
+  /// (`--threads 1,2,4`) each case emits one row per count, named
+  /// "case/t=K"; with a single count the name is unchanged.
+  int threads = 1;
+  /// Hottest profiling phase of the serial run (schema v5; empty unless
+  /// with_metrics): obs::top_phase_from_trace() over the case's spans —
+  /// provenance for PERF-generated.md, never diffed.
+  std::string top_phase;
   /// Telemetry counters attributed to the serial run of this case (empty
   /// unless the suite ran with with_metrics; zero-valued metrics skipped).
+  /// With a thread list, only the case's first row carries them.
   std::vector<obs::MetricValue> metrics;
 };
 
 struct BenchSuiteResult {
   std::string suite;
+  /// Highest thread count measured (max of the thread list).
   int threads = 1;
   /// std::thread::hardware_concurrency at run time — the honest context for
   /// the speedup numbers (a 1-core container cannot show real speedups).
@@ -83,6 +93,14 @@ std::vector<std::string> bench_suite_names();
 BenchSuiteResult run_bench_suite(const std::string& suite, int threads,
                                  bool with_metrics = false, int reps = 1);
 
+/// Thread-list variant (`lad bench --threads 1,2,4`): the serial batch is
+/// measured once per case, then each listed count re-runs the batch and
+/// emits its own "case/t=K" row (single-count lists keep the plain case
+/// name), so a scaling curve lands in one JSON document. Entries <= 0 mean
+/// ThreadPool::default_threads().
+BenchSuiteResult run_bench_suite(const std::string& suite, const std::vector<int>& thread_list,
+                                 bool with_metrics = false, int reps = 1);
+
 /// Source-driven bench (`lad bench --graph SPEC[,SPEC...]`): one case per
 /// source, each loading/generating the graph and running `pipeline_name`'s
 /// encode -> decode -> verify on it. The serial run builds the CSR
@@ -94,6 +112,12 @@ BenchSuiteResult run_bench_suite(const std::string& suite, int threads,
 /// find_pipeline()); source load failures surface as GraphIoError.
 BenchSuiteResult run_source_bench(const std::vector<GraphSource>& sources,
                                   const std::string& pipeline_name, int threads,
+                                  bool with_metrics = false, int reps = 1);
+
+/// Thread-list variant of run_source_bench; see the suite overload above.
+BenchSuiteResult run_source_bench(const std::vector<GraphSource>& sources,
+                                  const std::string& pipeline_name,
+                                  const std::vector<int>& thread_list,
                                   bool with_metrics = false, int reps = 1);
 
 }  // namespace lad::bench

@@ -135,10 +135,12 @@ class EchoVerify final : public SyncAlgorithm {
 }  // namespace
 
 EchoResult run_verification_echo(const Graph& g, const std::vector<std::string>& digests,
-                                 int echo_rounds, const EngineFaultModel* faults) {
+                                 int echo_rounds, const EngineFaultModel* faults,
+                                 ThreadPool* pool) {
   LAD_CHECK(static_cast<int>(digests.size()) == g.n());
   Engine eng(g);
   if (faults != nullptr) eng.set_fault_model(faults);
+  if (pool != nullptr) eng.set_thread_pool(pool);
   EchoVerify echo(digests, echo_rounds);
   const auto run = eng.run(echo, echo_rounds + 2);
   EchoResult res;

@@ -32,6 +32,7 @@
 
 namespace lad {
 class EngineFaultModel;  // local/engine.hpp
+class ThreadPool;        // util/thread_pool.hpp
 }
 
 namespace lad::faults {
@@ -142,8 +143,12 @@ struct EchoResult {
 /// `echo_rounds` rounds and certifies only if every neighbor copy arrived
 /// intact. `faults` optionally subjects the echo to an engine fault model.
 /// This is the campaign's engine-fault stage and `lad trace`'s source of
-/// genuine message/bit traffic for the decode-side metrics.
+/// genuine message/bit traffic for the decode-side metrics. `pool`
+/// optionally fans the echo's compute phase over a thread pool (byte-
+/// identical results per the §8 contract; `lad profile` uses this to
+/// exercise real multi-threaded engine traffic).
 EchoResult run_verification_echo(const Graph& g, const std::vector<std::string>& digests,
-                                 int echo_rounds, const EngineFaultModel* faults = nullptr);
+                                 int echo_rounds, const EngineFaultModel* faults = nullptr,
+                                 ThreadPool* pool = nullptr);
 
 }  // namespace lad::faults

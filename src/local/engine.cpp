@@ -52,6 +52,17 @@ bool NodeCtx::has_message(int port) const {
 
 void NodeCtx::send(int port, std::string payload) {
   const int s = eng_.slot(v_, port);
+  // Message-buffer allocation accounting (obs/profile.*): payloads beyond
+  // the 15-byte SSO capacity heap-allocate. Counted per send — the multiset
+  // of increments is a pure function of the run, so the totals are byte-
+  // deterministic at any thread count and land in the profile's
+  // message-exchange allocation column.
+  LAD_TM({
+    if (payload.size() > 15) {
+      obs::core().alloc_msgbuf.add(1);
+      obs::core().alloc_msgbuf_bytes.add(static_cast<long long>(payload.size()));
+    }
+  });
   eng_.outbox_[s] = std::move(payload);
   eng_.outbox_present_[s] = 1;
   if (eng_.audit_) eng_.outbox_prov_[s] = eng_.prov_[v_];
@@ -181,6 +192,9 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
     // results byte-identical while letting crash-*recovery* mutate shared
     // per-node state (inbox, outbox, algorithm state) race-free.
     if (faults_ != nullptr) {
+      // Phase span for the profiler: fault-transition time (crash/recovery
+      // scans) attributed separately from compute and delivery.
+      LAD_TM_SPAN(faults_span, "engine.faults", "engine");
       for (int v = 0; v < n; ++v) {
         if (halted_[v]) continue;
         const bool down = faults_->crashed(round, v);
@@ -225,31 +239,41 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
     // chunk -> node mapping deterministic; per-chunk accumulators are folded
     // with order-independent reductions (OR / sum).
     bool any_active = false;
-    auto step_nodes = [&](int begin, int end, bool& active) {
-      for (int v = begin; v < end; ++v) {
-        if (halted_[v] || crashed_[v]) continue;
-        active = true;
-        NodeCtx ctx(*this, v, round);
-        alg.round(ctx);
+    {
+      // Phase span for the profiler: node-step compute time on the caller's
+      // thread; pool dispatch additionally shows up as pool.chunk spans on
+      // the executing workers.
+      LAD_TM_SPAN(compute_span, "engine.compute", "engine");
+      auto step_nodes = [&](int begin, int end, bool& active) {
+        for (int v = begin; v < end; ++v) {
+          if (halted_[v] || crashed_[v]) continue;
+          active = true;
+          NodeCtx ctx(*this, v, round);
+          alg.round(ctx);
+        }
+      };
+      if (pool_ != nullptr && pool_->threads() > 1) {
+        std::vector<char> chunk_active(static_cast<std::size_t>(pool_->threads()), 0);
+        pool_->parallel_for(n, [&](int begin, int end, int c) {
+          bool active = false;
+          step_nodes(begin, end, active);
+          chunk_active[static_cast<std::size_t>(c)] = active ? 1 : 0;
+        });
+        for (const char a : chunk_active) any_active = any_active || a != 0;
+      } else {
+        step_nodes(0, n, any_active);
       }
-    };
-    if (pool_ != nullptr && pool_->threads() > 1) {
-      std::vector<char> chunk_active(static_cast<std::size_t>(pool_->threads()), 0);
-      pool_->parallel_for(n, [&](int begin, int end, int c) {
-        bool active = false;
-        step_nodes(begin, end, active);
-        chunk_active[static_cast<std::size_t>(c)] = active ? 1 : 0;
-      });
-      for (const char a : chunk_active) any_active = any_active || a != 0;
-    } else {
-      step_nodes(0, n, any_active);
     }
     if (!any_active) break;
     res.rounds = round;
     if (audit_) audit_round(round);
 
     // Deliver: a message sent by v on port p arrives at u = nb(v)[p] on
-    // u's port q = port_of(u, v).
+    // u's port q = port_of(u, v). The span covers the rest of the round
+    // body — delivery plus the late-delivery replay below — and closes
+    // before the round span (reverse declaration order), so the profiler
+    // attributes both to the message-exchange phase.
+    LAD_TM_SPAN(deliver_span, "engine.deliver", "engine");
     std::fill(inbox_present_.begin(), inbox_present_.end(), 0);
     for (int v = 0; v < n; ++v) {
       const auto nb = g_.neighbors(v);

@@ -25,7 +25,16 @@ struct Knowledge {
     for (const auto id : nodes) os << id << ' ';
     os << edges.size() << ' ';
     for (const auto& [a, b] : edges) os << a << ' ' << b << ' ';
-    return os.str();
+    std::string s = os.str();
+    // Ball-gather allocation accounting (obs/profile.*): one serialized
+    // knowledge buffer per flooding send. The multiset of increments is a
+    // pure function of the gather, so the totals stay byte-deterministic
+    // at any thread count (the profile's gather allocation column).
+    LAD_TM({
+      obs::core().alloc_gather.add(1);
+      obs::core().alloc_gather_bytes.add(static_cast<long long>(s.size()));
+    });
+    return s;
   }
 
   void merge_serialized(const std::string& s) {

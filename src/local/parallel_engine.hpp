@@ -21,6 +21,12 @@
 // belonging to ctx.node() plus the NodeCtx API — the same property the
 // locality auditor already demands, and what every SyncAlgorithm in this
 // repository (vectors indexed by ctx.node()) satisfies.
+//
+// Profiling (DESIGN.md §13): the inner engine emits per-phase spans
+// (engine.faults / engine.compute / engine.deliver) and the pool's chunks
+// carry pool.chunk spans + chunk timers, so `lad profile` attributes this
+// front end's time to phases and worker threads without any hooks here
+// beyond the run-level span below.
 #pragma once
 
 #include <memory>

@@ -47,6 +47,14 @@ struct BenchCaseRow {
   /// fields — a diverged source spec or graph digest is a MISMATCH.
   std::string source;
   std::string graph_digest;
+  /// Per-case thread count (schema v5; defaults to 1 on older documents).
+  /// Informational — `--threads 1,2,4` scaling rows are named "case/t=K",
+  /// so the case-set comparison already keys on thread count.
+  int threads = 1;
+  /// Hottest profiling phase during the serial reps (schema v5, metrics
+  /// runs only; empty otherwise). Provenance, not contract: never diffed —
+  /// timing attribution may legitimately shift between machines.
+  std::string top_phase;
   std::map<std::string, long long> metrics;
 };
 

@@ -36,6 +36,14 @@ std::string TraceRecorder::to_chrome_json() const {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
+  // thread_name metadata events first (ph "M"), so Perfetto labels the
+  // lanes ("lad-main", "lad-pool-0", ...) instead of showing bare tids.
+  for (const auto& [tid, name] : thread_names()) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
   for (const auto& [tid, events] : events_by_thread()) {
     for (const TraceEvent& ev : events) {
       if (!first) os << ",\n";

@@ -1,0 +1,269 @@
+// Profiling observatory (DESIGN.md §13): deterministic phase/thread time
+// attribution on top of the §9 Span/MetricsRegistry machinery.
+//
+// Three ingredients, all compiled out under -DLAD_TELEMETRY=OFF:
+//
+//   1. *Phase attribution.* Every span name in span_name_catalog() maps to
+//      one of six fixed phases (gather / compute / message-exchange /
+//      fault-transition / verify / other). Self-time is computed by stack
+//      replay over each thread's balanced B/E stream: a span's self-time is
+//      its duration minus the durations of its direct children, so summing
+//      self-time over all cells reproduces total traced time exactly once.
+//      Summed across threads it is CPU time, which can exceed wall time.
+//   2. *Pool accounting.* util/thread_pool.* timestamps every chunk
+//      (LAD_TM_CHUNK_TIMER); PoolAccounting folds the per-thread busy time
+//      and chunk counts into utilization and an imbalance ratio
+//      (max busy / mean busy across pool workers).
+//   3. *Allocation accounting.* Deterministic counting hooks — not
+//      allocator interposition — around per-round message buffers
+//      (local/engine.cpp) and serialized ball gathers (local/gather.cpp).
+//      Their increment multisets are thread-count-invariant, so allocation
+//      columns are part of the report's deterministic contract.
+//
+// The report separates *deterministic structure* (identity, graph digests,
+// message/advice counts, allocation totals — byte-identical across reruns
+// and thread counts; what `lad diffprof` gates exactly) from *measured
+// timings* (self-ms, imbalance — compared only with tolerance). Same split,
+// same exit codes (0/3/4, CLI maps usage to 2) as obs/benchdiff.*.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/benchdiff.hpp"  // DiffStatus, CaseDiff, BenchDiffOptions
+#include "obs/telemetry.hpp"
+
+namespace lad::obs {
+
+/// Bumped whenever the profile JSON layout changes incompatibly.
+/// v1: initial format — nested "deterministic" object + "measured" object.
+inline constexpr int kProfileSchemaVersion = 1;
+
+/// The six phases, in canonical (report) order. The last entry, "other",
+/// absorbs spans outside the explicit mapping (harness scaffolding).
+const std::vector<std::string>& phase_taxonomy();
+
+/// Maps a span name from span_name_catalog() to its phase. Unknown names
+/// fall into "other" — the taxonomy is total by construction.
+std::string phase_of_span(const std::string& span_name);
+
+// ---------------------------------------------------------------------------
+// Pool accounting
+
+/// Per-worker busy-time/chunk ledger fed by LAD_TM_CHUNK_TIMER in
+/// util/thread_pool.cpp. Slots are keyed by the TraceRecorder tid of the
+/// executing thread so profile rows line up with trace lanes. Like the
+/// trace buffers, slots persist across reset() (ids are stable per thread);
+/// reset() zeroes the accumulators.
+class PoolAccounting {
+ public:
+  struct Slot {
+    int tid = -1;
+    long long busy_us = 0;
+    long long chunks = 0;
+  };
+
+  static PoolAccounting& instance();
+
+  /// Zeroes every slot's accumulators (profiling rep boundary).
+  void reset();
+
+  /// Adds one executed chunk of `dur_us` to the calling thread's slot.
+  void record_chunk(std::uint64_t dur_us);
+
+  /// Snapshot of all slots that executed at least one chunk, tid ascending.
+  std::vector<Slot> slots() const;
+
+ private:
+  struct SlotCell;
+  SlotCell& local_slot();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<SlotCell>> cells_;
+};
+
+/// RAII chunk timer: measures one pool chunk and folds it into
+/// PoolAccounting. Inactive while telemetry is runtime-disabled (latched at
+/// construction, like Span).
+class ChunkTimer {
+ public:
+  ChunkTimer();
+  ~ChunkTimer();
+  ChunkTimer(const ChunkTimer&) = delete;
+  ChunkTimer& operator=(const ChunkTimer&) = delete;
+
+ private:
+  std::uint64_t begin_us_ = 0;
+  bool active_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Self-time attribution
+
+/// One (phase, tid) accumulator from stack replay.
+struct CellAccum {
+  long long self_us = 0;
+  long long spans = 0;
+};
+
+/// Replays each thread's B/E stream with an explicit stack and returns
+/// self-time per (phase, tid). Unbalanced leftovers (spans still open when
+/// the snapshot was taken) are ignored rather than guessed at.
+std::map<std::pair<std::string, int>, CellAccum> self_times_by_cell(
+    const std::vector<std::pair<int, std::vector<TraceEvent>>>& events_by_thread);
+
+/// Phase with the largest summed self-time across the recorder's current
+/// events; empty when nothing was traced. Bench uses this for per-case
+/// top-phase provenance (schema v5).
+std::string top_phase_from_trace();
+
+// ---------------------------------------------------------------------------
+// Report
+
+/// Deterministic identity of one profiled run: everything here must be
+/// byte-identical across reruns and thread counts (§8 contract).
+struct ProfileIdentity {
+  std::string pipeline;
+  std::string source;        // GraphSource spec, §12 grammar
+  std::string graph_digest;  // 16-hex Graph::digest()
+  long long n = 0;
+  long long m = 0;
+  std::uint64_t seed = 1;
+  long long decode_rounds = 0;
+  bool verify_ok = false;
+  std::string output_digest;  // 16-hex fingerprint of per-node outputs
+  long long advice_bits = 0;
+  long long engine_messages = 0;
+  long long engine_message_bits = 0;
+};
+
+/// Deterministic allocation totals for one phase (taxonomy order).
+struct PhaseAlloc {
+  std::string phase;
+  long long allocs = 0;
+  long long alloc_bytes = 0;
+};
+
+/// Measured per-phase timing row, ranked by self_ms descending.
+struct PhaseTime {
+  std::string phase;
+  double self_ms = 0;
+  double pct = 0;  // share of summed self-time, 0..100
+  long long spans = 0;
+};
+
+/// Measured phase × thread cost-center cell, ranked by self_ms descending.
+struct ProfileCell {
+  std::string phase;
+  int tid = 0;
+  double self_ms = 0;
+  long long spans = 0;
+};
+
+/// Measured per-thread utilization row (main thread + pool workers).
+struct ProfileThread {
+  int tid = 0;
+  std::string name;  // from TraceRecorder::thread_names(); "" if unnamed
+  double busy_ms = 0;
+  double idle_ms = 0;
+  long long chunks = 0;
+  long long steal = 0;  // chunks beyond an even share (static partition = 0)
+};
+
+struct ProfileReport {
+  ProfileIdentity id;
+  std::vector<PhaseAlloc> phase_allocs;  // taxonomy order, all six phases
+
+  int threads = 1;
+  int reps = 1;
+  double total_ms = 0;  // min-of-reps end-to-end wall time
+  double imbalance = 1.0;
+  std::vector<PhaseTime> phases;
+  std::vector<ProfileCell> cells;
+  std::vector<ProfileThread> thread_rows;
+  long long trace_events = 0;
+  long long trace_dropped = 0;
+
+  std::string git_commit;
+  std::string timestamp;
+
+  /// Exactly the nested "deterministic" object of to_json(): the byte-
+  /// stable slice CI diffs across thread counts.
+  std::string deterministic_json() const;
+  std::string to_json() const;
+  /// Ranked cost-center report with a top-3 time-sink summary (PERF page).
+  std::string to_markdown() const;
+};
+
+/// Assembles a report from a trace snapshot + pool slots. `total_ms` is the
+/// caller-measured wall time of the profiled rep; identity and allocation
+/// fields must already be filled in `id` / `phase_allocs` by the caller
+/// (the CLI reads them from obs::core() after the run).
+ProfileReport build_profile_report(
+    const ProfileIdentity& id, const std::vector<PhaseAlloc>& phase_allocs,
+    const std::vector<std::pair<int, std::vector<TraceEvent>>>& events_by_thread,
+    const std::vector<PoolAccounting::Slot>& pool_slots,
+    const std::vector<std::pair<int, std::string>>& thread_names, int threads, int reps,
+    double total_ms);
+
+/// 16-hex order-sensitive fingerprint of a string sequence (splitmix64
+/// folding; self-contained so obs stays stdlib-only). The CLI uses it for
+/// the output digest over per-node output labels.
+std::string fingerprint_hex(const std::vector<std::string>& parts);
+
+// ---------------------------------------------------------------------------
+// diffprof
+
+/// Parsed profile JSON, reduced to what the differ compares.
+struct ProfDoc {
+  int schema_version = 0;
+  std::string pipeline;
+  std::string source;
+  std::string graph_digest;
+  long long n = 0;
+  long long m = 0;
+  long long seed = 1;
+  long long decode_rounds = 0;
+  bool verify_ok = false;
+  std::string output_digest;
+  long long advice_bits = 0;
+  long long engine_messages = 0;
+  long long engine_message_bits = 0;
+  std::vector<PhaseAlloc> phase_allocs;
+  int threads = 1;
+  double total_ms = 0;
+};
+
+/// Parses a `lad profile --json` document. Throws std::runtime_error on
+/// malformed input or an unknown schema version.
+ProfDoc parse_profile_json(const std::string& text);
+
+struct ProfDiffResult {
+  std::vector<CaseDiff> diffs;  // empty = clean; name = "" (document-level)
+
+  DiffStatus status() const;
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+/// Structural diff mirroring diff_bench: deterministic fields exact
+/// (MISMATCH, exit 4), total_ms gated by baseline + max(tol_ms,
+/// tol_rel·baseline) (REGRESSION, exit 3). Thread counts are *not*
+/// compared — the whole point is that deterministic fields agree across
+/// thread counts.
+ProfDiffResult diff_profile(const ProfDoc& baseline, const ProfDoc& candidate,
+                            const BenchDiffOptions& opts = {});
+
+}  // namespace lad::obs
+
+// ---------------------------------------------------------------------------
+// Chunk-timing hook for util/thread_pool.cpp. Mirrors the LAD_TM_* macros
+// in telemetry.hpp: an empty statement under -DLAD_TELEMETRY=OFF.
+#if LAD_TELEMETRY
+#define LAD_TM_CHUNK_TIMER(var) ::lad::obs::ChunkTimer var
+#else
+#define LAD_TM_CHUNK_TIMER(var) ((void)0)
+#endif

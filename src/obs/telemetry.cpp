@@ -198,6 +198,13 @@ CoreMetrics& core() {
         r.counter("lad_campaign_trials_total", "fault-campaign trials executed"),
         r.counter("lad_campaign_faults_injected_total", "faults injected across campaign trials"),
         r.counter("lad_chaos_cells_total", "chaos-matrix cells executed (campaign runs)"),
+        r.counter("lad_alloc_msgbuf_total",
+                  "per-round message payloads that outgrew SSO (heap allocations)"),
+        r.counter("lad_alloc_msgbuf_bytes_total",
+                  "bytes of heap-allocated per-round message payloads (bytes)"),
+        r.counter("lad_alloc_gather_total", "serialized ball-gather buffers built (allocations)"),
+        r.counter("lad_alloc_gather_bytes_total",
+                  "bytes of serialized ball-gather buffers (bytes)"),
         // The three thread-variant metrics: pool geometry and contract-check
         // multiplicity are functions of the thread count by design, so they
         // are exempt from the byte-identity determinism contract.
@@ -217,7 +224,8 @@ const std::vector<std::string>& span_name_catalog() {
   // names (prefix entries end in '/'). `lad lint` rule obs-span-name
   // checks span literals in instrumented code against this list.
   static const std::vector<std::string> kSpans = {
-      "engine.run",        "engine.round",      "parallel_engine.run",
+      "engine.run",        "engine.round",      "engine.faults",
+      "engine.compute",    "engine.deliver",    "parallel_engine.run",
       "gather.balls",      "gather.views",      "pool.chunk",
       "campaign.trial",    "chaos.cell",        "guarded.decode/",
       "pipeline.encode/",  "pipeline.decode/",  "pipeline.decode_tolerant/",
@@ -300,6 +308,26 @@ long long TraceRecorder::dropped() const {
   }
   return total;
 }
+
+void TraceRecorder::name_thread(const std::string& name) {
+  ThreadBuf& b = local_buf();
+  std::lock_guard<std::mutex> lk(b.mu);
+  b.name = name;
+}
+
+std::vector<std::pair<int, std::string>> TraceRecorder::thread_names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<int, std::string>> out;
+  for (const auto& b : bufs_) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    if (!b->name.empty()) out.emplace_back(b->tid, b->name);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b2) { return a.first < b2.first; });
+  return out;
+}
+
+int TraceRecorder::current_tid() { return local_buf().tid; }
 
 std::vector<std::pair<int, std::vector<TraceEvent>>> TraceRecorder::events_by_thread() const {
   std::lock_guard<std::mutex> lk(mu_);

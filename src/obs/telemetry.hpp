@@ -233,6 +233,17 @@ struct CoreMetrics {
   Counter& campaign_faults_injected;
   Counter& chaos_cells;
 
+  // Allocation accounting for the profiler (obs/profile.*): heap traffic
+  // on the two hot paths ROADMAP item 2 targets — per-round message
+  // buffers that outgrow SSO (local/engine.cpp) and serialized ball
+  // gathers (local/gather.cpp). Counted at the call sites, not via
+  // allocator hooks, so the multisets are thread-count-invariant and the
+  // counts stay under the §8 byte-identity determinism contract.
+  Counter& alloc_msgbuf;
+  Counter& alloc_msgbuf_bytes;
+  Counter& alloc_gather;
+  Counter& alloc_gather_bytes;
+
   // Execution substrate (util/thread_pool.cpp) + contracts.
   Counter& pool_chunks;
   Gauge& pool_threads;
@@ -281,6 +292,20 @@ class TraceRecorder {
   /// Events grouped by thread id (ascending), in per-thread record order.
   std::vector<std::pair<int, std::vector<TraceEvent>>> events_by_thread() const;
 
+  /// Labels the calling thread's buffer ("lad-main", "lad-pool-0", ...).
+  /// Survives clear(); exported as Chrome `thread_name` metadata events and
+  /// used by the profiler's per-thread rows. Unlike span recording this is
+  /// not gated on enabled() — it runs once per thread and must stick even
+  /// when the thread starts before telemetry is switched on.
+  void name_thread(const std::string& name);
+
+  /// (tid, name) pairs for every named thread, tid ascending.
+  std::vector<std::pair<int, std::string>> thread_names() const;
+
+  /// Trace thread id of the calling thread (allocating one on first use) —
+  /// lets pool accounting attribute slots to the same ids the trace uses.
+  int current_tid();
+
   // Export surface (implemented in obs/export.cpp).
   std::string to_chrome_json() const;
   std::string to_jsonl() const;
@@ -290,6 +315,7 @@ class TraceRecorder {
  private:
   struct ThreadBuf {
     int tid = 0;
+    std::string name;  // empty until name_thread(); guarded by `mu`
     mutable std::mutex mu;
     std::vector<TraceEvent> events;
     long long dropped = 0;
@@ -341,6 +367,10 @@ class Span {
   } while (0)
 /// Declares an RAII span named `var` (inactive when runtime-disabled).
 #define LAD_TM_SPAN(var, name, cat) ::lad::obs::Span var((name), (cat))
+/// Labels the calling thread in trace exports and profile reports. Compile
+/// gated only (not on enabled()): it runs once per thread and the label
+/// must stick even when the thread starts before telemetry is enabled.
+#define LAD_TM_THREAD_NAME(name) ::lad::obs::TraceRecorder::instance().name_thread(name)
 /// Contract-check accounting hook used by util/contracts.hpp.
 #define LAD_TM_COUNT_CONTRACT()                               \
   do {                                                        \
@@ -353,6 +383,7 @@ class Span {
   do {               \
   } while (0)
 #define LAD_TM_SPAN(var, name, cat) ((void)0)
+#define LAD_TM_THREAD_NAME(name) ((void)0)
 #define LAD_TM_COUNT_CONTRACT() \
   do {                          \
   } while (0)

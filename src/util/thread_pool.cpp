@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/profile.hpp"
 #include "obs/telemetry.hpp"
 #include "util/contracts.hpp"
 
@@ -19,7 +20,7 @@ ThreadPool::ThreadPool(int threads) {
   if (threads_ == 1) return;  // inline mode: no workers, no locking
   workers_.reserve(static_cast<std::size_t>(threads_));
   for (int t = 0; t < threads_; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] { worker_loop(t); });
   }
 }
 
@@ -33,7 +34,12 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker_index) {
+  // Label the worker's trace lane ("lad-pool-<i>") for Chrome/Perfetto
+  // exports and the profiler's per-thread rows. The index feeds only this
+  // label, which compiles out under LAD_TELEMETRY=OFF.
+  (void)worker_index;
+  LAD_TM_THREAD_NAME("lad-pool-" + std::to_string(worker_index));
   for (;;) {
     Task task;
     {
@@ -65,6 +71,7 @@ void ThreadPool::run_chunks(const std::function<void(int)>& chunk_fn, int num_ch
     // the actual chunk->thread schedule; the counter total stays a pure
     // function of (count, threads).
     LAD_TM_SPAN(chunk_span, "pool.chunk", "pool");
+    LAD_TM_CHUNK_TIMER(chunk_timer);
     LAD_TM(obs::core().pool_chunks.add(1));
     try {
       chunk_fn(c);

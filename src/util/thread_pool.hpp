@@ -58,7 +58,7 @@ class ThreadPool {
     std::function<void()> fn;
   };
 
-  void worker_loop();
+  void worker_loop(int worker_index);
   void run_chunks(const std::function<void(int)>& chunk_fn, int num_chunks);
 
   int threads_ = 1;

@@ -1,0 +1,60 @@
+# Pins the `lad diffprof` exit-code contract end to end, the machine
+# interface CI's profile-smoke job gates on (same convention as diffbench):
+#   0 — identical documents (clean)
+#   3 — total_ms beyond baseline + max(tol_ms, tol_rel * baseline)
+#   4 — deterministic field diverged (here: output digest + an alloc row)
+#   2 — parse/usage error (missing file)
+# The fixture JSONs are hand-written profile-schema-v1 documents in
+# tests/golden/.
+#
+# Usage: cmake -DLAD_CLI=<path> -DBASE=<json> -DSLOW=<json> -DDIGEST=<json>
+#              -P cli_diffprof.cmake
+foreach(v LAD_CLI BASE SLOW DIGEST)
+  if(NOT ${v})
+    message(FATAL_ERROR "cli_diffprof.cmake needs -D${v}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${LAD_CLI} diffprof ${BASE} ${BASE}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "identical documents must exit 0, got ${rc}:\n${out}${err}")
+endif()
+
+execute_process(
+  COMMAND ${LAD_CLI} diffprof ${BASE} ${SLOW}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "timing regression must exit 3, got ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "total_ms")
+  message(FATAL_ERROR "regression report does not name total_ms:\n${out}")
+endif()
+
+# A loose tolerance must absorb the same slowdown (CI uses this knob). The
+# slow fixture also runs at a different thread count — thread counts are
+# explicitly not compared, so tolerance alone decides.
+execute_process(
+  COMMAND ${LAD_CLI} diffprof ${BASE} ${SLOW} --tol-ms 100000
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--tol-ms 100000 must absorb the slowdown, got ${rc}:\n${out}${err}")
+endif()
+
+execute_process(
+  COMMAND ${LAD_CLI} diffprof ${BASE} ${DIGEST} --json
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 4)
+  message(FATAL_ERROR "deterministic mismatch must exit 4, got ${rc}:\n${out}${err}")
+endif()
+if(NOT out MATCHES "\"output_digest\"")
+  message(FATAL_ERROR "JSON findings do not name output_digest:\n${out}")
+endif()
+
+execute_process(
+  COMMAND ${LAD_CLI} diffprof ${BASE} /nonexistent/profile.json
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "missing candidate file must exit 2, got ${rc}:\n${out}${err}")
+endif()

@@ -173,6 +173,7 @@ TEST(Telemetry, ChromeTraceIsBalancedAndMonotone) {
   std::map<long long, int> depth;                  // tid -> open span depth
   std::map<long long, long long> last_ts;          // tid -> last timestamp
   int events = 0;
+  int metadata = 0;
   std::size_t start = 0;
   while ((start = json.find("{\"name\"", start)) != std::string::npos) {
     const auto end = json.find('}', start);
@@ -181,6 +182,11 @@ TEST(Telemetry, ChromeTraceIsBalancedAndMonotone) {
     start = end;
 
     const std::string ph = json_str(line, "ph");
+    if (ph == "M") {
+      // thread_name metadata (emitted first): no ts, no nesting to check.
+      ++metadata;
+      continue;
+    }
     const long long tid = json_int(line, "tid");
     const long long ts = json_int(line, "ts");
     ASSERT_TRUE(ph == "B" || ph == "E") << line;
@@ -193,6 +199,10 @@ TEST(Telemetry, ChromeTraceIsBalancedAndMonotone) {
     ++events;
   }
   EXPECT_GT(events, 0);
+  // The pooled workload names its workers, so the export must carry
+  // thread_name metadata events (lanes get labels in Perfetto).
+  EXPECT_GT(metadata, 0) << "no thread_name metadata events in the export";
+  EXPECT_NE(json.find("\"lad-pool-0\""), std::string::npos) << "pool worker lane unnamed";
   for (const auto& [tid, d] : depth) {
     EXPECT_EQ(d, 0) << "unbalanced spans on tid " << tid;
   }
@@ -213,6 +223,7 @@ TEST(Telemetry, PrometheusExportRoundTrips) {
   // `name_bucket{le="X"} value`; comment lines carry HELP/TYPE.
   std::map<std::string, long long> samples;
   std::map<std::string, std::vector<long long>> buckets;  // cumulative, in order
+  std::map<std::string, std::vector<std::string>> bucket_les;  // le labels, in order
   std::set<std::string> helped, typed;
   std::size_t pos = 0;
   while (pos < text.size()) {
@@ -236,6 +247,11 @@ TEST(Telemetry, PrometheusExportRoundTrips) {
     const long long value = std::atoll(line.c_str() + space + 1);
     if (brace != std::string::npos) {
       buckets[line.substr(0, brace)].push_back(value);
+      const auto le = line.find("le=\"", brace);
+      ASSERT_NE(le, std::string::npos) << line;
+      const auto le_start = le + 4;
+      bucket_les[line.substr(0, brace)].push_back(
+          line.substr(le_start, line.find('"', le_start) - le_start));
     } else {
       samples[line.substr(0, space)] = value;
     }
@@ -266,6 +282,18 @@ TEST(Telemetry, PrometheusExportRoundTrips) {
     const std::string count_name = name.substr(0, name.size() - 7) + "_count";
     ASSERT_FALSE(cum.empty());
     EXPECT_EQ(cum.back(), samples.at(count_name)) << name;
+  }
+
+  // Exposition-spec conformance, pinned: every histogram emits exactly
+  // kBuckets bucket lines, the le labels are the power-of-two bounds
+  // (1, 2, 4, ..., 2^20) in ascending order, and the mandatory last bucket
+  // is le="+Inf" (whose cumulative value the loop above tied to _count).
+  for (const auto& [name, les] : bucket_les) {
+    ASSERT_EQ(les.size(), static_cast<std::size_t>(obs::Histogram::kBuckets)) << name;
+    for (int i = 0; i + 1 < obs::Histogram::kBuckets; ++i) {
+      EXPECT_EQ(les[static_cast<std::size_t>(i)], std::to_string(1LL << i)) << name;
+    }
+    EXPECT_EQ(les.back(), "+Inf") << name;
   }
   obs::MetricsRegistry::instance().reset();
 }

@@ -13,6 +13,9 @@
 //                [--threads K] [--reps K] [--json out.json] [--trace]
 //   lad trace    <pipeline> [--graph SPEC | --family F -n N] [--out t.json]
 //                                     # telemetry: spans + metric counters
+//   lad profile  <pipeline> --graph SPEC [--threads K] [--reps R] [--json f]
+//                [--out PERF-generated.md]   # DESIGN.md §13 cost centers
+//   lad diffprof <baseline.json> <candidate.json> [--tol-ms X] [--tol-rel R] [--json]
 //   lad verify-claims [--family F] [--graphs SPEC,...] [--json]   # DESIGN.md §9.6
 //   lad diffbench <baseline.json> <candidate.json> [--tol-ms X] [--tol-rel R] [--json]
 //   lad report   [--out EXPERIMENTS-generated.md]   # regenerable claims report
@@ -68,6 +71,7 @@
 #include "local/engine.hpp"
 #include "obs/benchdiff.hpp"
 #include "obs/claims.hpp"
+#include "obs/profile.hpp"
 #include "obs/export.hpp"
 #include "obs/stopwatch.hpp"
 #include "obs/telemetry.hpp"
@@ -114,12 +118,13 @@ int usage() {
                "            bucket; writes byte-deterministic markdown (default out:\n"
                "            ROBUSTNESS-generated.md); exit 0 pass, 3 any cell fails\n"
                "  lad bench <suite> | --graph SPEC[,SPEC...] [--pipeline <name>]\n"
-               "            [--threads K] [--reps K] [--json out.json] [--trace]\n"
+               "            [--threads K[,K...]] [--reps K] [--json out.json] [--trace]\n"
                "            suites: e1..e9 r1 gather scale smoke all; --graph benches one\n"
                "            pipeline (default orientation) per graph source, with the\n"
                "            multi-thread re-run rebuilding the CSR in parallel; --trace\n"
                "            embeds per-case telemetry counters in the JSON; --reps K\n"
-               "            times each case as min-of-K after one warmup\n"
+               "            times each case as min-of-K after one warmup; a comma list\n"
+               "            --threads 1,2,4 emits one \"case/t=K\" row per count\n"
                "  lad trace <pipeline> [--graph SPEC | --family cycle|grid|torus] [-n N]\n"
                "            [--seed S]\n"
                "            [--out trace.json] [--jsonl events.jsonl] [--metrics m.prom]\n"
@@ -127,6 +132,13 @@ int usage() {
                "            telemetry on; prints the metric table, optionally exports a\n"
                "            Chrome trace (chrome://tracing, Perfetto), JSONL events, and\n"
                "            Prometheus text metrics\n"
+               "  lad profile <pipeline> --graph SPEC [--threads K] [--reps R] [--seed S]\n"
+               "            [--json profile.json] [--out PERF-generated.md]\n"
+               "            profiling observatory (DESIGN.md §13): runs encode -> decode ->\n"
+               "            verify -> pooled verification echo with telemetry on and prints\n"
+               "            the ranked phase x thread cost-center report (self-ms, share,\n"
+               "            allocation counts, pool imbalance); the JSON's \"deterministic\"\n"
+               "            object is byte-identical across reruns and thread counts\n"
                "  lad verify-claims [--family <pipeline>] [--ns n1,n2,...]\n"
                "            [--graphs SPEC,SPEC,SPEC,...] [--seed S] [--json]\n"
                "            runs every registered pipeline (or one family) over an n-sweep\n"
@@ -140,6 +152,11 @@ int usage() {
                "            [--json]   structural diff of two bench documents: rounds/\n"
                "            bits/digest/case-set exactly, serial wall time with tolerance;\n"
                "            exit 0 clean, 3 timing regression, 4 structural mismatch\n"
+               "  lad diffprof <baseline.json> <candidate.json> [--tol-ms X] [--tol-rel R]\n"
+               "            [--json]   structural diff of two `lad profile --json`\n"
+               "            documents: every deterministic field exactly (digests, message/\n"
+               "            advice counts, allocation totals), total wall time with\n"
+               "            tolerance; same exit codes as diffbench\n"
                "  lad report [--out FILE] [--ns n1,n2,...] [--seed S]\n"
                "            regenerates the claims-conformance report (markdown) from the\n"
                "            real encode/decode/verify stack; default out:\n"
@@ -560,7 +577,7 @@ int cmd_bench(int argc, char** argv) {
   std::string suite;
   int i = 0;
   if (argv[0][0] != '-') suite = argv[i++];
-  int threads = ThreadPool::default_threads();
+  std::vector<int> thread_list = {ThreadPool::default_threads()};
   int reps = 1;
   std::string json_path;
   std::string pipeline_name = "orientation";
@@ -569,8 +586,15 @@ int cmd_bench(int argc, char** argv) {
   for (; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--threads" && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-      if (threads < 1) return usage();
+      // Comma list (schema v5): each count re-runs the batch and emits its
+      // own "case/t=K" row, so a scaling curve lands in one document.
+      thread_list.clear();
+      for (const auto& tok : split_csv(argv[++i])) {
+        const int t = std::atoi(tok.c_str());
+        if (t < 1) return usage();
+        thread_list.push_back(t);
+      }
+      if (thread_list.empty()) return usage();
     } else if (a == "--reps" && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
       if (reps < 1) return usage();
@@ -604,7 +628,7 @@ int cmd_bench(int argc, char** argv) {
       sources.push_back(*src);
     }
     try {
-      res = bench::run_source_bench(sources, pipeline_name, threads, with_trace, reps);
+      res = bench::run_source_bench(sources, pipeline_name, thread_list, with_trace, reps);
     } catch (const GraphIoError& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
@@ -615,7 +639,7 @@ int cmd_bench(int argc, char** argv) {
       std::fprintf(stderr, "error: unknown bench suite '%s'\n", suite.c_str());
       return 2;
     }
-    res = bench::run_bench_suite(suite, threads, with_trace, reps);
+    res = bench::run_bench_suite(suite, thread_list, with_trace, reps);
   }
   std::printf("suite %s, %d threads (%d hardware), min of %d rep(s)\n", res.suite.c_str(),
               res.threads, res.hardware_threads, res.reps);
@@ -864,6 +888,7 @@ int cmd_trace(int argc, char** argv) {
   obs::set_enabled(true);
   obs::MetricsRegistry::instance().reset();
   obs::TraceRecorder::instance().clear();
+  LAD_TM_THREAD_NAME("lad-main");
 
   const Pipeline& p = pipeline(*decoder);
   PipelineConfig cfg;
@@ -1083,6 +1108,176 @@ int cmd_diffbench(int argc, char** argv) {
   return static_cast<int>(diff.status());
 }
 
+// Profiling observatory (DESIGN.md §13): runs one pipeline end to end
+// (encode -> decode -> verify -> pooled verification echo) with telemetry
+// on and renders the ranked phase x thread cost-center report. total_ms is
+// the min over --reps; the trace/counter snapshot comes from the last rep
+// (every rep resets the registry, trace buffers, and pool accounting, and
+// the counted quantities are deterministic, so reps agree byte-for-byte on
+// everything but timings).
+int cmd_profile(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto decoder = faults::parse_decoder(argv[0]);
+  if (!decoder) {
+    std::fprintf(stderr, "error: unknown pipeline '%s'\n", argv[0]);
+    return 2;
+  }
+  std::string graph_spec = "cycle:65536";
+  int threads = 1;
+  int reps = 1;
+  std::uint64_t seed = 1;
+  std::string json_path, out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--graph" && i + 1 < argc) {
+      graph_spec = argv[++i];
+    } else if (a == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) return usage();
+    } else if (a == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+      if (reps < 1) return usage();
+    } else if (a == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (!obs::compiled_in()) {
+    std::fprintf(stderr,
+                 "error: this build has LAD_TELEMETRY=OFF; reconfigure with "
+                 "-DLAD_TELEMETRY=ON to use `lad profile`\n");
+    return 2;
+  }
+
+  const Pipeline& p = pipeline(*decoder);
+  PipelineConfig cfg;
+  cfg.seed = seed;
+  if (p.id() == PipelineId::kSubexpLcl) cfg.subexp.x = 60;
+  auto lg = load_source_or_complain(graph_spec, seed);
+  if (!lg) return 2;
+  const Graph g = std::move(lg->graph);
+
+  obs::set_enabled(true);
+  LAD_TM_THREAD_NAME("lad-main");
+  ThreadPool pool(threads);
+
+  bool ok = false;
+  bool echo_clean = false;
+  double total_ms = 0;
+  obs::ProfileReport report;
+  for (int rep = 0; rep < reps; ++rep) {
+    obs::MetricsRegistry::instance().reset();
+    obs::TraceRecorder::instance().clear();
+    obs::PoolAccounting::instance().reset();
+
+    const obs::Stopwatch sw;
+    const auto adv = p.encode(g, cfg);
+    const auto out = p.decode(g, adv, cfg);
+    ok = p.verify(g, out, cfg);
+    const auto echo =
+        faults::run_verification_echo(g, p.node_digests(g, out), /*echo_rounds=*/3,
+                                      /*faults=*/nullptr, threads > 1 ? &pool : nullptr);
+    const double rep_ms = sw.ms();
+    echo_clean = echo.unverified_nodes.empty();
+    if (rep == 0 || rep_ms < total_ms) total_ms = rep_ms;
+    if (rep + 1 < reps) continue;
+
+    obs::ProfileIdentity ident;
+    ident.pipeline = p.name();
+    ident.source = lg->spec;
+    ident.graph_digest = graph_digest_hex(g);
+    ident.n = g.n();
+    ident.m = g.m();
+    ident.seed = seed;
+    ident.decode_rounds = out.rounds;
+    ident.verify_ok = ok && echo_clean;
+    ident.output_digest = obs::fingerprint_hex(p.node_digests(g, out));
+    ident.advice_bits = adv.stats(g.n()).total_bits;
+    ident.engine_messages = obs::core().engine_messages.value();
+    ident.engine_message_bits = obs::core().engine_message_bits.value();
+
+    // Allocation totals per phase: the two counting hooks are pinned to the
+    // phase whose buffers they count; the other phases report zero.
+    std::vector<obs::PhaseAlloc> allocs;
+    for (const auto& phase : obs::phase_taxonomy()) {
+      obs::PhaseAlloc row;
+      row.phase = phase;
+      if (phase == "gather") {
+        row.allocs = obs::core().alloc_gather.value();
+        row.alloc_bytes = obs::core().alloc_gather_bytes.value();
+      } else if (phase == "message-exchange") {
+        row.allocs = obs::core().alloc_msgbuf.value();
+        row.alloc_bytes = obs::core().alloc_msgbuf_bytes.value();
+      }
+      allocs.push_back(row);
+    }
+
+    report = obs::build_profile_report(
+        ident, allocs, obs::TraceRecorder::instance().events_by_thread(),
+        obs::PoolAccounting::instance().slots(), obs::TraceRecorder::instance().thread_names(),
+        threads, reps, total_ms);
+    report.git_commit = obs::kGitCommit;
+    report.timestamp = obs::iso8601_utc_now();
+  }
+  obs::set_enabled(false);
+
+  std::printf("%s", report.to_markdown().c_str());
+  auto write_file = [](const std::string& path, const std::string& body, const char* what) {
+    std::ofstream f(path);
+    LAD_CHECK_MSG(f.good(), "cannot write " << path);
+    f << body;
+    std::printf("wrote %s (%s)\n", path.c_str(), what);
+  };
+  if (!json_path.empty()) write_file(json_path, report.to_json(), "profile JSON");
+  if (!out_path.empty()) write_file(out_path, report.to_markdown(), "cost-center report");
+  return ok && echo_clean ? 0 : 3;
+}
+
+int cmd_diffprof(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string baseline_path = argv[0];
+  const std::string candidate_path = argv[1];
+  obs::BenchDiffOptions opts;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--tol-ms" && i + 1 < argc) {
+      opts.tol_ms = std::atof(argv[++i]);
+      if (opts.tol_ms < 0) return usage();
+    } else if (a == "--tol-rel" && i + 1 < argc) {
+      opts.tol_rel = std::atof(argv[++i]);
+      if (opts.tol_rel < 0) return usage();
+    } else if (a == "--json") {
+      json = true;
+    } else {
+      return usage();
+    }
+  }
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    LAD_CHECK_MSG(in.good(), "cannot open " << path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  obs::ProfDiffResult diff;
+  try {
+    const auto baseline = obs::parse_profile_json(slurp(baseline_path));
+    const auto candidate = obs::parse_profile_json(slurp(candidate_path));
+    diff = obs::diff_profile(baseline, candidate, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::printf("%s", (json ? diff.to_json() : diff.to_text()).c_str());
+  return static_cast<int>(diff.status());
+}
+
 int cmd_dot(const std::string& path) {
   const Graph g = load(path);
   std::cout << to_dot(g);
@@ -1185,6 +1380,8 @@ int main(int argc, char** argv) {
     if (cmd == "chaos") return cmd_chaos(argc - 2, argv + 2);
     if (cmd == "bench") return cmd_bench(argc - 2, argv + 2);
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
+    if (cmd == "profile") return cmd_profile(argc - 2, argv + 2);
+    if (cmd == "diffprof") return cmd_diffprof(argc - 2, argv + 2);
     if (cmd == "verify-claims") return cmd_verify_claims(argc - 2, argv + 2);
     if (cmd == "diffbench") return cmd_diffbench(argc - 2, argv + 2);
     if (cmd == "report") return cmd_report(argc - 2, argv + 2);
