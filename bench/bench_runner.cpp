@@ -21,6 +21,7 @@
 #include "obs/export.hpp"
 #include "obs/profile.hpp"
 #include "obs/stopwatch.hpp"
+#include "obs/timeline.hpp"
 #include "obs/version.hpp"
 #include "util/contracts.hpp"
 #include "util/hashing.hpp"
@@ -391,9 +392,11 @@ BenchSuiteResult run_cases(const std::string& label, std::vector<Case> cases,
     }
     std::vector<obs::MetricValue> metrics;
     std::string top_phase;
+    double serial_fraction = -1;
     if (with_metrics) {
       metrics = obs::MetricsRegistry::instance().snapshot(/*skip_zero=*/true);
       top_phase = obs::top_phase_from_trace();
+      serial_fraction = obs::serial_split_from_trace().serial_fraction;
       obs::TraceRecorder::instance().clear();
     }
     const std::string digest = fingerprint(serial.digest);
@@ -404,6 +407,7 @@ BenchSuiteResult run_cases(const std::string& label, std::vector<Case> cases,
       res.name = multi ? c.name + "/t=" + std::to_string(t) : c.name;
       res.threads = t;
       res.top_phase = top_phase;
+      res.serial_fraction = serial_fraction;
       if (ti == 0) res.metrics = metrics;  // attributed once per case
       res.wall_ms_1 = wall_ms_1;
       res.digest = digest;
@@ -484,6 +488,9 @@ std::string BenchSuiteResult::to_json() const {
        << ", \"digest\": \"" << c.digest << "\", \"threads\": " << c.threads;
     if (!c.top_phase.empty()) {
       os << ", \"top_phase\": \"" << c.top_phase << "\"";
+    }
+    if (c.serial_fraction >= 0) {
+      os << ", \"serial_fraction\": " << fmt(c.serial_fraction, 4);
     }
     if (!c.source.empty()) {
       os << ", \"source\": \"" << c.source << "\", \"graph_digest\": \"" << c.graph_digest

@@ -51,6 +51,11 @@ struct BenchCaseResult {
   /// with_metrics): obs::top_phase_from_trace() over the case's spans —
   /// provenance for PERF-generated.md, never diffed.
   std::string top_phase;
+  /// Measured serial fraction of the serial run (schema v6; negative unless
+  /// with_metrics): obs::serial_split_from_trace() over the case's spans —
+  /// the Amdahl `s` that bounds the speedup_vs_1 column. Provenance only,
+  /// never diffed.
+  double serial_fraction = -1;
   /// Telemetry counters attributed to the serial run of this case (empty
   /// unless the suite ran with with_metrics; zero-valued metrics skipped).
   /// With a thread list, only the case's first row carries them.

@@ -1,9 +1,11 @@
 #include "faults/chaos.hpp"
 
 #include <algorithm>
+#include <iostream>
 #include <sstream>
 
 #include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
 #include "util/contracts.hpp"
 
 namespace lad::faults {
@@ -164,6 +166,17 @@ ChaosReport run_chaos_campaign(const ChaosConfig& config) {
               cell.repaired += rep.degradation.repaired;
               cell.degraded += rep.degradation.degraded;
               cell.flagged += rep.degradation.flagged;
+            }
+            // Post-mortem (DESIGN.md §14): a failed cell dumps the flight
+            // recorder's recent round samples to stderr before the bulky
+            // per-trial reports are dropped, so the round-by-round lead-up
+            // (message volumes, fault/repair bursts) survives the failure.
+            if (!cell.ok()) {
+              std::ostringstream why;
+              why << "chaos cell failed: " << lad::faults::to_string(cell.decoder) << "/"
+                  << lad::faults::to_string(cell.family) << "/" << cell.model << "/rate="
+                  << cell.rate_percent << "/" << cell.policy;
+              LAD_TM(obs::FlightRecorder::instance().dump(std::cerr, why.str()));
             }
             // The per-trial reports are bulky and already folded into the
             // cell row; drop them so big matrices stay small in memory.

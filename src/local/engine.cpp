@@ -5,6 +5,7 @@
 
 #include "graph/distance.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lad {
@@ -130,6 +131,10 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
   // end never feed back into the run, so enabling it cannot change a byte
   // of any output (pinned by tests/test_telemetry.cpp).
   LAD_TM_SPAN(run_span, "engine.run", "engine");
+  // Flight recorder (DESIGN.md §14): open a per-run cursor so each round
+  // below lands one RoundSample. The hook only reads counters — like the
+  // span it cannot influence outputs.
+  LAD_TM(obs::FlightRecorder::instance().begin_run());
   const int n = g_.n();
   offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
   for (int v = 0; v < n; ++v) {
@@ -187,6 +192,7 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
     // One span per synchronous round (compute + audit + delivery). Short
     // SSO name: no allocation even with telemetry enabled.
     LAD_TM_SPAN(round_span, "engine.round", "engine");
+    LAD_TM(obs::FlightRecorder::instance().begin_round());
     // Fault transitions, serial: crash decisions are pure functions of
     // (round, v), so hoisting them out of the parallel compute phase keeps
     // results byte-identical while letting crash-*recovery* mutate shared
@@ -361,6 +367,14 @@ RunResult Engine::run(SyncAlgorithm& alg, int max_rounds) {
       }
       pending.swap(still_pending);
     }
+    // One flight-recorder sample per completed round: the recorder turns
+    // these cumulative per-run totals into per-round deltas (deterministic
+    // slice) and drains the pool's wait window (measured slice).
+    LAD_TM(obs::FlightRecorder::instance().end_round(
+        round, res.messages, res.bytes,
+        fault_stats_.dropped + fault_stats_.corrupted + fault_stats_.duplicated +
+            fault_stats_.delayed + fault_stats_.crashed_nodes,
+        fault_stats_.recovered_nodes));
   }
 
   res.all_halted = std::all_of(halted_.begin(), halted_.end(), [](char h) { return h != 0; });

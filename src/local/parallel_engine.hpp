@@ -27,6 +27,12 @@
 // carry pool.chunk spans + chunk timers, so `lad profile` attributes this
 // front end's time to phases and worker threads without any hooks here
 // beyond the run-level span below.
+//
+// Timeline (DESIGN.md §14): likewise hook-free here — the inner engine's
+// begin_run/begin_round/end_round flight-recorder marks and the pool's
+// dispatch/wait window (begin_dispatch/end_dispatch + LAD_TM_WAIT_TIMER)
+// give `lad timeline` its per-round series and barrier-wait attribution
+// for runs driven through this front end.
 #pragma once
 
 #include <memory>

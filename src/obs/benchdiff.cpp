@@ -24,25 +24,27 @@ std::string fmt_ms(double v) {
   return buf;
 }
 
-}  // namespace
-
-BenchDoc parse_bench_json(const std::string& text) {
+// Shared parse body: the strict path (`lad diffbench`) requires every
+// field of the diffable format; the lenient path (`lad report`'s
+// trajectory table) lets any schema generation through with defaults.
+BenchDoc parse_bench_json_impl(const std::string& text, bool strict) {
   const JsonValue root = JsonParser(text, "bench JSON").parse();
   if (root.kind != JsonValue::Kind::kObject) {
     throw std::runtime_error("bench JSON: top level is not an object");
   }
   BenchDoc doc;
-  doc.schema_version = static_cast<int>(num_field(root, "schema_version", /*required=*/true));
-  if (doc.schema_version < 2) {
+  doc.schema_version =
+      static_cast<int>(num_field(root, "schema_version", /*required=*/strict, 1));
+  if (strict && doc.schema_version < 2) {
     throw std::runtime_error("bench JSON: schema_version " +
                              std::to_string(doc.schema_version) +
                              " predates the diffable format (need >= 2)");
   }
-  doc.git_commit = str_field(root, "git_commit", true);
-  doc.timestamp = str_field(root, "timestamp", true);
-  doc.suite = str_field(root, "suite", true);
-  doc.threads = static_cast<int>(num_field(root, "threads", true));
-  doc.hardware_threads = static_cast<int>(num_field(root, "hardware_threads", true));
+  doc.git_commit = str_field(root, "git_commit", strict);
+  doc.timestamp = str_field(root, "timestamp", strict);
+  doc.suite = str_field(root, "suite", strict);
+  doc.threads = static_cast<int>(num_field(root, "threads", strict));
+  doc.hardware_threads = static_cast<int>(num_field(root, "hardware_threads", strict));
   doc.reps = static_cast<int>(num_field(root, "reps", /*required=*/false, 1));
 
   const JsonValue* cases = root.find("cases");
@@ -55,13 +57,13 @@ BenchDoc parse_bench_json(const std::string& text) {
     }
     BenchCaseRow row;
     row.name = str_field(c, "name", true);
-    row.n = static_cast<int>(num_field(c, "n", true));
-    row.m = static_cast<int>(num_field(c, "m", true));
-    row.rounds = static_cast<int>(num_field(c, "rounds", true));
-    row.bits_per_node = num_field(c, "bits_per_node", true);
-    row.total_bits = static_cast<long long>(num_field(c, "total_bits", true));
-    row.wall_ms_1 = num_field(c, "wall_ms_1t", true);
-    row.wall_ms = num_field(c, "wall_ms", true);
+    row.n = static_cast<int>(num_field(c, "n", strict));
+    row.m = static_cast<int>(num_field(c, "m", strict));
+    row.rounds = static_cast<int>(num_field(c, "rounds", strict));
+    row.bits_per_node = num_field(c, "bits_per_node", strict);
+    row.total_bits = static_cast<long long>(num_field(c, "total_bits", strict));
+    row.wall_ms_1 = num_field(c, "wall_ms_1t", strict);
+    row.wall_ms = num_field(c, "wall_ms", strict);
     row.digest = str_field(c, "digest", /*required=*/false);
     row.source = str_field(c, "source", /*required=*/false);
     row.graph_digest = str_field(c, "graph_digest", /*required=*/false);
@@ -78,6 +80,63 @@ BenchDoc parse_bench_json(const std::string& text) {
     doc.cases.push_back(std::move(row));
   }
   return doc;
+}
+
+}  // namespace
+
+BenchDoc parse_bench_json(const std::string& text) {
+  return parse_bench_json_impl(text, /*strict=*/true);
+}
+
+BenchDoc parse_bench_json_lenient(const std::string& text) {
+  return parse_bench_json_impl(text, /*strict=*/false);
+}
+
+std::string perf_trajectory_markdown(const std::vector<BenchGeneration>& generations) {
+  std::ostringstream os;
+  os << "## Perf trajectory\n\n"
+     << "Serial wall time (`wall_ms_1t`, min-of-reps, milliseconds) per case\n"
+     << "across the checked-in bench generations. Wall times are\n"
+     << "machine-dependent: read the column-to-column *shape*, not the\n"
+     << "absolute numbers, and use `lad diffbench` for gating.\n\n";
+  if (generations.empty()) {
+    os << "No BENCH_*.json generations found.\n";
+    return os.str();
+  }
+  // Union of case names in first-seen order, so rows stay stable as
+  // generations add cases.
+  std::vector<std::string> names;
+  for (const auto& gen : generations) {
+    for (const auto& c : gen.doc.cases) {
+      if (std::find(names.begin(), names.end(), c.name) == names.end()) {
+        names.push_back(c.name);
+      }
+    }
+  }
+  os << "| case |";
+  for (const auto& gen : generations) {
+    os << " " << gen.label << " (v" << gen.doc.schema_version;
+    if (!gen.doc.suite.empty()) os << ", " << gen.doc.suite;
+    os << ") |";
+  }
+  os << "\n|---|";
+  for (std::size_t i = 0; i < generations.size(); ++i) os << "---|";
+  os << "\n";
+  for (const auto& name : names) {
+    os << "| " << name << " |";
+    for (const auto& gen : generations) {
+      const auto it =
+          std::find_if(gen.doc.cases.begin(), gen.doc.cases.end(),
+                       [&name](const BenchCaseRow& c) { return c.name == name; });
+      if (it == gen.doc.cases.end()) {
+        os << " — |";
+      } else {
+        os << " " << fmt_ms(it->wall_ms_1) << " |";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
 }
 
 DiffStatus BenchDiffResult::status() const {

@@ -73,6 +73,27 @@ struct BenchDoc {
 /// input or schema_version < 2.
 BenchDoc parse_bench_json(const std::string& text);
 
+/// Lenient variant for the perf-trajectory table (`lad report`): accepts
+/// every schema generation back to the v1 documents that predate
+/// schema_version (missing document/case fields default instead of
+/// throwing; a v1 document parses as schema_version 1). Still throws on
+/// malformed JSON or a case without a name — the lenience is about schema
+/// evolution, not syntax.
+BenchDoc parse_bench_json_lenient(const std::string& text);
+
+/// One named bench generation for the perf-trajectory table.
+struct BenchGeneration {
+  std::string label;  // provenance, e.g. the file name "BENCH_pr3.json"
+  BenchDoc doc;
+};
+
+/// Markdown perf-trajectory table: one row per case name (union across
+/// generations, first-seen order), one column per generation's serial
+/// min-of-reps wall time (`wall_ms_1t`); cases absent from a generation
+/// render as "—". Wall times are machine-dependent, so the table is
+/// provenance for humans, never diffed.
+std::string perf_trajectory_markdown(const std::vector<BenchGeneration>& generations);
+
 enum class DiffStatus {
   kClean = 0,
   kRegression = 3,  // timing outside tolerance

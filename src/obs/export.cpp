@@ -6,6 +6,8 @@
 #include <ctime>
 #include <sstream>
 
+#include "obs/timeline.hpp"
+
 namespace lad::obs {
 namespace {
 
@@ -43,6 +45,21 @@ std::string TraceRecorder::to_chrome_json() const {
     first = false;
     os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
        << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  // Flight-recorder counter lanes (ph "C", DESIGN.md §14): one sample per
+  // recorded engine round, so Perfetto renders round-by-round message /
+  // byte / barrier-wait series alongside the span lanes.
+  for (const RoundSample& s : FlightRecorder::instance().samples()) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"round.messages\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" << s.ts_us
+       << ",\"args\":{\"messages\":" << s.messages << "}},\n";
+    os << "{\"name\":\"round.bytes\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" << s.ts_us
+       << ",\"args\":{\"bytes\":" << s.bytes << "}},\n";
+    char wait[96];
+    std::snprintf(wait, sizeof(wait), "{\"max\":%.1f,\"sum\":%.1f}", s.max_wait_us, s.wait_us);
+    os << "{\"name\":\"round.barrier_wait_us\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":"
+       << s.ts_us << ",\"args\":" << wait << "}";
   }
   for (const auto& [tid, events] : events_by_thread()) {
     for (const TraceEvent& ev : events) {

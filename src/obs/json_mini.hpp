@@ -128,7 +128,16 @@ class JsonParser {
     if (pos_ == start) fail("expected a number");
     JsonValue v;
     v.kind = JsonValue::Kind::kNumber;
-    v.number = std::stod(text_.substr(start, pos_ - start));
+    // The greedy scan accepts shapes stod rejects ("-", "1e", "1.2.3");
+    // surface those as parse errors instead of leaking std::invalid_argument.
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      std::size_t used = 0;
+      v.number = std::stod(token, &used);
+      if (used != token.size()) fail("invalid number '" + token + "'");
+    } catch (const std::logic_error&) {  // invalid_argument / out_of_range
+      fail("invalid number '" + token + "'");
+    }
     return v;
   }
 

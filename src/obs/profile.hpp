@@ -120,6 +120,12 @@ std::map<std::pair<std::string, int>, CellAccum> self_times_by_cell(
 /// top-phase provenance (schema v5).
 std::string top_phase_from_trace();
 
+/// Warmup discipline shared by `lad profile` and `lad timeline` (--reps K),
+/// matching `lad bench`: one discarded warmup run before the timed
+/// min-of-K loop when K > 1, none for a single-rep run. Pinned by
+/// tests/test_profile.cpp.
+constexpr int profile_warmup_runs(int reps) { return reps > 1 ? 1 : 0; }
+
 // ---------------------------------------------------------------------------
 // Report
 

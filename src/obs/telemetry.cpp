@@ -205,14 +205,30 @@ CoreMetrics& core() {
         r.counter("lad_alloc_gather_total", "serialized ball-gather buffers built (allocations)"),
         r.counter("lad_alloc_gather_bytes_total",
                   "bytes of serialized ball-gather buffers (bytes)"),
-        // The three thread-variant metrics: pool geometry and contract-check
-        // multiplicity are functions of the thread count by design, so they
-        // are exempt from the byte-identity determinism contract.
+        // Thread-variant metrics: pool geometry, dispatch/wait timing, and
+        // contract-check multiplicity are functions of the thread count (or
+        // the wall clock) by design, so they are exempt from the
+        // byte-identity determinism contract.
         r.counter("lad_pool_chunks_total", "thread-pool chunks executed",
                   /*thread_variant=*/true),
         r.gauge("lad_pool_threads", "threads of the most recently created pool",
                 /*thread_variant=*/true),
         r.counter("lad_contract_checks_total", "LAD_CHECK/LAD_ASSERT evaluations",
+                  /*thread_variant=*/true),
+        // Timeline observatory (obs/timeline.*, DESIGN.md §14).
+        r.counter("lad_timeline_rounds_total",
+                  "engine rounds recorded by the flight recorder (rounds)"),
+        r.counter("lad_flight_dumps_total", "flight-recorder post-mortem dumps emitted"),
+        r.counter("lad_pool_dispatches_total", "parallel dispatch windows completed",
+                  /*thread_variant=*/true),
+        r.counter("lad_pool_dispatch_us_total",
+                  "enqueue-to-first-chunk dispatch latency (microseconds)",
+                  /*thread_variant=*/true),
+        r.counter("lad_pool_barrier_wait_us_total",
+                  "per-worker wait at the completion barrier (microseconds)",
+                  /*thread_variant=*/true),
+        r.counter("lad_pool_queue_us_total", "enqueue-to-chunk-start queueing delay "
+                  "(microseconds)",
                   /*thread_variant=*/true),
     };
   }();

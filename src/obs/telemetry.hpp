@@ -248,6 +248,17 @@ struct CoreMetrics {
   Counter& pool_chunks;
   Gauge& pool_threads;
   Counter& contract_checks;
+
+  // Timeline observatory (obs/timeline.*, DESIGN.md §14): per-round flight
+  // recording plus pool dispatch/wait attribution. The round and dump
+  // counters are deterministic (round counts are thread-count-invariant);
+  // the dispatch/wait timings are wall-clock sums and thread-variant.
+  Counter& timeline_rounds;
+  Counter& flight_dumps;
+  Counter& pool_dispatches;
+  Counter& pool_dispatch_us;
+  Counter& pool_barrier_wait_us;
+  Counter& pool_queue_us;
 };
 
 CoreMetrics& core();

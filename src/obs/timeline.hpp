@@ -1,0 +1,361 @@
+// Runtime timeline observatory (DESIGN.md §14): per-round time-series,
+// wait/barrier attribution, and Amdahl/critical-path analysis on top of the
+// §9 Span/MetricsRegistry machinery and the §13 profile conventions.
+//
+// Three ingredients, all compiled out under -DLAD_TELEMETRY=OFF:
+//
+//   1. *Flight recorder.* local/engine.cpp marks every round
+//      (begin_run/begin_round/end_round); the recorder turns the engine's
+//      cumulative per-run counters into per-round deltas and stores them in
+//      a bounded ring buffer. Each sample carries a deterministic slice
+//      (messages, bytes, faults injected, repairs, message-buffer
+//      allocation deltas — byte-identical across reruns and thread counts
+//      by the §8 contract) and a measured slice (round wall time, pool
+//      dispatch latency, per-worker barrier wait, chunk queueing delay,
+//      imbalance, critical worker). On a failed chaos cell the ring is
+//      dumped post-mortem to stderr (faults/chaos.cpp).
+//   2. *Wait accounting.* util/thread_pool.cpp brackets every parallel
+//      dispatch (begin_dispatch/end_dispatch) and timestamps every chunk
+//      (LAD_TM_WAIT_TIMER); WaitAccounting folds them into per-dispatch
+//      dispatch latency (enqueue -> first chunk start), per-chunk queueing
+//      delay, and per-worker barrier wait (own last chunk end -> barrier
+//      release). The serial inline path (threads <= 1) never opens a
+//      dispatch window, so it reports exactly zero waits.
+//   3. *Amdahl analyzer.* The six-phase taxonomy of §13 splits traced
+//      self-time into parallelizable compute vs serial sections (deliver,
+//      fault transitions, gather setup, verify, scaffolding). The serial
+//      fraction measured at one thread feeds Amdahl's law for the
+//      predicted max speedup at each thread count; per-round imbalance
+//      (max busy / mean busy) names the critical worker.
+//
+// The report separates *deterministic structure* (identity + the per-round
+// delta series — what `lad difftl` gates exactly, exit 4 on divergence)
+// from *measured timings* (per-thread-count total/serial/wait series —
+// compared only with tolerance, exit 3). Same split, same exit codes as
+// obs/benchdiff.* and obs/profile.*.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/benchdiff.hpp"  // DiffStatus, CaseDiff, BenchDiffOptions
+#include "obs/profile.hpp"    // ProfileIdentity, phase taxonomy
+#include "obs/telemetry.hpp"
+
+namespace lad::obs {
+
+/// Bumped whenever the timeline JSON layout changes incompatibly.
+/// v1: initial format — nested "deterministic" object + "measured" object.
+inline constexpr int kTimelineSchemaVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Wait accounting
+
+/// Folds pool dispatch/chunk timestamps into per-dispatch wait attribution.
+/// One dispatch window is open at a time (ThreadPool::parallel_for is
+/// non-reentrant and serializes dispatches through the pool lock); chunk
+/// records outside a window — the serial inline path — are discarded, so
+/// threads=1 reports zero dispatches and zero waits by construction.
+class WaitAccounting {
+ public:
+  /// Aggregate of every dispatch since the last drain (one engine round
+  /// performs one compute dispatch, so FlightRecorder drains per round).
+  struct Window {
+    long long dispatches = 0;
+    long long dispatch_us = 0;  // sum of enqueue -> first chunk start
+    long long queue_us = 0;     // sum over chunks of enqueue -> chunk start
+    long long wait_us = 0;      // sum of per-worker barrier waits
+    long long max_wait_us = 0;  // worst single worker barrier wait
+    long long busy_us = 0;      // summed chunk execution time
+    long long max_busy_us = 0;  // busiest worker's chunk execution time
+    int workers = 0;            // most distinct workers in one dispatch
+    int critical_tid = -1;      // trace tid of the busiest worker
+  };
+
+  static WaitAccounting& instance();
+
+  /// Discards the open window and the folded aggregates (run boundary).
+  void reset();
+
+  /// Caller side, parallel path only: marks the enqueue instant.
+  void begin_dispatch();
+  /// Caller side, after the completion barrier: closes the window, folding
+  /// per-worker first-start/last-end into the aggregates. No-op when no
+  /// window is open (telemetry enabled mid-dispatch).
+  void end_dispatch();
+
+  /// Worker side (WaitChunkTimer): one executed chunk [start_us, end_us].
+  /// Discarded when no dispatch window is open.
+  void record_chunk(std::uint64_t start_us, std::uint64_t end_us);
+
+  /// Returns the folded aggregates and zeroes them (round boundary).
+  Window drain_window();
+
+ private:
+  struct WorkerCell;
+  WorkerCell& local_cell();
+  void fold_open_window_locked(std::uint64_t now_us);
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<WorkerCell>> cells_;
+  std::atomic<std::uint64_t> epoch_{0};     // dispatch id; cells self-reset on change
+  std::atomic<std::uint64_t> begin_us_{0};  // enqueue instant of the open dispatch
+  std::atomic<bool> open_{false};
+  Window window_;
+};
+
+/// RAII chunk timer feeding WaitAccounting: measures one pool chunk's
+/// [start, end]. Inactive while telemetry is runtime-disabled (latched at
+/// construction, like Span and ChunkTimer).
+class WaitChunkTimer {
+ public:
+  WaitChunkTimer();
+  ~WaitChunkTimer();
+  WaitChunkTimer(const WaitChunkTimer&) = delete;
+  WaitChunkTimer& operator=(const WaitChunkTimer&) = delete;
+
+ private:
+  std::uint64_t begin_us_ = 0;
+  bool active_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+/// One recorded round. The deterministic fields are per-round *deltas* of
+/// the engine's cumulative per-run counters; the measured fields come from
+/// the wall clock and WaitAccounting.
+struct RoundSample {
+  long long run_id = 0;  // process-wide monotone run number
+  long long round = 0;   // 1-based round index within the run
+
+  // Deterministic slice (§8: byte-identical across reruns/thread counts).
+  long long messages = 0;     // messages delivered this round
+  long long bytes = 0;        // payload bytes delivered this round
+  long long faults = 0;       // engine faults injected this round
+  long long repairs = 0;      // crashed nodes recovered this round
+  long long allocs = 0;       // message buffers allocated this round
+  long long alloc_bytes = 0;  // bytes in those buffers
+
+  // Measured slice (scheduling-dependent; never diffed exactly).
+  double wall_ms = 0;        // round wall time
+  double dispatch_us = 0;    // pool dispatch latency this round
+  double queue_us = 0;       // summed chunk queueing delay
+  double wait_us = 0;        // summed per-worker barrier wait
+  double max_wait_us = 0;    // worst single worker barrier wait
+  int workers = 0;           // pool workers that executed chunks
+  double imbalance = 1.0;    // max busy / mean busy (1.0 under 2 workers)
+  int critical_tid = -1;     // busiest worker's trace tid (critical path)
+  std::uint64_t ts_us = 0;   // trace-epoch time at round end (counter lanes)
+};
+
+/// Bounded flight recorder: a process-wide ring of the most recent
+/// kRingCapacity round samples. Per-run cursors are thread-local (chaos
+/// campaigns run engines concurrently on pool workers); the ring itself is
+/// shared and mutex-guarded. Overwritten samples are counted, never silent.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kRingCapacity = 4096;
+
+  static FlightRecorder& instance();
+
+  /// Forgets all samples and the overwrite count (run ids keep advancing).
+  void clear();
+
+  /// Starts a new run on the calling thread: allocates a run id, snapshots
+  /// the allocation counters, and discards any stale wait window.
+  void begin_run();
+
+  /// Marks the start of one round (timestamp + allocation snapshot).
+  void begin_round();
+
+  /// Records one finished round. The engine passes its *cumulative* per-run
+  /// totals; the recorder differences them against the previous round.
+  void end_round(long long round, long long cum_messages, long long cum_bytes,
+                 long long cum_faults, long long cum_repairs);
+
+  /// Samples currently held, oldest first.
+  std::vector<RoundSample> samples() const;
+
+  /// Rounds overwritten because the ring was full.
+  long long dropped() const;
+
+  /// Post-mortem dump: the most recent `max_rounds` samples as aligned
+  /// text, prefixed by `reason`. Used on failed chaos cells and safe to
+  /// call from any thread.
+  void dump(std::ostream& os, const std::string& reason,
+            std::size_t max_rounds = 32) const;
+
+ private:
+  struct RunCursor {
+    long long run_id = 0;
+    std::uint64_t round_begin_us = 0;
+    long long prev_messages = 0;
+    long long prev_bytes = 0;
+    long long prev_faults = 0;
+    long long prev_repairs = 0;
+    long long alloc_base = 0;        // core().alloc_msgbuf at round start
+    long long alloc_bytes_base = 0;  // core().alloc_msgbuf_bytes at round start
+  };
+
+  RunCursor& cursor();
+  void push(const RoundSample& s);
+
+  mutable std::mutex mu_;
+  std::vector<RoundSample> ring_;
+  std::size_t head_ = 0;  // index of the oldest sample once full
+  long long dropped_ = 0;
+  std::atomic<long long> next_run_id_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Amdahl / critical path
+
+/// Traced self-time split into the §13 taxonomy's parallelizable compute
+/// phase vs everything serial (message exchange, fault transitions, gather
+/// setup, verify, scaffolding).
+struct SerialSplit {
+  double serial_ms = 0;
+  double compute_ms = 0;
+  /// serial / (serial + compute); 0 when nothing was traced.
+  double serial_fraction = 0;
+};
+
+/// Computes the split from the recorder's current events (stack-replay
+/// self-times, §13). Measured at one thread this is the Amdahl serial
+/// fraction of the run.
+SerialSplit serial_split_from_trace();
+
+/// Amdahl's law: max speedup 1 / (s + (1 - s) / T) for serial fraction `s`
+/// at `T` threads. T < 1 is treated as 1; s is clamped to [0, 1].
+double amdahl_speedup(double serial_fraction, int threads);
+
+// ---------------------------------------------------------------------------
+// Report
+
+/// Deterministic per-round delta row (the byte-stable series).
+struct TimelineRound {
+  long long round = 0;
+  long long messages = 0;
+  long long bytes = 0;
+  long long faults = 0;
+  long long repairs = 0;
+  long long allocs = 0;
+  long long alloc_bytes = 0;
+};
+
+/// Measured per-round row of one thread-count run.
+struct MeasuredRound {
+  long long round = 0;
+  double wall_ms = 0;
+  double dispatch_us = 0;
+  double queue_us = 0;
+  double wait_us = 0;
+  double max_wait_us = 0;
+  int workers = 0;
+  double imbalance = 1.0;
+  int critical_tid = -1;
+};
+
+/// One measured run at a fixed thread count.
+struct TimelineThreadRun {
+  int threads = 1;
+  double total_ms = 0;  // min-of-reps end-to-end wall time
+  double serial_ms = 0;
+  double compute_ms = 0;
+  double serial_fraction = 0;        // this run's own split
+  double predicted_max_speedup = 1;  // Amdahl at the 1-thread serial fraction
+  double measured_speedup = 0;       // 1-thread total_ms / this total_ms
+  std::vector<MeasuredRound> rounds;
+};
+
+/// Raw per-run input to the report builder.
+struct TimelineRunInput {
+  int threads = 1;
+  double total_ms = 0;
+  SerialSplit split;
+  std::vector<RoundSample> samples;  // this run's flight-recorder slice
+};
+
+struct TimelineReport {
+  ProfileIdentity id;
+  std::vector<TimelineRound> rounds;  // deterministic series (round order)
+
+  std::vector<TimelineThreadRun> runs;  // ascending thread count
+  long long flight_dropped = 0;
+
+  std::string git_commit;
+  std::string timestamp;
+
+  /// Exactly the nested "deterministic" object of to_json(): the byte-
+  /// stable slice CI diffs across thread counts.
+  std::string deterministic_json() const;
+  std::string to_json() const;
+  /// Round-series table + Amdahl summary for humans.
+  std::string to_markdown() const;
+};
+
+/// Assembles a report from per-thread-count run inputs. The deterministic
+/// round series is taken from the first run and every other run must match
+/// it exactly; a divergence (a §8 violation) throws std::runtime_error —
+/// the CLI maps it to the MISMATCH exit code 4.
+TimelineReport build_timeline_report(const ProfileIdentity& id,
+                                     const std::vector<TimelineRunInput>& runs);
+
+// ---------------------------------------------------------------------------
+// difftl
+
+/// Parsed timeline JSON, reduced to what the differ compares.
+struct TimelineDoc {
+  int schema_version = 0;
+  std::string pipeline;
+  std::string source;
+  std::string graph_digest;
+  long long n = 0;
+  long long m = 0;
+  long long seed = 1;
+  long long decode_rounds = 0;
+  bool verify_ok = false;
+  std::string output_digest;
+  long long advice_bits = 0;
+  long long engine_messages = 0;
+  long long engine_message_bits = 0;
+  std::vector<TimelineRound> rounds;
+  std::vector<std::pair<int, double>> run_times;  // (threads, total_ms)
+};
+
+/// Parses a `lad timeline --json` document. Throws std::runtime_error on
+/// malformed input or an unknown schema version.
+TimelineDoc parse_timeline_json(const std::string& text);
+
+struct TimelineDiffResult {
+  std::vector<CaseDiff> diffs;  // empty = clean
+
+  DiffStatus status() const;
+  std::string to_text() const;
+};
+
+/// Structural diff mirroring diff_profile: deterministic fields and the
+/// per-round series exact (MISMATCH, exit 4); total_ms per matching thread
+/// count gated by baseline + max(tol_ms, tol_rel·baseline) (REGRESSION,
+/// exit 3). Thread counts present on only one side are not compared.
+TimelineDiffResult diff_timeline(const TimelineDoc& baseline, const TimelineDoc& candidate,
+                                 const BenchDiffOptions& opts = {});
+
+}  // namespace lad::obs
+
+// ---------------------------------------------------------------------------
+// Chunk wait-timing hook for util/thread_pool.cpp. Mirrors LAD_TM_CHUNK_TIMER
+// in profile.hpp: an empty statement under -DLAD_TELEMETRY=OFF.
+#if LAD_TELEMETRY
+#define LAD_TM_WAIT_TIMER(var) ::lad::obs::WaitChunkTimer var
+#else
+#define LAD_TM_WAIT_TIMER(var) ((void)0)
+#endif

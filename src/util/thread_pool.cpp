@@ -5,6 +5,7 @@
 
 #include "obs/profile.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
 #include "util/contracts.hpp"
 
 namespace lad {
@@ -72,6 +73,10 @@ void ThreadPool::run_chunks(const std::function<void(int)>& chunk_fn, int num_ch
     // function of (count, threads).
     LAD_TM_SPAN(chunk_span, "pool.chunk", "pool");
     LAD_TM_CHUNK_TIMER(chunk_timer);
+    // Wait attribution (DESIGN.md §14): records [start, end] against the
+    // open dispatch window; a no-op on the serial inline path below, so
+    // threads=1 reports exactly zero dispatch/queue/barrier time.
+    LAD_TM_WAIT_TIMER(wait_timer);
     LAD_TM(obs::core().pool_chunks.add(1));
     try {
       chunk_fn(c);
@@ -83,6 +88,10 @@ void ThreadPool::run_chunks(const std::function<void(int)>& chunk_fn, int num_ch
   if (workers_.empty()) {
     for (int c = 0; c < num_chunks; ++c) guarded(c);
   } else {
+    // Open the wait-attribution window at the enqueue instant; workers
+    // timestamp their chunks against it and end_dispatch() folds dispatch
+    // latency / queueing delay / per-worker barrier wait after the barrier.
+    LAD_TM(obs::WaitAccounting::instance().begin_dispatch());
     {
       std::lock_guard<std::mutex> lk(mu_);
       LAD_CHECK_MSG(inflight_ == 0, "ThreadPool::parallel_for is not reentrant");
@@ -93,8 +102,11 @@ void ThreadPool::run_chunks(const std::function<void(int)>& chunk_fn, int num_ch
       }
     }
     work_cv_.notify_all();
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [this] { return inflight_ == 0; });
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [this] { return inflight_ == 0; });
+    }
+    LAD_TM(obs::WaitAccounting::instance().end_dispatch());
   }
 
   for (auto& err : errors) {

@@ -193,6 +193,20 @@ TEST(Profile, PoolRowsAndImbalanceAtFourThreads) {
   EXPECT_NE(report.to_markdown().find("## Top time sinks"), std::string::npos);
 }
 
+// --- Warmup discipline -----------------------------------------------------
+
+TEST(Profile, WarmupDisciplineSharedWithTimeline) {
+  // `lad profile` and `lad timeline` discard exactly one warmup run before
+  // the timed min-of-K loop when --reps > 1, and none for a single rep —
+  // the same discipline `lad bench` uses. Pinned so a CLI refactor cannot
+  // silently time the cold first run.
+  EXPECT_EQ(obs::profile_warmup_runs(1), 0);
+  EXPECT_EQ(obs::profile_warmup_runs(2), 1);
+  EXPECT_EQ(obs::profile_warmup_runs(3), 1);
+  EXPECT_EQ(obs::profile_warmup_runs(100), 1);
+  EXPECT_EQ(obs::profile_warmup_runs(0), 0);
+}
+
 // --- Fingerprint -----------------------------------------------------------
 
 TEST(Profile, FingerprintIsStableAndOrderSensitive) {

@@ -73,11 +73,14 @@ TEST(Telemetry, MetricsDeterministicAcrossThreadCounts) {
   if (!obs::compiled_in()) GTEST_SKIP() << "built with LAD_TELEMETRY=OFF";
   obs::set_enabled(true);
 
-  // The catalog must actually carry the flag on the three known-variant
-  // metrics — an empty exclusion set would make this test flaky, not green.
+  // The catalog must actually carry the flag on the known-variant metrics —
+  // an empty exclusion set would make this test flaky, not green.
   const std::set<std::string> excluded = thread_dependent_names();
-  EXPECT_EQ(excluded, (std::set<std::string>{"lad_pool_chunks_total", "lad_pool_threads",
-                                             "lad_contract_checks_total"}));
+  EXPECT_EQ(excluded, (std::set<std::string>{
+                          "lad_pool_chunks_total", "lad_pool_threads",
+                          "lad_contract_checks_total", "lad_pool_dispatches_total",
+                          "lad_pool_dispatch_us_total", "lad_pool_barrier_wait_us_total",
+                          "lad_pool_queue_us_total"}));
   for (const auto& name : excluded) {
     EXPECT_TRUE(obs::MetricsRegistry::instance().is_thread_variant(name)) << name;
   }
@@ -174,6 +177,7 @@ TEST(Telemetry, ChromeTraceIsBalancedAndMonotone) {
   std::map<long long, long long> last_ts;          // tid -> last timestamp
   int events = 0;
   int metadata = 0;
+  int counters = 0;
   std::size_t start = 0;
   while ((start = json.find("{\"name\"", start)) != std::string::npos) {
     const auto end = json.find('}', start);
@@ -185,6 +189,13 @@ TEST(Telemetry, ChromeTraceIsBalancedAndMonotone) {
     if (ph == "M") {
       // thread_name metadata (emitted first): no ts, no nesting to check.
       ++metadata;
+      continue;
+    }
+    if (ph == "C") {
+      // Flight-recorder counter lanes (§14): carry a ts but no nesting;
+      // their timestamps come from engine rounds recorded independently of
+      // the span stream, so they are excluded from the monotonicity check.
+      ++counters;
       continue;
     }
     const long long tid = json_int(line, "tid");
@@ -199,6 +210,12 @@ TEST(Telemetry, ChromeTraceIsBalancedAndMonotone) {
     ++events;
   }
   EXPECT_GT(events, 0);
+  // The engine workload records flight-recorder rounds, so the export must
+  // carry the three §14 counter lanes for Perfetto's round-series view.
+  EXPECT_GT(counters, 0) << "no counter (ph C) events in the export";
+  EXPECT_NE(json.find("\"round.messages\""), std::string::npos);
+  EXPECT_NE(json.find("\"round.bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"round.barrier_wait_us\""), std::string::npos);
   // The pooled workload names its workers, so the export must carry
   // thread_name metadata events (lanes get labels in Perfetto).
   EXPECT_GT(metadata, 0) << "no thread_name metadata events in the export";

@@ -1,0 +1,336 @@
+// The timeline-observatory contract (DESIGN.md §14), pinned from five
+// sides:
+//
+//   1. Amdahl's law arithmetic is exact, clamped at both ends (s in [0,1],
+//      T >= 1).
+//   2. Wait accounting is zero by construction on the serial inline path
+//      (threads = 1 never opens a dispatch window), and an empty round —
+//      zero messages, zero workers — produces finite, neutral statistics
+//      (imbalance 1.0, no division by zero).
+//   3. The flight-recorder ring is bounded: overflow counts dropped rounds
+//      instead of growing or failing, and the post-mortem dump renders.
+//   4. The report's deterministic round series is byte-identical across
+//      reruns and thread counts (1, 2, 8) for real pipeline workloads —
+//      the slice `lad difftl` and the CI timeline-smoke job gate exactly —
+//      and a cross-thread-count divergence throws instead of averaging.
+//   5. The timeline JSON round-trips through parse_timeline_json, and
+//      diff_timeline maps drift to the shared exit-code convention:
+//      0 clean, 3 timing regression (tolerance-gated), 4 structural
+//      mismatch.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "faults/campaign.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "obs/profile.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lad {
+namespace {
+
+struct TimelineCapture {
+  obs::ProfileIdentity id;
+  obs::TimelineRunInput run;
+};
+
+// Mirrors what `lad timeline` runs per thread count: encode -> decode ->
+// verify -> pooled verification echo, then the flight-recorder and
+// serial-split snapshots. total_ms is pinned (1.0) so tests exercise
+// structure, not the clock.
+TimelineCapture timeline_run(const std::string& pipeline_name, int threads) {
+  const Pipeline* p = find_pipeline(pipeline_name);
+  EXPECT_NE(p, nullptr) << pipeline_name;
+  PipelineConfig cfg;
+  cfg.seed = 7;
+  const Graph g = make_cycle(512, IdMode::kSequential, 7);
+
+  obs::set_enabled(true);
+  obs::MetricsRegistry::instance().reset();
+  obs::TraceRecorder::instance().clear();
+  obs::PoolAccounting::instance().reset();
+  obs::FlightRecorder::instance().clear();
+  obs::WaitAccounting::instance().reset();
+
+  ThreadPool pool(threads);
+  const auto adv = p->encode(g, cfg);
+  const auto out = p->decode(g, adv, cfg);
+  const bool ok = p->verify(g, out, cfg);
+  const auto echo = faults::run_verification_echo(g, p->node_digests(g, out), /*echo_rounds=*/3,
+                                                  /*faults=*/nullptr,
+                                                  threads > 1 ? &pool : nullptr);
+
+  TimelineCapture cap;
+  cap.run.threads = threads;
+  cap.run.total_ms = 1.0;
+  cap.run.split = obs::serial_split_from_trace();
+  cap.run.samples = obs::FlightRecorder::instance().samples();
+
+  cap.id.pipeline = p->name();
+  cap.id.source = "cycle:512@7";
+  cap.id.graph_digest = graph_digest_hex(g);
+  cap.id.n = g.n();
+  cap.id.m = g.m();
+  cap.id.seed = 7;
+  cap.id.decode_rounds = out.rounds;
+  cap.id.verify_ok = ok && echo.unverified_nodes.empty();
+  cap.id.output_digest = obs::fingerprint_hex(p->node_digests(g, out));
+  cap.id.advice_bits = adv.stats(g.n()).total_bits;
+  cap.id.engine_messages = obs::core().engine_messages.value();
+  cap.id.engine_message_bits = obs::core().engine_message_bits.value();
+
+  obs::set_enabled(false);
+  obs::MetricsRegistry::instance().reset();
+  obs::TraceRecorder::instance().clear();
+  obs::PoolAccounting::instance().reset();
+  obs::FlightRecorder::instance().clear();
+  obs::WaitAccounting::instance().reset();
+  return cap;
+}
+
+// --- Amdahl ---------------------------------------------------------------
+
+TEST(Timeline, AmdahlSpeedupMath) {
+  // s = 0: perfectly parallel, speedup = T.
+  EXPECT_DOUBLE_EQ(obs::amdahl_speedup(0.0, 4), 4.0);
+  // s = 1: fully serial, no speedup at any T.
+  EXPECT_DOUBLE_EQ(obs::amdahl_speedup(1.0, 8), 1.0);
+  // s = 0.5, T = 4: 1 / (0.5 + 0.125) = 1.6.
+  EXPECT_DOUBLE_EQ(obs::amdahl_speedup(0.5, 4), 1.6);
+  // T = 1 collapses to 1 regardless of s.
+  EXPECT_DOUBLE_EQ(obs::amdahl_speedup(0.5, 1), 1.0);
+  // Clamping: s outside [0, 1] and T < 1 are normalized, not propagated.
+  EXPECT_DOUBLE_EQ(obs::amdahl_speedup(-0.5, 4), 4.0);
+  EXPECT_DOUBLE_EQ(obs::amdahl_speedup(2.0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(obs::amdahl_speedup(0.5, 0), 1.0);
+}
+
+// --- Wait accounting -------------------------------------------------------
+
+TEST(Timeline, SerialPathReportsZeroWaits) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built with LAD_TELEMETRY=OFF";
+  // A drained window with no dispatches is all zeros.
+  obs::WaitAccounting::instance().reset();
+  const auto empty = obs::WaitAccounting::instance().drain_window();
+  EXPECT_EQ(empty.dispatches, 0);
+  EXPECT_EQ(empty.wait_us, 0);
+  EXPECT_EQ(empty.workers, 0);
+
+  // A full single-threaded run never opens a dispatch window, so every
+  // recorded round reports zero dispatch/queue/wait time and no workers.
+  const auto cap = timeline_run("orientation", 1);
+  ASSERT_FALSE(cap.run.samples.empty());
+  for (const auto& s : cap.run.samples) {
+    EXPECT_EQ(s.workers, 0) << "round " << s.round;
+    EXPECT_DOUBLE_EQ(s.dispatch_us, 0.0) << "round " << s.round;
+    EXPECT_DOUBLE_EQ(s.queue_us, 0.0) << "round " << s.round;
+    EXPECT_DOUBLE_EQ(s.wait_us, 0.0) << "round " << s.round;
+    EXPECT_DOUBLE_EQ(s.imbalance, 1.0) << "round " << s.round;
+    EXPECT_EQ(s.critical_tid, -1) << "round " << s.round;
+  }
+}
+
+TEST(Timeline, PooledRunRecordsDispatchWindows) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built with LAD_TELEMETRY=OFF";
+  const auto cap = timeline_run("orientation", 4);
+  long long workers = 0;
+  for (const auto& s : cap.run.samples) {
+    workers += s.workers;
+    EXPECT_GE(s.imbalance, 1.0) << "round " << s.round;
+  }
+  EXPECT_GT(workers, 0) << "pooled echo rounds recorded no dispatch workers";
+}
+
+TEST(Timeline, EmptyRoundIsFiniteAndNeutral) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built with LAD_TELEMETRY=OFF";
+  auto& fr = obs::FlightRecorder::instance();
+  obs::WaitAccounting::instance().reset();
+  fr.clear();
+  fr.begin_run();
+  fr.begin_round();
+  // A round that moved nothing: zero message/fault deltas, no dispatches.
+  fr.end_round(1, /*cum_messages=*/0, /*cum_bytes=*/0, /*cum_faults=*/0, /*cum_repairs=*/0);
+  const auto samples = fr.samples();
+  ASSERT_EQ(samples.size(), 1u);
+  const auto& s = samples.front();
+  EXPECT_EQ(s.round, 1);
+  EXPECT_EQ(s.messages, 0);
+  EXPECT_EQ(s.bytes, 0);
+  EXPECT_EQ(s.workers, 0);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.0);  // no division by zero busy time
+  EXPECT_GE(s.wall_ms, 0.0);
+  fr.clear();
+}
+
+// --- Flight-recorder ring --------------------------------------------------
+
+TEST(Timeline, RingOverflowCountsDroppedRounds) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built with LAD_TELEMETRY=OFF";
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  fr.begin_run();
+  const long long extra = 50;
+  const long long total = static_cast<long long>(obs::FlightRecorder::kRingCapacity) + extra;
+  for (long long r = 1; r <= total; ++r) {
+    fr.begin_round();
+    fr.end_round(r, /*cum_messages=*/r, /*cum_bytes=*/2 * r, /*cum_faults=*/0,
+                 /*cum_repairs=*/0);
+  }
+  EXPECT_EQ(fr.samples().size(), obs::FlightRecorder::kRingCapacity);
+  EXPECT_EQ(fr.dropped(), extra);
+  // Oldest-first order: the ring must start right after the dropped prefix,
+  // with unit message deltas (cumulative counts increase by one per round).
+  const auto samples = fr.samples();
+  EXPECT_EQ(samples.front().round, extra + 1);
+  EXPECT_EQ(samples.back().round, total);
+  EXPECT_EQ(samples.back().messages, 1);
+
+  std::ostringstream os;
+  fr.dump(os, "test reason", /*max_rounds=*/4);
+  EXPECT_NE(os.str().find("[flight-recorder]"), std::string::npos);
+  EXPECT_NE(os.str().find("test reason"), std::string::npos);
+  fr.clear();
+}
+
+// --- Determinism across thread counts --------------------------------------
+
+TEST(Timeline, DeterministicSliceIsByteStableAcrossThreads) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built with LAD_TELEMETRY=OFF";
+  for (const char* name : {"orientation", "decompress"}) {
+    const auto base_cap = timeline_run(name, 1);
+    const std::string base =
+        obs::build_timeline_report(base_cap.id, {base_cap.run}).deterministic_json();
+    EXPECT_FALSE(base.empty());
+    for (const int threads : {2, 8}) {
+      const auto cap = timeline_run(name, threads);
+      EXPECT_EQ(base, obs::build_timeline_report(cap.id, {cap.run}).deterministic_json())
+          << name << " deterministic round series drifted at " << threads << " threads";
+    }
+  }
+}
+
+TEST(Timeline, BuildReportThrowsOnSeriesDivergence) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built with LAD_TELEMETRY=OFF";
+  const auto cap = timeline_run("orientation", 1);
+  auto perturbed = cap.run;
+  perturbed.threads = 2;
+  ASSERT_FALSE(perturbed.samples.empty());
+  perturbed.samples.front().messages += 1;
+  EXPECT_THROW(obs::build_timeline_report(cap.id, {cap.run, perturbed}), std::runtime_error);
+}
+
+// --- JSON round-trip and difftl --------------------------------------------
+
+TEST(Timeline, JsonRoundTripsThroughParser) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built with LAD_TELEMETRY=OFF";
+  auto one = timeline_run("orientation", 1);
+  auto two = timeline_run("orientation", 2);
+  one.run.total_ms = 10.0;
+  two.run.total_ms = 5.0;
+  const auto report = obs::build_timeline_report(one.id, {one.run, two.run});
+  ASSERT_EQ(report.runs.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.runs[1].measured_speedup, 2.0);
+  // Predicted speedup uses the 1-thread serial fraction: bounded by T and
+  // at least 1.
+  EXPECT_GE(report.runs[1].predicted_max_speedup, 1.0);
+  EXPECT_LE(report.runs[1].predicted_max_speedup, 2.0);
+
+  const std::string json = report.to_json();
+  // The deterministic slice is embedded verbatim in the full document.
+  EXPECT_NE(json.find(report.deterministic_json()), std::string::npos);
+
+  const auto doc = obs::parse_timeline_json(json);
+  EXPECT_EQ(doc.schema_version, obs::kTimelineSchemaVersion);
+  EXPECT_EQ(doc.pipeline, report.id.pipeline);
+  EXPECT_EQ(doc.source, report.id.source);
+  EXPECT_EQ(doc.graph_digest, report.id.graph_digest);
+  EXPECT_EQ(doc.n, report.id.n);
+  EXPECT_EQ(doc.m, report.id.m);
+  EXPECT_EQ(doc.seed, static_cast<long long>(report.id.seed));
+  EXPECT_EQ(doc.decode_rounds, report.id.decode_rounds);
+  EXPECT_EQ(doc.verify_ok, report.id.verify_ok);
+  EXPECT_EQ(doc.output_digest, report.id.output_digest);
+  EXPECT_EQ(doc.advice_bits, report.id.advice_bits);
+  EXPECT_EQ(doc.engine_messages, report.id.engine_messages);
+  EXPECT_EQ(doc.engine_message_bits, report.id.engine_message_bits);
+  ASSERT_EQ(doc.rounds.size(), report.rounds.size());
+  for (std::size_t i = 0; i < doc.rounds.size(); ++i) {
+    EXPECT_EQ(doc.rounds[i].round, report.rounds[i].round);
+    EXPECT_EQ(doc.rounds[i].messages, report.rounds[i].messages);
+    EXPECT_EQ(doc.rounds[i].bytes, report.rounds[i].bytes);
+    EXPECT_EQ(doc.rounds[i].faults, report.rounds[i].faults);
+    EXPECT_EQ(doc.rounds[i].repairs, report.rounds[i].repairs);
+    EXPECT_EQ(doc.rounds[i].allocs, report.rounds[i].allocs);
+    EXPECT_EQ(doc.rounds[i].alloc_bytes, report.rounds[i].alloc_bytes);
+  }
+  ASSERT_EQ(doc.run_times.size(), 2u);
+  EXPECT_EQ(doc.run_times[0].first, 1);
+  EXPECT_DOUBLE_EQ(doc.run_times[0].second, 10.0);
+  EXPECT_EQ(doc.run_times[1].first, 2);
+  EXPECT_DOUBLE_EQ(doc.run_times[1].second, 5.0);
+
+  // The human-facing report names its Amdahl summary.
+  EXPECT_NE(report.to_markdown().find("serial"), std::string::npos);
+
+  EXPECT_THROW(obs::parse_timeline_json("{}"), std::runtime_error);
+  EXPECT_THROW(obs::parse_timeline_json("not json"), std::runtime_error);
+}
+
+TEST(Timeline, DiffFollowsExitCodeConvention) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built with LAD_TELEMETRY=OFF";
+  auto one = timeline_run("orientation", 1);
+  auto two = timeline_run("orientation", 2);
+  one.run.total_ms = 10.0;
+  two.run.total_ms = 5.0;
+  const auto report = obs::build_timeline_report(one.id, {one.run, two.run});
+  const auto base = obs::parse_timeline_json(report.to_json());
+
+  obs::BenchDiffOptions tight;
+  tight.tol_ms = 1.0;
+  tight.tol_rel = 0.0;
+  EXPECT_EQ(obs::diff_timeline(base, base, tight).status(), obs::DiffStatus::kClean);
+
+  // Thread counts present on only one side are not compared.
+  auto fewer = base;
+  fewer.run_times.pop_back();
+  EXPECT_EQ(obs::diff_timeline(base, fewer, tight).status(), obs::DiffStatus::kClean);
+
+  // Deterministic drift: structural mismatch (exit 4), named field.
+  auto digest_drift = base;
+  digest_drift.output_digest = "0000000000000000";
+  const auto mism = obs::diff_timeline(base, digest_drift, tight);
+  EXPECT_EQ(mism.status(), obs::DiffStatus::kMismatch);
+  EXPECT_NE(mism.to_text().find("output_digest"), std::string::npos);
+
+  auto round_drift = base;
+  ASSERT_FALSE(round_drift.rounds.empty());
+  round_drift.rounds.front().messages += 1;
+  EXPECT_EQ(obs::diff_timeline(base, round_drift, tight).status(), obs::DiffStatus::kMismatch);
+
+  // Timing drift beyond tolerance: regression (exit 3); absorbed by a
+  // generous tolerance: clean.
+  auto slow = base;
+  ASSERT_FALSE(slow.run_times.empty());
+  slow.run_times.front().second += 1000.0;
+  const auto reg = obs::diff_timeline(base, slow, tight);
+  EXPECT_EQ(reg.status(), obs::DiffStatus::kRegression);
+  EXPECT_NE(reg.to_text().find("total_ms"), std::string::npos);
+  obs::BenchDiffOptions loose;
+  loose.tol_ms = 100000.0;
+  EXPECT_EQ(obs::diff_timeline(base, slow, loose).status(), obs::DiffStatus::kClean);
+
+  // Exit codes are the enum values — the CLI returns status() directly.
+  EXPECT_EQ(static_cast<int>(obs::DiffStatus::kClean), 0);
+  EXPECT_EQ(static_cast<int>(obs::DiffStatus::kRegression), 3);
+  EXPECT_EQ(static_cast<int>(obs::DiffStatus::kMismatch), 4);
+}
+
+}  // namespace
+}  // namespace lad

@@ -41,6 +41,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -75,6 +76,7 @@
 #include "obs/export.hpp"
 #include "obs/stopwatch.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
 #include "obs/version.hpp"
 #include "util/thread_pool.hpp"
 
@@ -157,6 +159,20 @@ int usage() {
                "            documents: every deterministic field exactly (digests, message/\n"
                "            advice counts, allocation totals), total wall time with\n"
                "            tolerance; same exit codes as diffbench\n"
+               "  lad timeline <pipeline> --graph SPEC [--threads K[,K...]] [--reps R]\n"
+               "            [--seed S] [--json timeline.json] [--out TIMELINE-generated.md]\n"
+               "            timeline observatory (DESIGN.md §14): per-round time-series\n"
+               "            (messages/bytes/faults/repairs/allocs deterministic; wall time,\n"
+               "            pool dispatch latency, barrier wait, imbalance measured) plus\n"
+               "            the Amdahl critical-path analysis — measured serial fraction at\n"
+               "            1 thread, predicted max vs measured speedup per thread count;\n"
+               "            the JSON's \"deterministic\" object is byte-identical across\n"
+               "            reruns and thread counts (exit 4 if a run diverges)\n"
+               "  lad difftl <baseline.json> <candidate.json> [--tol-ms X] [--tol-rel R]\n"
+               "            structural diff of two `lad timeline --json` documents:\n"
+               "            deterministic fields and the per-round series exactly, per-\n"
+               "            thread-count total wall time with tolerance; same exit codes\n"
+               "            as diffbench\n"
                "  lad report [--out FILE] [--ns n1,n2,...] [--seed S]\n"
                "            regenerates the claims-conformance report (markdown) from the\n"
                "            real encode/decode/verify stack; default out:\n"
@@ -1063,8 +1079,39 @@ int cmd_report(int argc, char** argv) {
   std::ofstream out(args.out_path);
   LAD_CHECK_MSG(out.good(), "cannot write " << args.out_path);
   out << report.to_markdown();
-  std::printf("wrote %s (%zu pipeline(s), overall %s)\n", args.out_path.c_str(),
-              report.pipelines.size(), report.pass() ? "PASS" : "FAIL");
+
+  // Perf trajectory: every checked-in BENCH_*.json generation in the
+  // working directory, lenient-parsed (schema v1 through v6 all render),
+  // appended as one serial-wall-time table per case. A malformed document
+  // degrades to a warning — the claims report itself is the contract.
+  std::vector<std::string> bench_files;
+  try {
+    for (const auto& entry : std::filesystem::directory_iterator(".")) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 && name.ends_with(".json")) bench_files.push_back(name);
+    }
+  } catch (const std::filesystem::filesystem_error&) {
+    // Unreadable cwd: skip the trajectory rather than fail the report.
+  }
+  std::sort(bench_files.begin(), bench_files.end());
+  std::vector<obs::BenchGeneration> generations;
+  for (const auto& name : bench_files) {
+    std::ifstream in(name);
+    if (!in.good()) continue;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    try {
+      generations.push_back({name, obs::parse_bench_json_lenient(ss.str())});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: skipping %s: %s\n", name.c_str(), e.what());
+    }
+  }
+  if (!generations.empty()) out << "\n" << obs::perf_trajectory_markdown(generations);
+
+  std::printf("wrote %s (%zu pipeline(s), %zu bench generation(s), overall %s)\n",
+              args.out_path.c_str(), report.pipelines.size(), generations.size(),
+              report.pass() ? "PASS" : "FAIL");
   return report.pass() ? 0 : 3;
 }
 
@@ -1165,6 +1212,19 @@ int cmd_profile(int argc, char** argv) {
   obs::set_enabled(true);
   LAD_TM_THREAD_NAME("lad-main");
   ThreadPool pool(threads);
+
+  // One discarded warmup run before the min-of-K loop (matching `lad
+  // bench --reps`): page-cache, allocator, and frequency-governor effects
+  // land here instead of skewing the first timed rep. Every timed rep
+  // resets the registries below, so the warmup leaves no trace in the
+  // reported counters.
+  for (int w = 0; w < obs::profile_warmup_runs(reps); ++w) {
+    const auto adv = p.encode(g, cfg);
+    const auto out = p.decode(g, adv, cfg);
+    (void)p.verify(g, out, cfg);
+    (void)faults::run_verification_echo(g, p.node_digests(g, out), /*echo_rounds=*/3,
+                                        /*faults=*/nullptr, threads > 1 ? &pool : nullptr);
+  }
 
   bool ok = false;
   bool echo_clean = false;
@@ -1278,6 +1338,190 @@ int cmd_diffprof(int argc, char** argv) {
   return static_cast<int>(diff.status());
 }
 
+// Timeline observatory (DESIGN.md §14): per-round time-series plus the
+// Amdahl/critical-path analysis, one measured run per listed thread count.
+// Each run executes encode -> decode -> verify -> pooled verification echo
+// with telemetry on; the flight recorder supplies the per-round series and
+// WaitAccounting the dispatch/barrier attribution. The deterministic slice
+// must be byte-identical across thread counts — a divergence is a §8
+// violation and exits with the MISMATCH code 4.
+int cmd_timeline(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto decoder = faults::parse_decoder(argv[0]);
+  if (!decoder) {
+    std::fprintf(stderr, "error: unknown pipeline '%s'\n", argv[0]);
+    return 2;
+  }
+  std::string graph_spec = "cycle:65536";
+  std::vector<int> thread_list = {1};
+  int reps = 1;
+  std::uint64_t seed = 1;
+  std::string json_path, out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--graph" && i + 1 < argc) {
+      graph_spec = argv[++i];
+    } else if (a == "--threads" && i + 1 < argc) {
+      thread_list.clear();
+      for (const auto& tok : split_csv(argv[++i])) {
+        const int t = std::atoi(tok.c_str());
+        if (t < 1) return usage();
+        thread_list.push_back(t);
+      }
+      if (thread_list.empty()) return usage();
+    } else if (a == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+      if (reps < 1) return usage();
+    } else if (a == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (!obs::compiled_in()) {
+    std::fprintf(stderr,
+                 "error: this build has LAD_TELEMETRY=OFF; reconfigure with "
+                 "-DLAD_TELEMETRY=ON to use `lad timeline`\n");
+    return 2;
+  }
+
+  const Pipeline& p = pipeline(*decoder);
+  PipelineConfig cfg;
+  cfg.seed = seed;
+  if (p.id() == PipelineId::kSubexpLcl) cfg.subexp.x = 60;
+  auto lg = load_source_or_complain(graph_spec, seed);
+  if (!lg) return 2;
+  const Graph g = std::move(lg->graph);
+
+  obs::set_enabled(true);
+  LAD_TM_THREAD_NAME("lad-main");
+
+  bool ok = false;
+  bool echo_clean = false;
+  long long flight_dropped = 0;
+  obs::ProfileIdentity ident;
+  std::vector<obs::TimelineRunInput> runs;
+  for (const int threads : thread_list) {
+    ThreadPool pool(threads);
+    obs::TimelineRunInput run;
+    run.threads = threads;
+    // Same warmup discipline as `lad profile` (one discarded run when
+    // --reps > 1); determinism makes warmup and timed runs byte-identical.
+    for (int w = 0; w < obs::profile_warmup_runs(reps); ++w) {
+      const auto adv = p.encode(g, cfg);
+      const auto out = p.decode(g, adv, cfg);
+      (void)p.verify(g, out, cfg);
+      (void)faults::run_verification_echo(g, p.node_digests(g, out), /*echo_rounds=*/3,
+                                          /*faults=*/nullptr, threads > 1 ? &pool : nullptr);
+    }
+    for (int rep = 0; rep < reps; ++rep) {
+      obs::MetricsRegistry::instance().reset();
+      obs::TraceRecorder::instance().clear();
+      obs::PoolAccounting::instance().reset();
+      obs::FlightRecorder::instance().clear();
+      obs::WaitAccounting::instance().reset();
+
+      const obs::Stopwatch sw;
+      const auto adv = p.encode(g, cfg);
+      const auto out = p.decode(g, adv, cfg);
+      ok = p.verify(g, out, cfg);
+      const auto echo =
+          faults::run_verification_echo(g, p.node_digests(g, out), /*echo_rounds=*/3,
+                                        /*faults=*/nullptr, threads > 1 ? &pool : nullptr);
+      const double rep_ms = sw.ms();
+      echo_clean = echo.unverified_nodes.empty();
+      if (rep == 0 || rep_ms < run.total_ms) run.total_ms = rep_ms;
+      if (rep + 1 < reps) continue;
+
+      // Last rep: snapshot the round series and the serial/compute split
+      // (all deterministic quantities agree across reps by the §8 contract).
+      run.split = obs::serial_split_from_trace();
+      run.samples = obs::FlightRecorder::instance().samples();
+      flight_dropped += obs::FlightRecorder::instance().dropped();
+
+      ident.pipeline = p.name();
+      ident.source = lg->spec;
+      ident.graph_digest = graph_digest_hex(g);
+      ident.n = g.n();
+      ident.m = g.m();
+      ident.seed = seed;
+      ident.decode_rounds = out.rounds;
+      ident.verify_ok = ok && echo_clean;
+      ident.output_digest = obs::fingerprint_hex(p.node_digests(g, out));
+      ident.advice_bits = adv.stats(g.n()).total_bits;
+      ident.engine_messages = obs::core().engine_messages.value();
+      ident.engine_message_bits = obs::core().engine_message_bits.value();
+    }
+    runs.push_back(std::move(run));
+  }
+  obs::set_enabled(false);
+
+  obs::TimelineReport report;
+  try {
+    report = obs::build_timeline_report(ident, runs);
+  } catch (const std::runtime_error& e) {
+    // A deterministic-series divergence across thread counts is the same
+    // class of failure as a difftl mismatch: hard exit 4.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 4;
+  }
+  report.flight_dropped = flight_dropped;
+  report.git_commit = obs::kGitCommit;
+  report.timestamp = obs::iso8601_utc_now();
+
+  std::printf("%s", report.to_markdown().c_str());
+  auto write_file = [](const std::string& path, const std::string& body, const char* what) {
+    std::ofstream f(path);
+    LAD_CHECK_MSG(f.good(), "cannot write " << path);
+    f << body;
+    std::printf("wrote %s (%s)\n", path.c_str(), what);
+  };
+  if (!json_path.empty()) write_file(json_path, report.to_json(), "timeline JSON");
+  if (!out_path.empty()) write_file(out_path, report.to_markdown(), "timeline report");
+  return ok && echo_clean ? 0 : 3;
+}
+
+int cmd_difftl(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string baseline_path = argv[0];
+  const std::string candidate_path = argv[1];
+  obs::BenchDiffOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--tol-ms" && i + 1 < argc) {
+      opts.tol_ms = std::atof(argv[++i]);
+      if (opts.tol_ms < 0) return usage();
+    } else if (a == "--tol-rel" && i + 1 < argc) {
+      opts.tol_rel = std::atof(argv[++i]);
+      if (opts.tol_rel < 0) return usage();
+    } else {
+      return usage();
+    }
+  }
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    LAD_CHECK_MSG(in.good(), "cannot open " << path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  obs::TimelineDiffResult diff;
+  try {
+    const auto baseline = obs::parse_timeline_json(slurp(baseline_path));
+    const auto candidate = obs::parse_timeline_json(slurp(candidate_path));
+    diff = obs::diff_timeline(baseline, candidate, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::printf("%s", diff.to_text().c_str());
+  return static_cast<int>(diff.status());
+}
+
 int cmd_dot(const std::string& path) {
   const Graph g = load(path);
   std::cout << to_dot(g);
@@ -1382,6 +1626,8 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
     if (cmd == "profile") return cmd_profile(argc - 2, argv + 2);
     if (cmd == "diffprof") return cmd_diffprof(argc - 2, argv + 2);
+    if (cmd == "timeline") return cmd_timeline(argc - 2, argv + 2);
+    if (cmd == "difftl") return cmd_difftl(argc - 2, argv + 2);
     if (cmd == "verify-claims") return cmd_verify_claims(argc - 2, argv + 2);
     if (cmd == "diffbench") return cmd_diffbench(argc - 2, argv + 2);
     if (cmd == "report") return cmd_report(argc - 2, argv + 2);
